@@ -1,0 +1,413 @@
+//! Candidate-space backtracking baselines.
+//!
+//! These engines share GuP's substrate (LDF/NLF/DAG-DP candidate space, connected
+//! matching orders) but none of its guards, which makes them faithful stand-ins for the
+//! systems the paper compares against:
+//!
+//! * [`BaselineKind::Plain`] — plain backtracking over the candidate space
+//!   ("Baseline" in Fig. 9 of the paper).
+//! * [`BaselineKind::DafFailingSet`] — adds DAF-style *failing-set* pruning: deadends
+//!   produce a failing set (closed under backward-neighbor ancestors, which is what
+//!   makes DAF's sets larger than GuP's deadend masks) that triggers backjumping but is
+//!   discarded afterwards — no recording, exactly the contrast §3.4 draws.
+//! * [`BaselineKind::GqlStyle`] — GraphQL-flavoured: NLF filtering without the DAG-DP
+//!   refinement, candidate-size-greedy (GQL) ordering, plain backtracking.
+//! * [`BaselineKind::RiStyle`] — RI-flavoured ordering (maximize backward
+//!   connectivity), plain backtracking.
+
+use crate::{BaselineLimits, BaselineResult};
+use gup_candidate::{CandidateSpace, FilterConfig};
+use gup_graph::{Graph, QVSet, QueryGraph};
+use gup_order::OrderingStrategy;
+use std::time::Instant;
+
+/// The baseline families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// Plain candidate-space backtracking (VC-style order, full filtering).
+    Plain,
+    /// Plain backtracking plus DAF-style failing-set backjumping.
+    DafFailingSet,
+    /// GraphQL-style: NLF-only filtering, GQL order, plain backtracking.
+    GqlStyle,
+    /// RI-style ordering, plain backtracking.
+    RiStyle,
+}
+
+impl BaselineKind {
+    /// All baseline kinds, for sweeps.
+    pub const ALL: [BaselineKind; 4] = [
+        BaselineKind::Plain,
+        BaselineKind::DafFailingSet,
+        BaselineKind::GqlStyle,
+        BaselineKind::RiStyle,
+    ];
+
+    /// Stable display name used in experiment output (matching the paper's labels
+    /// where a correspondence exists).
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::Plain => "Plain-BT",
+            BaselineKind::DafFailingSet => "DAF-FS",
+            BaselineKind::GqlStyle => "GQL-G",
+            BaselineKind::RiStyle => "GQL-R",
+        }
+    }
+
+    fn filter_config(self) -> FilterConfig {
+        match self {
+            // GraphQL performs its own local filtering but no DAG-DP refinement.
+            BaselineKind::GqlStyle => FilterConfig {
+                use_nlf: true,
+                refinement_passes: 0,
+            },
+            _ => FilterConfig::default(),
+        }
+    }
+
+    fn ordering(self) -> OrderingStrategy {
+        match self {
+            BaselineKind::Plain => OrderingStrategy::VcStyle,
+            BaselineKind::DafFailingSet => OrderingStrategy::ConnectedBfs,
+            BaselineKind::GqlStyle => OrderingStrategy::GqlStyle,
+            BaselineKind::RiStyle => OrderingStrategy::RiStyle,
+        }
+    }
+
+    fn failing_sets(self) -> bool {
+        matches!(self, BaselineKind::DafFailingSet)
+    }
+}
+
+/// A baseline matcher instance (candidate space + order, built once per query).
+#[derive(Debug)]
+pub struct BacktrackingBaseline {
+    kind: BaselineKind,
+    space: CandidateSpace,
+    /// Forward neighbors of each (re-ordered) query vertex.
+    forward: Vec<Vec<usize>>,
+    /// Transitive backward-neighbor closure ("ancestors") of each query vertex, used
+    /// by the failing-set rule.
+    ancestors: Vec<QVSet>,
+    query_vertices: usize,
+}
+
+/// Errors raised when the baseline cannot be constructed.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// The query graph is unusable (empty, disconnected, or too large).
+    InvalidQuery(gup_graph::QueryGraphError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::InvalidQuery(e) => write!(f, "invalid query graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl BacktrackingBaseline {
+    /// Builds the baseline matcher for `query` against `data`.
+    pub fn new(query: &Graph, data: &Graph, kind: BaselineKind) -> Result<Self, BaselineError> {
+        let validated = QueryGraph::new(query.clone()).map_err(BaselineError::InvalidQuery)?;
+        let space = CandidateSpace::build(query, data, &kind.filter_config());
+        let order = gup_order::compute_order(query, &space.candidate_sizes(), kind.ordering());
+        let ordered = validated
+            .with_order(&order)
+            .expect("ordering strategies produce connected orders");
+        let space = space.permuted(&order);
+        let n = ordered.vertex_count();
+        let backward: Vec<Vec<usize>> = (0..n).map(|i| ordered.backward_neighbors(i).to_vec()).collect();
+        let forward: Vec<Vec<usize>> = (0..n).map(|i| ordered.forward_neighbors(i).to_vec()).collect();
+        // Ancestor closure: all query vertices reachable by repeatedly following
+        // backward neighbors. This is the "and all their ancestors" part of DAF's
+        // failing-set definition that the paper contrasts with GuP's smaller masks.
+        let mut ancestors = vec![QVSet::EMPTY; n];
+        for i in 0..n {
+            let mut set = QVSet::singleton(i);
+            for &b in &backward[i] {
+                set |= ancestors[b];
+                set.insert(b);
+            }
+            ancestors[i] = set;
+        }
+        Ok(BacktrackingBaseline {
+            kind,
+            space,
+            forward,
+            ancestors,
+            query_vertices: n,
+        })
+    }
+
+    /// The baseline family of this instance.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// Runs the search under the given limits.
+    pub fn run(&self, limits: BaselineLimits) -> BaselineResult {
+        let mut state = RunState {
+            baseline: self,
+            limits,
+            start: Instant::now(),
+            result: BaselineResult::default(),
+            assignment: vec![0; self.query_vertices],
+            owner: vec![None; self.data_vertex_upper_bound()],
+            cand_stack: (0..self.query_vertices)
+                .map(|u| vec![(0..self.space.candidates(u).len() as u32).collect::<Vec<u32>>()])
+                .collect(),
+        };
+        if !self.space.any_empty() && self.query_vertices > 0 {
+            let _ = state.backtrack(0);
+        }
+        state.result
+    }
+
+    fn data_vertex_upper_bound(&self) -> usize {
+        (0..self.query_vertices)
+            .flat_map(|u| self.space.candidates(u).iter().copied())
+            .max()
+            .map(|v| v as usize + 1)
+            .unwrap_or(0)
+    }
+}
+
+enum Outcome {
+    FoundSome,
+    Deadend(QVSet),
+    Aborted,
+}
+
+struct RunState<'a> {
+    baseline: &'a BacktrackingBaseline,
+    limits: BaselineLimits,
+    start: Instant,
+    result: BaselineResult,
+    assignment: Vec<u32>,
+    owner: Vec<Option<u8>>,
+    cand_stack: Vec<Vec<Vec<u32>>>,
+}
+
+impl<'a> RunState<'a> {
+    fn backtrack(&mut self, k: usize) -> Outcome {
+        let n = self.baseline.query_vertices;
+        if k == n {
+            self.result.embeddings += 1;
+            if let Some(max) = self.limits.max_embeddings {
+                if self.result.embeddings >= max {
+                    self.result.hit_embedding_limit = true;
+                    return Outcome::Aborted;
+                }
+            }
+            return Outcome::FoundSome;
+        }
+        self.result.recursions += 1;
+        if self.result.recursions % 1024 == 0 {
+            if let Some(limit) = self.limits.time_limit {
+                if self.start.elapsed() >= limit {
+                    self.result.hit_time_limit = true;
+                    return Outcome::Aborted;
+                }
+            }
+        }
+
+        let failing_sets = self.baseline.kind.failing_sets();
+        let mut found_any = false;
+        let mut union = QVSet::EMPTY;
+        let mut without_k: Option<QVSet> = None;
+
+        let level = self.cand_stack[k].len() - 1;
+        let len = self.cand_stack[k][level].len();
+        for pos in 0..len {
+            let cv = self.cand_stack[k][level][pos];
+            let v = self.baseline.space.candidates(k)[cv as usize];
+            // Injectivity: the conflict depends on the query vertex currently holding
+            // `v`, so its ancestors must join the failing set too.
+            if let Some(holder) = self.owner[v as usize] {
+                if failing_sets {
+                    union |= self.baseline.ancestors[k] | self.baseline.ancestors[holder as usize];
+                }
+                continue;
+            }
+            // Refine forward neighbors.
+            self.owner[v as usize] = Some(k as u8);
+            self.assignment[k] = cv;
+            let mut emptied: Option<usize> = None;
+            let mut pushed: Vec<usize> = Vec::with_capacity(self.baseline.forward[k].len());
+            for fi in 0..self.baseline.forward[k].len() {
+                let f = self.baseline.forward[k][fi];
+                let adjacency = self.baseline.space.adjacent_candidates(k, cv as usize, f);
+                let parent = self.cand_stack[f].last().expect("stack never empty");
+                let new_list = intersect_sorted(parent, adjacency);
+                if new_list.is_empty() {
+                    emptied = Some(f);
+                    break;
+                }
+                self.cand_stack[f].push(new_list);
+                pushed.push(f);
+            }
+            let child = if let Some(f) = emptied {
+                // A future vertex lost all candidates.
+                if failing_sets {
+                    Some(self.baseline.ancestors[f])
+                } else {
+                    Some(QVSet::EMPTY)
+                }
+            } else {
+                match self.backtrack(k + 1) {
+                    Outcome::Aborted => {
+                        for &f in &pushed {
+                            self.cand_stack[f].pop();
+                        }
+                        self.owner[v as usize] = None;
+                        return Outcome::Aborted;
+                    }
+                    Outcome::FoundSome => {
+                        found_any = true;
+                        None
+                    }
+                    Outcome::Deadend(mask) => Some(mask),
+                }
+            };
+            for &f in &pushed {
+                self.cand_stack[f].pop();
+            }
+            self.owner[v as usize] = None;
+
+            if let Some(mask) = child {
+                if failing_sets {
+                    union |= mask;
+                    if !mask.contains(k) && !mask.is_empty() {
+                        without_k = Some(mask);
+                        // Failing-set backjump: remaining siblings cannot help.
+                        break;
+                    }
+                }
+            }
+        }
+
+        if found_any {
+            return Outcome::FoundSome;
+        }
+        self.result.futile_recursions += 1;
+        if !failing_sets {
+            return Outcome::Deadend(QVSet::EMPTY);
+        }
+        if let Some(mask) = without_k {
+            return Outcome::Deadend(mask);
+        }
+        Outcome::Deadend(union.without(k) | self.baseline.ancestors[k].without(k))
+    }
+}
+
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use gup_graph::builder::graph_from_edges;
+    use gup_graph::fixtures;
+
+    fn check_against_brute_force(query: &Graph, data: &Graph) {
+        let expected = brute_force::count(query, data);
+        for kind in BaselineKind::ALL {
+            let m = BacktrackingBaseline::new(query, data, kind).unwrap();
+            let r = m.run(BaselineLimits::UNLIMITED);
+            assert_eq!(r.embeddings, expected, "kind {kind:?} disagrees with brute force");
+        }
+    }
+
+    #[test]
+    fn all_kinds_agree_with_brute_force_on_fixtures() {
+        let (q, d) = fixtures::paper_example();
+        check_against_brute_force(&q, &d);
+        check_against_brute_force(&fixtures::triangle_query(), &fixtures::square_with_diagonal());
+        check_against_brute_force(
+            &fixtures::path(4, 0),
+            &graph_from_edges(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+        );
+        check_against_brute_force(
+            &fixtures::clique4(1),
+            &graph_from_edges(
+                &[1; 6],
+                &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 4)],
+            ),
+        );
+    }
+
+    #[test]
+    fn failing_sets_never_change_the_count_but_can_reduce_recursions() {
+        let (q, d) = fixtures::paper_example();
+        let plain = BacktrackingBaseline::new(&q, &d, BaselineKind::Plain)
+            .unwrap()
+            .run(BaselineLimits::UNLIMITED);
+        let daf = BacktrackingBaseline::new(&q, &d, BaselineKind::DafFailingSet)
+            .unwrap()
+            .run(BaselineLimits::UNLIMITED);
+        assert_eq!(plain.embeddings, daf.embeddings);
+        assert!(daf.recursions > 0);
+    }
+
+    #[test]
+    fn embedding_limit_is_respected() {
+        let q = graph_from_edges(&[0, 0], &[(0, 1)]);
+        let d = graph_from_edges(
+            &[0; 8],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+        );
+        let m = BacktrackingBaseline::new(&q, &d, BaselineKind::Plain).unwrap();
+        let r = m.run(BaselineLimits {
+            max_embeddings: Some(3),
+            time_limit: None,
+        });
+        assert_eq!(r.embeddings, 3);
+        assert!(r.hit_embedding_limit);
+        assert!(r.terminated_early());
+    }
+
+    #[test]
+    fn invalid_query_rejected() {
+        let disconnected = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        let d = fixtures::square_with_diagonal();
+        let err = BacktrackingBaseline::new(&disconnected, &d, BaselineKind::Plain).unwrap_err();
+        assert!(format!("{err}").contains("invalid query"));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(BaselineKind::Plain.name(), "Plain-BT");
+        assert_eq!(BaselineKind::DafFailingSet.name(), "DAF-FS");
+        assert_eq!(BaselineKind::GqlStyle.name(), "GQL-G");
+        assert_eq!(BaselineKind::RiStyle.name(), "GQL-R");
+    }
+
+    #[test]
+    fn no_embeddings_when_cycle_cannot_close() {
+        let q = fixtures::triangle_query();
+        let d = graph_from_edges(&[0, 1, 0, 1, 0], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        for kind in BaselineKind::ALL {
+            let m = BacktrackingBaseline::new(&q, &d, kind).unwrap();
+            assert_eq!(m.run(BaselineLimits::UNLIMITED).embeddings, 0);
+        }
+    }
+}

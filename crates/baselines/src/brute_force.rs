@@ -1,0 +1,119 @@
+//! Reference enumerator used as ground truth in tests.
+//!
+//! A deliberately simple recursive matcher that works straight off the data graph with
+//! only the label constraint and injectivity as filters. Exponential and slow, but its
+//! simplicity makes it easy to audit — every other engine in the workspace is tested
+//! against it on small instances.
+
+use gup_graph::{Graph, VertexId};
+
+/// Enumerates every embedding of `query` in `data` and returns them sorted (each
+/// embedding is the vector `emb[u] = data vertex assigned to query vertex u`).
+///
+/// Intended for small instances only (tests, examples); the running time is
+/// `O(|V_G|^{|V_Q|})` in the worst case.
+pub fn enumerate(query: &Graph, data: &Graph) -> Vec<Vec<VertexId>> {
+    let n = query.vertex_count();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    let mut assignment: Vec<VertexId> = vec![u32::MAX; n];
+    let mut used = vec![false; data.vertex_count()];
+    recurse(query, data, 0, &mut assignment, &mut used, &mut out);
+    out.sort();
+    out
+}
+
+/// Counts embeddings without materializing them.
+pub fn count(query: &Graph, data: &Graph) -> u64 {
+    enumerate(query, data).len() as u64
+}
+
+fn recurse(
+    query: &Graph,
+    data: &Graph,
+    u: usize,
+    assignment: &mut Vec<VertexId>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<Vec<VertexId>>,
+) {
+    if u == query.vertex_count() {
+        out.push(assignment.clone());
+        return;
+    }
+    for v in data.vertices() {
+        if used[v as usize] || data.label(v) != query.label(u as VertexId) {
+            continue;
+        }
+        // Adjacency with every already-assigned neighbor.
+        let ok = query.neighbors(u as VertexId).iter().all(|&w| {
+            let w = w as usize;
+            w >= u || data.has_edge(assignment[w], v)
+        });
+        if !ok {
+            continue;
+        }
+        assignment[u] = v;
+        used[v as usize] = true;
+        recurse(query, data, u + 1, assignment, used, out);
+        used[v as usize] = false;
+        assignment[u] = u32::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gup_graph::builder::graph_from_edges;
+    use gup_graph::fixtures;
+
+    #[test]
+    fn triangle_in_square_has_four_embeddings() {
+        let found = enumerate(&fixtures::triangle_query(), &fixtures::square_with_diagonal());
+        assert_eq!(found.len(), 4);
+        assert_eq!(count(&fixtures::triangle_query(), &fixtures::square_with_diagonal()), 4);
+        // All reported embeddings are valid and distinct.
+        let mut dedup = found.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), found.len());
+    }
+
+    #[test]
+    fn paper_example_contains_named_embedding() {
+        let (q, d) = fixtures::paper_example();
+        let found = enumerate(&q, &d);
+        assert!(found.contains(&vec![1, 4, 7, 10, 0]));
+    }
+
+    #[test]
+    fn no_match_when_label_absent() {
+        let q = graph_from_edges(&[9], &[]);
+        let d = fixtures::square_with_diagonal();
+        assert!(enumerate(&q, &d).is_empty());
+    }
+
+    #[test]
+    fn single_vertex_query_matches_each_label_occurrence() {
+        let q = graph_from_edges(&[1], &[]);
+        let d = fixtures::square_with_diagonal(); // three label-1 vertices
+        assert_eq!(count(&q, &d), 3);
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // Query: two adjacent label-0 vertices; data: a single label-0 vertex with a
+        // self-loop attempt (removed by the builder) — no embedding may map both query
+        // vertices to the same data vertex.
+        let q = graph_from_edges(&[0, 0], &[(0, 1)]);
+        let d = graph_from_edges(&[0], &[]);
+        assert_eq!(count(&q, &d), 0);
+    }
+
+    #[test]
+    fn empty_query_yields_nothing() {
+        let q = gup_graph::GraphBuilder::new().build();
+        let d = fixtures::square_with_diagonal();
+        assert!(enumerate(&q, &d).is_empty());
+    }
+}

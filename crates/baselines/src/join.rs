@@ -1,0 +1,201 @@
+//! Edge-at-a-time join enumerator (RapidMatch stand-in).
+//!
+//! RapidMatch treats subgraph matching as a relational join over the query's edge
+//! relations. This baseline reproduces that execution style in its simplest form:
+//! query edges are processed in a connected order; a table of partial bindings is
+//! extended edge by edge (a hash-free nested-loop join over the candidate space's
+//! adjacency lists), with injectivity enforced at each step. The number of
+//! intermediate bindings plays the role that recursion counts play for the
+//! backtracking engines.
+
+use crate::{BaselineLimits, BaselineResult};
+use gup_candidate::{CandidateSpace, FilterConfig};
+use gup_graph::{Graph, QueryGraph};
+use gup_order::OrderingStrategy;
+use std::time::Instant;
+
+/// The join-based baseline matcher.
+pub struct JoinBaseline {
+    space: CandidateSpace,
+    /// Query vertices in join (matching) order; vertex `i` of the permuted space.
+    query_vertices: usize,
+    /// For vertex `i` (i ≥ 1): its backward neighbors (all already bound when `i` is
+    /// joined in).
+    backward: Vec<Vec<usize>>,
+}
+
+impl JoinBaseline {
+    /// Builds the join baseline for `query` against `data`. Returns `None` if the
+    /// query is not usable (empty / disconnected / too large).
+    pub fn new(query: &Graph, data: &Graph, order: OrderingStrategy) -> Option<Self> {
+        let validated = QueryGraph::new(query.clone()).ok()?;
+        let space = CandidateSpace::build(query, data, &FilterConfig::default());
+        let order = gup_order::compute_order(query, &space.candidate_sizes(), order);
+        let ordered = validated.with_order(&order).ok()?;
+        let space = space.permuted(&order);
+        let n = ordered.vertex_count();
+        let backward = (0..n).map(|i| ordered.backward_neighbors(i).to_vec()).collect();
+        Some(JoinBaseline {
+            space,
+            query_vertices: n,
+            backward,
+        })
+    }
+
+    /// Runs the join and reports embeddings / intermediate-result counts.
+    pub fn run(&self, limits: BaselineLimits) -> BaselineResult {
+        let mut result = BaselineResult::default();
+        let start = Instant::now();
+        let n = self.query_vertices;
+        if n == 0 || self.space.any_empty() {
+            return result;
+        }
+        // Partial bindings after joining vertex 0: one per candidate.
+        let mut table: Vec<Vec<u32>> = (0..self.space.candidates(0).len() as u32)
+            .map(|c| vec![c])
+            .collect();
+        result.recursions += table.len() as u64;
+        for i in 1..n {
+            let mut next: Vec<Vec<u32>> = Vec::new();
+            let anchors = &self.backward[i];
+            let first_anchor = anchors[0];
+            'bindings: for binding in &table {
+                if let Some(limit) = limits.time_limit {
+                    if start.elapsed() >= limit {
+                        result.hit_time_limit = true;
+                        return result;
+                    }
+                }
+                // Candidates of u_i adjacent to the first bound anchor, then checked
+                // against the remaining anchors and injectivity.
+                let base = self
+                    .space
+                    .adjacent_candidates(first_anchor, binding[first_anchor] as usize, i);
+                'candidates: for &ci in base {
+                    for &a in &anchors[1..] {
+                        let adj = self.space.adjacent_candidates(a, binding[a] as usize, i);
+                        if adj.binary_search(&ci).is_err() {
+                            continue 'candidates;
+                        }
+                    }
+                    // Injectivity over data vertices.
+                    let v = self.space.candidates(i)[ci as usize];
+                    for (j, &cj) in binding.iter().enumerate() {
+                        if self.space.candidates(j)[cj as usize] == v {
+                            continue 'candidates;
+                        }
+                    }
+                    let mut extended = binding.clone();
+                    extended.push(ci);
+                    result.recursions += 1;
+                    if i == n - 1 {
+                        result.embeddings += 1;
+                        if let Some(max) = limits.max_embeddings {
+                            if result.embeddings >= max {
+                                result.hit_embedding_limit = true;
+                                break 'bindings;
+                            }
+                        }
+                    } else {
+                        next.push(extended);
+                    }
+                }
+            }
+            if i < n - 1 {
+                if next.is_empty() {
+                    return result;
+                }
+                table = next;
+            }
+        }
+        result
+    }
+
+    /// Enumerates all embeddings (original query-vertex numbering is *not* restored;
+    /// the result is over the join order). Intended for tests.
+    pub fn count(&self) -> u64 {
+        self.run(BaselineLimits::UNLIMITED).embeddings
+    }
+
+    /// Number of query vertices.
+    pub fn query_vertex_count(&self) -> usize {
+        self.query_vertices
+    }
+
+    /// The candidate space the join runs over (for inspection in tests).
+    pub fn space(&self) -> &CandidateSpace {
+        &self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use gup_graph::builder::graph_from_edges;
+    use gup_graph::fixtures;
+
+    fn check(query: &Graph, data: &Graph) {
+        let expected = brute_force::count(query, data);
+        let join = JoinBaseline::new(query, data, OrderingStrategy::GqlStyle).unwrap();
+        assert_eq!(join.count(), expected);
+    }
+
+    #[test]
+    fn join_agrees_with_brute_force() {
+        let (q, d) = fixtures::paper_example();
+        check(&q, &d);
+        check(&fixtures::triangle_query(), &fixtures::square_with_diagonal());
+        check(
+            &fixtures::path(4, 0),
+            &graph_from_edges(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+        );
+        check(
+            &fixtures::clique4(1),
+            &graph_from_edges(
+                &[1; 6],
+                &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 4)],
+            ),
+        );
+    }
+
+    #[test]
+    fn join_counts_intermediate_results() {
+        let (q, d) = fixtures::paper_example();
+        let join = JoinBaseline::new(&q, &d, OrderingStrategy::GqlStyle).unwrap();
+        let r = join.run(BaselineLimits::UNLIMITED);
+        assert!(r.recursions >= r.embeddings);
+        assert!(r.recursions > 0);
+    }
+
+    #[test]
+    fn join_respects_embedding_limit() {
+        let q = graph_from_edges(&[0, 0], &[(0, 1)]);
+        let d = graph_from_edges(
+            &[0; 8],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+        );
+        let join = JoinBaseline::new(&q, &d, OrderingStrategy::GqlStyle).unwrap();
+        let r = join.run(BaselineLimits {
+            max_embeddings: Some(5),
+            time_limit: None,
+        });
+        assert_eq!(r.embeddings, 5);
+        assert!(r.hit_embedding_limit);
+    }
+
+    #[test]
+    fn join_rejects_invalid_queries() {
+        let disconnected = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        let d = fixtures::square_with_diagonal();
+        assert!(JoinBaseline::new(&disconnected, &d, OrderingStrategy::GqlStyle).is_none());
+    }
+
+    #[test]
+    fn join_handles_empty_candidates() {
+        let q = graph_from_edges(&[9, 9], &[(0, 1)]);
+        let d = fixtures::square_with_diagonal();
+        let join = JoinBaseline::new(&q, &d, OrderingStrategy::GqlStyle).unwrap();
+        assert_eq!(join.count(), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! # gup-baselines
+//!
+//! Baseline subgraph matchers used as comparators in the evaluation (paper §4.1
+//! compares GuP against DAF, GQL-G, GQL-R, and RapidMatch). The original systems are
+//! C++ binaries that are not available here, so this crate implements the *algorithmic*
+//! essence of each family from scratch:
+//!
+//! * [`brute_force`] — a tiny reference enumerator used as ground truth in tests.
+//! * [`backtracking`] — candidate-space backtracking with selectable ordering and an
+//!   optional DAF-style *failing-set* backjumping rule (`Plain`, `DafFailingSet`,
+//!   `GqlStyle`, `RiStyle` variants).
+//! * [`join`] — an edge-at-a-time join enumerator standing in for the join-based
+//!   RapidMatch.
+//!
+//! All engines report the same [`BaselineResult`] record (embeddings, recursions /
+//! intermediate results, early-termination flags) so the benchmark harness can compare
+//! them with GuP on equal terms.
+
+pub mod backtracking;
+pub mod brute_force;
+pub mod join;
+
+pub use backtracking::{BacktrackingBaseline, BaselineKind};
+pub use join::JoinBaseline;
+
+use std::time::Duration;
+
+/// Early-termination limits shared by all baseline engines (mirrors
+/// `gup::SearchLimits` without depending on the `gup` crate).
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineLimits {
+    /// Stop after this many embeddings (`None` = unlimited).
+    pub max_embeddings: Option<u64>,
+    /// Stop after this wall-clock duration (`None` = unlimited).
+    pub time_limit: Option<Duration>,
+}
+
+impl BaselineLimits {
+    /// No limits.
+    pub const UNLIMITED: BaselineLimits = BaselineLimits {
+        max_embeddings: None,
+        time_limit: None,
+    };
+}
+
+impl Default for BaselineLimits {
+    fn default() -> Self {
+        BaselineLimits {
+            max_embeddings: Some(100_000),
+            time_limit: None,
+        }
+    }
+}
+
+/// Result record produced by every baseline engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BaselineResult {
+    /// Number of embeddings found (capped by the limit).
+    pub embeddings: u64,
+    /// Number of recursive calls (backtracking engines) or intermediate partial
+    /// bindings materialized (join engine).
+    pub recursions: u64,
+    /// Number of recursive calls that led to a deadend.
+    pub futile_recursions: u64,
+    /// `true` if the embedding cap stopped the run.
+    pub hit_embedding_limit: bool,
+    /// `true` if the time limit stopped the run.
+    pub hit_time_limit: bool,
+}
+
+impl BaselineResult {
+    /// `true` if any limit fired.
+    pub fn terminated_early(&self) -> bool {
+        self.hit_embedding_limit || self.hit_time_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_defaults() {
+        let d = BaselineLimits::default();
+        assert_eq!(d.max_embeddings, Some(100_000));
+        assert!(d.time_limit.is_none());
+        assert!(BaselineLimits::UNLIMITED.max_embeddings.is_none());
+    }
+
+    #[test]
+    fn result_termination_flag() {
+        let mut r = BaselineResult::default();
+        assert!(!r.terminated_early());
+        r.hit_time_limit = true;
+        assert!(r.terminated_early());
+    }
+}

@@ -1,0 +1,67 @@
+//! End-to-end comparison bench: GuP versus the baseline families on fixed queries from
+//! the Yeast analogue. This is the criterion-grade counterpart of the wall-clock
+//! comparison in Figures 4–6 of the paper (run `experiments -- all` for the full
+//! query-set sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gup::{GupConfig, GupMatcher, SearchLimits};
+use gup_baselines::{BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline};
+use gup_order::OrderingStrategy;
+use gup_workloads::{generate_query_set, Dataset, QueryClass, QuerySetSpec};
+use std::time::Duration;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = Dataset::Yeast.generate(0.15).graph;
+    let spec = QuerySetSpec {
+        vertices: 16,
+        class: QueryClass::Sparse,
+    };
+    let queries = generate_query_set(&data, spec, 2, 7);
+    let mut group = c.benchmark_group("end_to_end_16S");
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(4));
+    for (qi, query) in queries.iter().enumerate() {
+        let gup_cfg = GupConfig {
+            limits: SearchLimits {
+                max_embeddings: Some(100_000),
+                time_limit: Some(Duration::from_secs(2)),
+                max_recursions: None,
+            },
+            ..GupConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("GuP", qi), query, |b, q| {
+            b.iter(|| {
+                GupMatcher::new(q, &data, gup_cfg.clone())
+                    .unwrap()
+                    .run()
+                    .embedding_count()
+            });
+        });
+        let limits = BaselineLimits {
+            max_embeddings: Some(100_000),
+            time_limit: Some(Duration::from_secs(2)),
+        };
+        for kind in [BaselineKind::DafFailingSet, BaselineKind::GqlStyle] {
+            group.bench_with_input(BenchmarkId::new(kind.name(), qi), query, |b, q| {
+                b.iter(|| {
+                    BacktrackingBaseline::new(q, &data, kind)
+                        .unwrap()
+                        .run(limits)
+                        .embeddings
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("RM-join", qi), query, |b, q| {
+            b.iter(|| {
+                JoinBaseline::new(q, &data, OrderingStrategy::GqlStyle)
+                    .unwrap()
+                    .run(limits)
+                    .embeddings
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

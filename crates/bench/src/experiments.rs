@@ -1,0 +1,470 @@
+//! One function per table / figure of the paper's evaluation.
+//!
+//! Every function returns a plain-text report (ready to paste into EXPERIMENTS.md) and
+//! most also return TSV-ish rows through the report itself. The headline comparison
+//! (Table 2, Figures 4, 5, 6) shares one sweep over datasets × query sets × methods so
+//! that `experiments -- all` does not repeat the expensive part.
+//!
+//! Scaling note: the datasets are synthetic analogues scaled down by `SuiteConfig`, so
+//! the *absolute* numbers differ from the paper; the comparisons (which method finishes
+//! more sets, who needs fewer recursions, how much each guard contributes) are the
+//! reproduction target. Thresholds are scaled accordingly (e.g. "≥ 1 s / ≥ 1 min /
+//! ≥ 1 h" becomes "≥ slow / ≥ very-slow / timeout" from the configuration).
+
+use crate::harness::{run_query_set, Method, SetSummary, SuiteConfig};
+use gup::{GupConfig, GupMatcher, PruningFeatures, SearchLimits};
+use gup_workloads::{Dataset, QuerySetSpec};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Results of the shared headline sweep: one [`SetSummary`] per
+/// (dataset, query set, method).
+pub struct HeadlineResults {
+    /// The configuration the sweep ran under.
+    pub config: SuiteConfig,
+    /// `(dataset, query-set name, method, summary)` rows.
+    pub rows: Vec<(Dataset, String, Method, SetSummary)>,
+}
+
+/// Runs the headline sweep shared by Table 2 and Figures 4–6.
+pub fn collect_headline(config: &SuiteConfig) -> HeadlineResults {
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let data = config.data_graph(dataset);
+        for spec in QuerySetSpec::PAPER_SETS {
+            let queries = config.query_set(&data, spec);
+            if queries.is_empty() {
+                continue;
+            }
+            for method in Method::HEADLINE {
+                let summary = run_query_set(method, &queries, &data, config);
+                rows.push((dataset, spec.name(), method, summary));
+            }
+        }
+    }
+    HeadlineResults {
+        config: *config,
+        rows,
+    }
+}
+
+/// **Table 2** — query sets finished (non-DNF) per method.
+pub fn table2(results: &HeadlineResults) -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 2: finished (non-DNF) query sets per method ==").unwrap();
+    writeln!(out, "{:<8} {:<10} {:>10} {:>8}", "method", "dataset", "set", "finished").unwrap();
+    let mut counts: Vec<(Method, usize)> = Method::HEADLINE.iter().map(|&m| (m, 0)).collect();
+    for (dataset, set, method, summary) in &results.rows {
+        let finished = !summary.dnf;
+        if finished {
+            if let Some(entry) = counts.iter_mut().find(|(m, _)| m == method) {
+                entry.1 += 1;
+            }
+        }
+        writeln!(
+            out,
+            "{:<8} {:<10} {:>10} {:>8}",
+            method.name(),
+            dataset.name(),
+            set,
+            if finished { "yes" } else { "DNF" }
+        )
+        .unwrap();
+    }
+    writeln!(out, "\nFinished-set count per method:").unwrap();
+    for (m, c) in counts {
+        writeln!(out, "  {:<8} {}", m.name(), c).unwrap();
+    }
+    out
+}
+
+/// **Figure 4** — number of queries above the slow / very-slow / timeout thresholds,
+/// aggregated over every query set the sweep executed.
+pub fn fig4(results: &HeadlineResults) -> String {
+    let cfg = &results.config;
+    let mut out = String::new();
+    writeln!(out, "== Figure 4: processing-time distribution (all query sets) ==").unwrap();
+    writeln!(
+        out,
+        "thresholds: slow >= {:?}, very slow >= {:?}, timeout = {:?} (paper: 1 s / 1 min / 1 h)",
+        cfg.slow_threshold, cfg.very_slow_threshold, cfg.per_query_timeout
+    )
+    .unwrap();
+    writeln!(out, "{:<8} {:>8} {:>8} {:>10} {:>9}", "method", "queries", ">=slow", ">=veryslow", "timeout").unwrap();
+    for &method in &Method::HEADLINE {
+        let (mut all, mut slow, mut very, mut to) = (0usize, 0usize, 0usize, 0usize);
+        for (_, _, m, s) in &results.rows {
+            if *m == method {
+                all += s.queries;
+                slow += s.over_slow;
+                very += s.over_very_slow;
+                to += s.timed_out;
+            }
+        }
+        writeln!(out, "{:<8} {:>8} {:>8} {:>10} {:>9}", method.name(), all, slow, very, to).unwrap();
+    }
+    out
+}
+
+/// **Figure 5** — per-dataset breakdown of the slow-query counts for the sets the
+/// paper highlights (16S, 32S, 16D, 24D).
+pub fn fig5(results: &HeadlineResults) -> String {
+    let highlighted = ["16S", "32S", "16D", "24D"];
+    let mut out = String::new();
+    writeln!(out, "== Figure 5: breakdown per dataset (sets 16S, 32S, 16D, 24D) ==").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>5} {:<8} {:>8} {:>8} {:>10} {:>8} {:>6}",
+        "dataset", "set", "method", "queries", ">=slow", ">=veryslow", "timeout", "DNF"
+    )
+    .unwrap();
+    for (dataset, set, method, s) in &results.rows {
+        if !highlighted.contains(&set.as_str()) {
+            continue;
+        }
+        writeln!(
+            out,
+            "{:<10} {:>5} {:<8} {:>8} {:>8} {:>10} {:>8} {:>6}",
+            dataset.name(),
+            set,
+            method.name(),
+            s.queries,
+            s.over_slow,
+            s.over_very_slow,
+            s.timed_out,
+            if s.dnf { "yes" } else { "no" }
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// **Figure 6** — average processing time per query set on the Yeast analogue.
+pub fn fig6(results: &HeadlineResults) -> String {
+    let mut out = String::new();
+    writeln!(out, "== Figure 6: average processing time per query set (Yeast analogue) ==").unwrap();
+    writeln!(out, "{:<6} {:<8} {:>14}", "set", "method", "avg time [ms]").unwrap();
+    for (dataset, set, method, s) in &results.rows {
+        if *dataset != Dataset::Yeast {
+            continue;
+        }
+        writeln!(out, "{:<6} {:<8} {:>14.3}", set, method.name(), s.average_ms()).unwrap();
+    }
+    out
+}
+
+/// **Figure 7** — number of recursions per query set (Yeast analogue), GuP versus the
+/// GQL-style baselines (the paper omits DAF and RM because they do not count
+/// recursions).
+pub fn fig7(config: &SuiteConfig) -> String {
+    let data = config.data_graph(Dataset::Yeast);
+    let methods = [Method::Gup, Method::GqlG, Method::GqlR];
+    let mut out = String::new();
+    writeln!(out, "== Figure 7: total recursions per query set (Yeast analogue) ==").unwrap();
+    writeln!(out, "{:<6} {:<8} {:>14}", "set", "method", "recursions").unwrap();
+    for spec in QuerySetSpec::PAPER_SETS {
+        let queries = config.query_set(&data, spec);
+        if queries.is_empty() {
+            continue;
+        }
+        for method in methods {
+            let summary = run_query_set(method, &queries, &data, config);
+            writeln!(out, "{:<6} {:<8} {:>14}", spec.name(), method.name(), summary.total_recursions).unwrap();
+        }
+    }
+    out
+}
+
+/// **Figure 8** — effect of the reservation size limit `r` on the number of
+/// recursions (reservation guards only, Yeast analogue).
+pub fn fig8(config: &SuiteConfig) -> String {
+    let data = config.data_graph(Dataset::Yeast);
+    let limits: [(&str, Option<usize>); 6] = [
+        ("r=0", Some(0)),
+        ("r=1", Some(1)),
+        ("r=3", Some(3)),
+        ("r=5", Some(5)),
+        ("r=7", Some(7)),
+        ("r=inf", None),
+    ];
+    let mut out = String::new();
+    writeln!(out, "== Figure 8: reservation size limit r vs total recursions (Yeast analogue) ==").unwrap();
+    writeln!(out, "{:<7} {:>14}", "r", "recursions").unwrap();
+    for (label, r) in limits {
+        let mut total = 0u64;
+        for spec in QuerySetSpec::PAPER_SETS {
+            let queries = config.query_set(&data, spec);
+            if queries.is_empty() {
+                continue;
+            }
+            let summary = run_query_set(Method::GupReservationOnly(r), &queries, &data, config);
+            total += summary.total_recursions;
+        }
+        writeln!(out, "{:<7} {:>14}", label, total).unwrap();
+    }
+    out
+}
+
+/// **Figure 9** — contribution of each pruning technique: futile recursions for
+/// Baseline / R / R+NV / R+NV+NE / All (Yeast analogue).
+pub fn fig9(config: &SuiteConfig) -> String {
+    let data = config.data_graph(Dataset::Yeast);
+    let variants = [
+        PruningFeatures::NONE,
+        PruningFeatures::RESERVATION_ONLY,
+        PruningFeatures::RESERVATION_AND_NV,
+        PruningFeatures::RESERVATION_NV_NE,
+        PruningFeatures::ALL,
+    ];
+    let mut out = String::new();
+    writeln!(out, "== Figure 9: futile recursions per technique combination (Yeast analogue) ==").unwrap();
+    writeln!(out, "{:<6} {:<10} {:>14} {:>14}", "set", "variant", "futile", "recursions").unwrap();
+    for spec in QuerySetSpec::PAPER_SETS {
+        let queries = config.query_set(&data, spec);
+        if queries.is_empty() {
+            continue;
+        }
+        for features in variants {
+            let summary = run_query_set(Method::GupWith(features), &queries, &data, config);
+            writeln!(
+                out,
+                "{:<6} {:<10} {:>14} {:>14}",
+                spec.name(),
+                features.label(),
+                summary.total_futile,
+                summary.total_recursions
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// **Table 3** — memory consumption: whole structure versus each guard family, on the
+/// Yeast and Patents analogues for the 8S / 32S / 8D / 32D query sets.
+pub fn table3(config: &SuiteConfig) -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 3: peak memory consumption (guards vs whole) ==").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "set", "whole[KB]", "resv[KB]", "NV[KB]", "NE[KB]", "guard/whole"
+    )
+    .unwrap();
+    let sets = [
+        QuerySetSpec::PAPER_SETS[0], // 8S
+        QuerySetSpec::PAPER_SETS[3], // 32S
+        QuerySetSpec::PAPER_SETS[4], // 8D
+        QuerySetSpec::PAPER_SETS[7], // 32D
+    ];
+    for dataset in [Dataset::Yeast, Dataset::Patents] {
+        let data = config.data_graph(dataset);
+        let data_bytes = data.heap_bytes();
+        for spec in sets {
+            let queries = config.query_set(&data, spec);
+            let Some(query) = queries.first() else { continue };
+            let gup_config = GupConfig {
+                limits: SearchLimits {
+                    max_embeddings: Some(config.embedding_limit),
+                    time_limit: Some(config.per_query_timeout),
+                    max_recursions: None,
+                },
+                ..GupConfig::default()
+            };
+            let Ok(matcher) = GupMatcher::new(query, &data, gup_config) else { continue };
+            let (_result, report) = matcher.run_with_memory_report();
+            let whole = data_bytes + report.total_bytes();
+            let share = 100.0 * report.guard_bytes() as f64 / whole.max(1) as f64;
+            writeln!(
+                out,
+                "{:<10} {:>5} {:>12.1} {:>12.2} {:>12.2} {:>12.2} {:>11.2}%",
+                dataset.name(),
+                spec.name(),
+                whole as f64 / 1024.0,
+                report.reservation_bytes as f64 / 1024.0,
+                report.nogood_vertex_bytes as f64 / 1024.0,
+                report.nogood_edge_bytes as f64 / 1024.0,
+                share
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// **Figure 10** — parallel scalability: average processing time and speedup of GuP's
+/// dynamic root-level scheduling versus a DAF-style static root partition, on the
+/// hardest Yeast query set the configuration can produce (32D, falling back to 32S).
+pub fn fig10(config: &SuiteConfig, max_threads: usize) -> String {
+    let data = config.data_graph(Dataset::Yeast);
+    let spec_dense = QuerySetSpec { vertices: 32, class: gup_workloads::QueryClass::Dense };
+    let spec_sparse = QuerySetSpec { vertices: 32, class: gup_workloads::QueryClass::Sparse };
+    let mut queries = config.query_set(&data, spec_dense);
+    if queries.is_empty() {
+        queries = config.query_set(&data, spec_sparse);
+    }
+    queries.truncate(8);
+    let mut out = String::new();
+    writeln!(out, "== Figure 10: parallel execution (Yeast analogue, 32-vertex queries) ==").unwrap();
+    if queries.is_empty() {
+        writeln!(out, "no 32-vertex queries could be generated at this scale").unwrap();
+        return out;
+    }
+    // Like the paper, raise the embedding limit so parallelism is actually exercised.
+    let gup_config = GupConfig {
+        limits: SearchLimits {
+            max_embeddings: Some(config.embedding_limit.saturating_mul(100)),
+            time_limit: Some(config.per_query_timeout * 4),
+            max_recursions: None,
+        },
+        ..GupConfig::default()
+    };
+    let mut thread_counts = vec![1usize, 2, 4, 8, 16];
+    thread_counts.retain(|&t| t <= max_threads.max(1));
+    writeln!(out, "{:<16} {:>8} {:>14} {:>9}", "scheduler", "threads", "avg time [ms]", "speedup").unwrap();
+    let mut base_dynamic = None;
+    for &threads in &thread_counts {
+        let start = Instant::now();
+        for query in &queries {
+            if let Ok(matcher) = GupMatcher::new(query, &data, gup_config.clone()) {
+                let _ = matcher.run_parallel(threads);
+            }
+        }
+        let avg = start.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+        let base = *base_dynamic.get_or_insert(avg);
+        writeln!(
+            out,
+            "{:<16} {:>8} {:>14.2} {:>9.2}",
+            "GuP (dynamic)", threads, avg, base / avg.max(1e-9)
+        )
+        .unwrap();
+    }
+    // DAF-style comparator: one static contiguous chunk of root candidates per thread.
+    let mut base_static = None;
+    for &threads in &thread_counts {
+        let start = Instant::now();
+        for query in &queries {
+            if let Ok(matcher) = GupMatcher::new(query, &data, gup_config.clone()) {
+                run_static_partition(&matcher, threads);
+            }
+        }
+        let avg = start.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+        let base = *base_static.get_or_insert(avg);
+        writeln!(
+            out,
+            "{:<16} {:>8} {:>14.2} {:>9.2}",
+            "DAF-style static", threads, avg, base / avg.max(1e-9)
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Static root partition: split `C(u_0)` into `threads` contiguous chunks and give one
+/// chunk to each worker (no dynamic re-balancing) — the scheduling strategy the paper
+/// attributes to DAF (§4.3.4).
+fn run_static_partition(matcher: &GupMatcher, threads: usize) {
+    let gcs = matcher.gcs();
+    let config = matcher.config();
+    let roots = gcs.space().candidates(0).len();
+    if roots == 0 {
+        return;
+    }
+    let threads = threads.min(roots).max(1);
+    let chunk = roots.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(roots);
+            scope.spawn(move || {
+                let mut engine = gup::SearchEngine::new(gcs, config);
+                engine.restrict_root(lo, hi);
+                let _ = engine.run();
+            });
+        }
+    });
+}
+
+/// Runs every experiment and concatenates the reports. `max_threads` bounds the
+/// Figure-10 sweep.
+pub fn run_all(config: &SuiteConfig, max_threads: usize) -> String {
+    let start = Instant::now();
+    let headline = collect_headline(config);
+    let mut out = String::new();
+    out.push_str(&table2(&headline));
+    out.push('\n');
+    out.push_str(&fig4(&headline));
+    out.push('\n');
+    out.push_str(&fig5(&headline));
+    out.push('\n');
+    out.push_str(&fig6(&headline));
+    out.push('\n');
+    out.push_str(&fig7(config));
+    out.push('\n');
+    out.push_str(&fig8(config));
+    out.push('\n');
+    out.push_str(&fig9(config));
+    out.push('\n');
+    out.push_str(&table3(config));
+    out.push('\n');
+    out.push_str(&fig10(config, max_threads));
+    out.push('\n');
+    let _ = writeln!(out, "total experiment time: {:?}", start.elapsed());
+    out
+}
+
+/// Utility used by the binary: very rough upper bound on a full run's duration, to
+/// warn users that larger scales take correspondingly longer.
+pub fn estimated_budget(config: &SuiteConfig) -> Duration {
+    config.per_set_budget * (Dataset::ALL.len() * QuerySetSpec::PAPER_SETS.len() * Method::HEADLINE.len()) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SuiteConfig {
+        SuiteConfig {
+            queries_per_set: 2,
+            per_query_timeout: Duration::from_millis(100),
+            per_set_budget: Duration::from_secs(2),
+            ..SuiteConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn headline_sweep_and_reports() {
+        let config = tiny_config();
+        let headline = collect_headline(&config);
+        assert!(!headline.rows.is_empty());
+        let t2 = table2(&headline);
+        assert!(t2.contains("Table 2"));
+        assert!(t2.contains("GuP"));
+        let f4 = fig4(&headline);
+        assert!(f4.contains("Figure 4"));
+        let f5 = fig5(&headline);
+        assert!(f5.contains("Figure 5"));
+        let f6 = fig6(&headline);
+        assert!(f6.contains("Yeast"));
+    }
+
+    #[test]
+    fn ablation_reports_run() {
+        let config = tiny_config();
+        assert!(fig8(&config).contains("r=3"));
+        assert!(fig9(&config).contains("R+NV"));
+    }
+
+    #[test]
+    fn memory_table_runs() {
+        let config = tiny_config();
+        let t3 = table3(&config);
+        assert!(t3.contains("Table 3"));
+    }
+
+    #[test]
+    fn estimated_budget_scales_with_config() {
+        let config = tiny_config();
+        assert!(estimated_budget(&config) >= config.per_set_budget);
+    }
+}

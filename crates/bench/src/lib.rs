@@ -1,0 +1,21 @@
+//! # gup-bench
+//!
+//! Benchmark harness that regenerates every table and figure of the GuP evaluation
+//! (§4 of the paper) on the synthetic dataset analogues from `gup-workloads`.
+//!
+//! * [`harness`] — a uniform way to run GuP, its ablations, and the baselines over a
+//!   (query, data) pair and over whole query sets, with per-query time limits and
+//!   per-set DNF ("did not finish") accounting like the paper's.
+//! * [`experiments`] — one function per table/figure: Table 2, Figures 4–10, Table 3.
+//!   Each returns plain text (and TSV rows) that the `experiments` binary prints.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p gup-bench --bin experiments -- all
+//! ```
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Method, RunRecord, SetSummary, SuiteConfig};

@@ -1,0 +1,148 @@
+//! Per-vertex candidate filters: LDF and NLF.
+//!
+//! * **LDF** (label-and-degree filtering, Ullmann 1976): data vertex `v` is a candidate
+//!   of query vertex `u` if `ℓ(v) = ℓ(u)` and `deg(v) ≥ deg(u)`.
+//! * **NLF** (neighborhood label frequency filtering): additionally, for every label
+//!   `l`, `v` must have at least as many label-`l` neighbors as `u` does. The paper's
+//!   running example removes `v13` from `C(u0)` this way (§2.1).
+
+use gup_graph::{Graph, VertexId};
+
+/// Computes the LDF candidate set of query vertex `u` (sorted by data-vertex id).
+pub fn ldf_candidates(query: &Graph, data: &Graph, u: VertexId) -> Vec<VertexId> {
+    let label = query.label(u);
+    let min_degree = query.degree(u);
+    data.vertices_with_label(label)
+        .iter()
+        .copied()
+        .filter(|&v| data.degree(v) >= min_degree)
+        .collect()
+}
+
+/// Returns `true` if data vertex `v` passes the NLF test against query vertex `u`:
+/// for every label, `v` has at least as many neighbors with that label as `u`.
+pub fn nlf_filter(query: &Graph, data: &Graph, u: VertexId, v: VertexId) -> bool {
+    // Query graphs are tiny, so recomputing the query profile per call would be cheap,
+    // but callers that filter many data vertices should use `nlf_candidates`.
+    let q_profile = query.neighborhood_label_frequency(u);
+    nlf_filter_with_profile(&q_profile, data, v)
+}
+
+fn nlf_filter_with_profile(q_profile: &[u32], data: &Graph, v: VertexId) -> bool {
+    // Count data-side neighbor labels lazily, bailing out as soon as a deficit is
+    // certain. For correctness we count fully then compare (labels are dense).
+    let mut remaining: Vec<u32> = q_profile.to_vec();
+    let mut deficit: usize = remaining.iter().map(|&c| c as usize).sum();
+    if deficit == 0 {
+        return true;
+    }
+    for &w in data.neighbors(v) {
+        let l = data.label(w) as usize;
+        if l < remaining.len() && remaining[l] > 0 {
+            remaining[l] -= 1;
+            deficit -= 1;
+            if deficit == 0 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Computes the LDF+NLF candidate set of query vertex `u` (sorted by data-vertex id).
+pub fn nlf_candidates(query: &Graph, data: &Graph, u: VertexId) -> Vec<VertexId> {
+    let q_profile = query.neighborhood_label_frequency(u);
+    ldf_candidates(query, data, u)
+        .into_iter()
+        .filter(|&v| nlf_filter_with_profile(&q_profile, data, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gup_graph::builder::graph_from_edges;
+
+    /// The paper's Fig. 1 example (labels A=0, B=1, C=2, D=3), shared across the
+    /// workspace via `gup_graph::fixtures`.
+    fn figure1() -> (Graph, Graph) {
+        gup_graph::fixtures::paper_example()
+    }
+
+    #[test]
+    fn ldf_matches_labels_and_degree() {
+        let (query, data) = figure1();
+        // u0 has label A and degree 2; A-labeled data vertices are v0, v1, v13.
+        let c = ldf_candidates(&query, &data, 0);
+        assert!(c.contains(&0));
+        assert!(c.contains(&1));
+        // v13 has label A and degree 2, so LDF alone keeps it; only NLF removes it.
+        assert!(c.contains(&13));
+    }
+
+    #[test]
+    fn ldf_degree_requirement() {
+        let query = graph_from_edges(&[0, 0, 0], &[(0, 1), (0, 2)]); // deg(u0) = 2
+        let data = graph_from_edges(&[0, 0, 0], &[(0, 1)]); // all degrees ≤ 1
+        assert!(ldf_candidates(&query, &data, 0).is_empty());
+        assert_eq!(ldf_candidates(&query, &data, 1), vec![0, 1]);
+    }
+
+    #[test]
+    fn nlf_removes_vertices_missing_neighbor_labels() {
+        let (query, data) = figure1();
+        // Paper §2.1: v13 is removed from C(u0) because it has no label-B neighbor.
+        let with_nlf = nlf_candidates(&query, &data, 0);
+        assert!(!with_nlf.contains(&13));
+        assert!(with_nlf.contains(&0));
+        assert!(with_nlf.contains(&1));
+    }
+
+    #[test]
+    fn nlf_filter_individual() {
+        let (query, data) = figure1();
+        assert!(nlf_filter(&query, &data, 0, 0));
+        assert!(!nlf_filter(&query, &data, 0, 13));
+    }
+
+    #[test]
+    fn nlf_handles_isolated_query_vertex() {
+        let query = graph_from_edges(&[4], &[]);
+        let data = graph_from_edges(&[4, 4], &[(0, 1)]);
+        // No neighbor requirements at all.
+        assert_eq!(nlf_candidates(&query, &data, 0), vec![0, 1]);
+    }
+
+    #[test]
+    fn nlf_requires_multiplicity() {
+        // u0 needs two label-1 neighbors.
+        let query = graph_from_edges(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        // v0 has two label-1 neighbors, v3 has only one (v4).
+        let data = graph_from_edges(&[0, 1, 1, 0, 1], &[(0, 1), (0, 2), (3, 4), (3, 1)]);
+        let c = nlf_candidates(&query, &data, 0);
+        assert_eq!(c, vec![0, 3]); // v3 has neighbors v4(label1) and v1(label1): passes
+        // Remove one of v3's label-1 neighbors and it must fail.
+        let data2 = graph_from_edges(&[0, 1, 1, 0, 1], &[(0, 1), (0, 2), (3, 4)]);
+        let c2 = nlf_candidates(&query, &data2, 0);
+        assert_eq!(c2, vec![0]);
+    }
+
+    #[test]
+    fn candidates_are_sorted() {
+        let (query, data) = figure1();
+        for u in query.vertices() {
+            let c = nlf_candidates(&query, &data, u);
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            assert_eq!(c, sorted);
+        }
+    }
+
+    #[test]
+    fn unknown_label_yields_empty_candidates() {
+        let query = graph_from_edges(&[9], &[]);
+        let data = graph_from_edges(&[0, 1], &[(0, 1)]);
+        assert!(ldf_candidates(&query, &data, 0).is_empty());
+        assert!(nlf_candidates(&query, &data, 0).is_empty());
+    }
+}

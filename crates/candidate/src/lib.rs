@@ -1,0 +1,38 @@
+//! # gup-candidate
+//!
+//! Candidate filtering and the candidate space, the substrate GuP's guarded candidate
+//! space (GCS) is built on.
+//!
+//! The paper delegates candidate filtering to "extended DAG-graph DP" (from VEQ) and
+//! treats the concrete filter as interchangeable ("an approach for candidate filtering
+//! and matching order optimization is out of the scope of this work", §3.1). This crate
+//! provides that substrate:
+//!
+//! * [`filters`] — the classic per-vertex filters: label-and-degree filtering (LDF,
+//!   Ullmann) and neighborhood label frequency filtering (NLF).
+//! * [`dag`] — a query DAG (BFS-rooted at the most selective query vertex), the shape
+//!   over which the dynamic-programming refinement runs.
+//! * [`space`] — [`CandidateSpace`]: candidate-vertex sets `C(u_i)` for every query
+//!   vertex plus *candidate edges* between them, refined by DAG-graph-DP-style
+//!   bottom-up/top-down passes.
+//!
+//! ```
+//! use gup_graph::builder::graph_from_edges;
+//! use gup_candidate::{CandidateSpace, FilterConfig};
+//!
+//! // Data: a labeled square with a diagonal; query: a labeled triangle.
+//! let data = graph_from_edges(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+//! let query = graph_from_edges(&[0, 1, 0], &[(0, 1), (1, 2), (2, 0)]);
+//! let cs = CandidateSpace::build(&query, &data, &FilterConfig::default());
+//! assert!(!cs.any_empty());
+//! // Query vertex 1 (label 1) can only be data vertex 1 or 3.
+//! assert_eq!(cs.candidates(1), &[1, 3]);
+//! ```
+
+pub mod dag;
+pub mod filters;
+pub mod space;
+
+pub use dag::QueryDag;
+pub use filters::{ldf_candidates, nlf_candidates, nlf_filter};
+pub use space::{CandidateSpace, FilterConfig};

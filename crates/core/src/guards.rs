@@ -1,0 +1,293 @@
+//! Guard representations: reservation guards and search-node-encoded nogood guards.
+//!
+//! A **reservation guard** `R(u_i, v)` is a small set of data vertices (at most `r`,
+//! default 3) that any subembedding rooted at the candidate vertex `(u_i, v)` must use
+//! (Definition 3.3). It is generated once, before the search.
+//!
+//! A **nogood guard** is discovered during the search. Definition 3.15/3.16 describe it
+//! as a set of assignments; storing it literally would make the matching test
+//! `O(|V_Q|)`. GuP instead uses the *search-node encoding* (§3.5.1): the guard's
+//! assignment set is rounded up to its minimum superset embedding, which corresponds to
+//! a node of the search tree, and the guard is stored as the triple
+//! `(node id, length, domain bitset)`. A partial embedding matches the guard iff the
+//! entry at index `length` of its ancestor array equals `node id` — an O(1) test.
+
+use gup_graph::{QVSet, VertexId};
+
+/// Identifier of a search-tree node. Node 0 is the imaginary root (the empty partial
+/// embedding); every recursion allocates a fresh id.
+pub type NodeId = u64;
+
+/// The reservation guard of one candidate vertex: the chosen reservation set, stored as
+/// data-vertex ids. An **empty** reservation means *no* subembedding is rooted at the
+/// candidate vertex, so the candidate can be filtered out unconditionally.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReservationGuard {
+    vertices: Vec<VertexId>,
+}
+
+impl ReservationGuard {
+    /// The trivial reservation `{v}` of candidate vertex `(u_i, v)`.
+    pub fn trivial(v: VertexId) -> Self {
+        ReservationGuard { vertices: vec![v] }
+    }
+
+    /// A reservation with the given member set.
+    pub fn new(mut vertices: Vec<VertexId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        ReservationGuard { vertices }
+    }
+
+    /// The member data vertices (sorted).
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Number of data vertices in the reservation.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` for the empty reservation (candidate is unconditionally filtered).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// `true` if this is the trivial reservation `{v}` of the candidate's own data
+    /// vertex — equivalent to the ordinary injectivity check, i.e. no extra pruning.
+    pub fn is_trivial_for(&self, v: VertexId) -> bool {
+        self.vertices.len() == 1 && self.vertices[0] == v
+    }
+
+    /// Heap bytes used by this guard.
+    pub fn heap_bytes(&self) -> usize {
+        self.vertices.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
+/// A search-node-encoded nogood guard (the triple `(id, len, dom)` of §3.5.1).
+///
+/// `NogoodRef::ABSENT` marks candidate vertices / edges that carry no guard yet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NogoodRef {
+    /// Search-node id of the minimum superset embedding of the nogood.
+    pub id: NodeId,
+    /// Length of that minimum superset embedding. `u32::MAX` encodes "no guard".
+    pub len: u32,
+    /// Domain of the nogood (the query vertices whose assignments it constrains).
+    pub dom: QVSet,
+}
+
+impl NogoodRef {
+    /// Sentinel for "no guard recorded".
+    pub const ABSENT: NogoodRef = NogoodRef {
+        id: 0,
+        len: u32::MAX,
+        dom: QVSet::EMPTY,
+    };
+
+    /// `true` if a guard has been recorded.
+    #[inline]
+    pub fn is_present(&self) -> bool {
+        self.len != u32::MAX
+    }
+
+    /// O(1) matching test (§3.5.1): a partial embedding whose ancestor array is `anc`
+    /// (with `anc[0]` the root node and `anc[d]` the node of its length-`d` prefix)
+    /// matches this guard iff the guard is present, the prefix exists, and the node ids
+    /// agree.
+    #[inline]
+    pub fn matches(&self, anc: &[NodeId]) -> bool {
+        self.is_present() && (self.len as usize) < anc.len() && anc[self.len as usize] == self.id
+    }
+}
+
+impl Default for NogoodRef {
+    fn default() -> Self {
+        NogoodRef::ABSENT
+    }
+}
+
+/// Storage of nogood guards on candidate vertices: one slot per `(query vertex,
+/// candidate index)`.
+#[derive(Clone, Debug)]
+pub struct VertexGuardStore {
+    slots: Vec<Vec<NogoodRef>>,
+}
+
+impl VertexGuardStore {
+    /// Creates an empty store shaped after the candidate-set sizes.
+    pub fn new(candidate_sizes: &[usize]) -> Self {
+        VertexGuardStore {
+            slots: candidate_sizes.iter().map(|&n| vec![NogoodRef::ABSENT; n]).collect(),
+        }
+    }
+
+    /// The guard on candidate `cand_index` of query vertex `u`.
+    #[inline]
+    pub fn get(&self, u: usize, cand_index: u32) -> NogoodRef {
+        self.slots[u][cand_index as usize]
+    }
+
+    /// Records (or overwrites) the guard on candidate `cand_index` of query vertex `u`.
+    #[inline]
+    pub fn set(&mut self, u: usize, cand_index: u32, guard: NogoodRef) {
+        self.slots[u][cand_index as usize] = guard;
+    }
+
+    /// Number of present guards (for statistics).
+    pub fn present_count(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.iter().filter(|g| g.is_present()).count())
+            .sum()
+    }
+
+    /// Heap bytes used by the store.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.capacity() * std::mem::size_of::<NogoodRef>())
+            .sum()
+    }
+}
+
+/// Storage of nogood guards on candidate edges.
+///
+/// Slots parallel the candidate-edge adjacency lists of the candidate space: for the
+/// query edge `(a, b)` with `a < b` and candidate index `ca` of `a`, slot `p` guards
+/// the candidate edge towards the `p`-th entry of `forward_adjacency(eid, ca)`.
+#[derive(Clone, Debug)]
+pub struct EdgeGuardStore {
+    /// `slots[eid][ca][p]`.
+    slots: Vec<Vec<Vec<NogoodRef>>>,
+}
+
+impl EdgeGuardStore {
+    /// Creates an empty store. `shape[eid][ca]` must give the length of the forward
+    /// adjacency list of candidate `ca` on candidate edge `eid`.
+    pub fn new(shape: Vec<Vec<usize>>) -> Self {
+        EdgeGuardStore {
+            slots: shape
+                .into_iter()
+                .map(|per_cand| {
+                    per_cand
+                        .into_iter()
+                        .map(|len| vec![NogoodRef::ABSENT; len])
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// The guard on position `p` of the forward adjacency list of candidate `ca` on
+    /// candidate edge `eid`.
+    #[inline]
+    pub fn get(&self, eid: usize, ca: u32, p: usize) -> NogoodRef {
+        self.slots[eid][ca as usize][p]
+    }
+
+    /// Records (or overwrites) a guard.
+    #[inline]
+    pub fn set(&mut self, eid: usize, ca: u32, p: usize, guard: NogoodRef) {
+        self.slots[eid][ca as usize][p] = guard;
+    }
+
+    /// Number of present guards (for statistics).
+    pub fn present_count(&self) -> usize {
+        self.slots
+            .iter()
+            .flat_map(|per_cand| per_cand.iter())
+            .map(|s| s.iter().filter(|g| g.is_present()).count())
+            .sum()
+    }
+
+    /// Heap bytes used by the store.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|per_cand| {
+                per_cand
+                    .iter()
+                    .map(|s| s.capacity() * std::mem::size_of::<NogoodRef>())
+                    .sum::<usize>()
+                    + per_cand.capacity() * std::mem::size_of::<Vec<NogoodRef>>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservation_guard_basics() {
+        let trivial = ReservationGuard::trivial(7);
+        assert!(trivial.is_trivial_for(7));
+        assert!(!trivial.is_trivial_for(8));
+        assert_eq!(trivial.len(), 1);
+        let r = ReservationGuard::new(vec![5, 3, 5]);
+        assert_eq!(r.vertices(), &[3, 5]);
+        assert!(!r.is_trivial_for(3));
+        let empty = ReservationGuard::new(vec![]);
+        assert!(empty.is_empty());
+        assert!(trivial.heap_bytes() >= std::mem::size_of::<VertexId>());
+    }
+
+    #[test]
+    fn nogood_ref_matching() {
+        // Ancestor array of a depth-3 partial embedding.
+        let anc = vec![0u64, 11, 12, 13];
+        let guard = NogoodRef {
+            id: 12,
+            len: 2,
+            dom: QVSet::from_iter([0, 1]),
+        };
+        assert!(guard.matches(&anc));
+        // Different node at the same depth -> no match.
+        let other = NogoodRef { id: 99, len: 2, dom: QVSet::EMPTY };
+        assert!(!other.matches(&anc));
+        // Guard longer than the current embedding -> no match.
+        let deep = NogoodRef { id: 13, len: 9, dom: QVSet::EMPTY };
+        assert!(!deep.matches(&anc));
+        // Absent guard never matches.
+        assert!(!NogoodRef::ABSENT.matches(&anc));
+        assert!(!NogoodRef::ABSENT.is_present());
+        // An empty-domain guard rooted at the imaginary root matches every embedding.
+        let always = NogoodRef { id: 0, len: 0, dom: QVSet::EMPTY };
+        assert!(always.matches(&anc));
+        assert!(always.matches(&[0u64]));
+    }
+
+    #[test]
+    fn vertex_guard_store_roundtrip() {
+        let mut store = VertexGuardStore::new(&[2, 3]);
+        assert_eq!(store.present_count(), 0);
+        assert!(!store.get(1, 2).is_present());
+        let g = NogoodRef { id: 4, len: 1, dom: QVSet::singleton(0) };
+        store.set(1, 2, g);
+        assert_eq!(store.get(1, 2), g);
+        assert_eq!(store.present_count(), 1);
+        // Overwriting keeps a single present guard.
+        store.set(1, 2, NogoodRef { id: 9, len: 0, dom: QVSet::EMPTY });
+        assert_eq!(store.present_count(), 1);
+        assert!(store.heap_bytes() >= 5 * std::mem::size_of::<NogoodRef>());
+    }
+
+    #[test]
+    fn edge_guard_store_roundtrip() {
+        let mut store = EdgeGuardStore::new(vec![vec![2, 0], vec![1]]);
+        assert_eq!(store.present_count(), 0);
+        let g = NogoodRef { id: 3, len: 2, dom: QVSet::singleton(1) };
+        store.set(0, 0, 1, g);
+        assert_eq!(store.get(0, 0, 1), g);
+        assert!(!store.get(1, 0, 0).is_present());
+        assert_eq!(store.present_count(), 1);
+        assert!(store.heap_bytes() > 0);
+    }
+}

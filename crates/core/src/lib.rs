@@ -1,0 +1,61 @@
+//! # gup — Fast Subgraph Matching by Guard-based Pruning
+//!
+//! A from-scratch Rust implementation of **GuP** (Arai, Fujiwara, Onizuka; SIGMOD
+//! 2023): subgraph-isomorphism matching with *guard-based pruning*. Given a small
+//! vertex-labeled query graph and a large vertex-labeled data graph, the matcher
+//! enumerates every embedding of the query (label-preserving, adjacency-preserving,
+//! injective mapping of query vertices to data vertices).
+//!
+//! ## How it works
+//!
+//! 1. A **guarded candidate space** ([`Gcs`]) is built: candidate vertices and
+//!    candidate edges from LDF/NLF/DAG-DP filtering (`gup-candidate`), a matching
+//!    order (`gup-order`), and a **reservation guard** per candidate vertex — a small
+//!    set of data vertices every subembedding rooted there must use, which propagates
+//!    the injectivity constraint upwards (paper §3.2).
+//! 2. The **backtracking search** ([`SearchEngine`]) extends partial embeddings while
+//!    filtering candidates adaptively: an extension is pruned when it conflicts with
+//!    injectivity, with a reservation guard, or with a **nogood guard** learned from a
+//!    previously-explored deadend (paper §3.3). Nogood guards are stored with the O(1)
+//!    *search-node encoding* (§3.5.1); discovered nogoods also drive backjumping.
+//! 3. Multi-core execution shares the GCS and keeps nogood guards thread-local
+//!    ([`parallel`], paper §3.5.2).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gup::{find_embeddings, GupConfig, GupMatcher};
+//! use gup_graph::fixtures::paper_example;
+//!
+//! // The running example of the paper (Fig. 1).
+//! let (query, data) = paper_example();
+//!
+//! // One-shot: enumerate every embedding.
+//! let result = find_embeddings(&query, &data).unwrap();
+//! assert!(result.embedding_count() >= 1);
+//!
+//! // Reusable matcher with a custom configuration.
+//! let matcher = GupMatcher::new(&query, &data, GupConfig::default()).unwrap();
+//! let counted = matcher.run();
+//! println!(
+//!     "{} embeddings in {} recursions",
+//!     counted.embedding_count(),
+//!     counted.stats.recursions
+//! );
+//! ```
+
+pub mod config;
+pub mod gcs;
+pub mod guards;
+pub mod matcher;
+pub mod parallel;
+pub mod reservation;
+pub mod search;
+pub mod stats;
+
+pub use config::{GupConfig, PruningFeatures, SearchLimits};
+pub use gcs::{Gcs, GupError};
+pub use guards::{NogoodRef, ReservationGuard};
+pub use matcher::{count_embeddings, find_embeddings, GupMatcher, MatchResult};
+pub use search::{SearchEngine, SearchOutcome};
+pub use stats::{MemoryReport, SearchStats};

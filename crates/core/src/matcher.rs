@@ -1,0 +1,194 @@
+//! High-level matcher API.
+//!
+//! [`GupMatcher`] ties the pipeline together: build the GCS once, then run one or more
+//! searches over it (sequentially or in parallel). For one-shot use there are the
+//! convenience functions [`find_embeddings`] and [`count_embeddings`].
+
+use crate::config::GupConfig;
+use crate::gcs::{Gcs, GupError};
+use crate::search::{SearchEngine, SearchOutcome};
+use crate::stats::{MemoryReport, SearchStats};
+use gup_graph::{Graph, VertexId};
+
+/// Result of a matching run.
+#[derive(Clone, Debug, Default)]
+pub struct MatchResult {
+    /// Found embeddings, expressed over the *original* query-vertex ids: entry `u` of
+    /// an embedding is the data vertex assigned to query vertex `u`. Populated only
+    /// when the configuration requests embedding collection.
+    pub embeddings: Vec<Vec<VertexId>>,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+impl MatchResult {
+    /// Number of embeddings found (whether or not they were materialized).
+    pub fn embedding_count(&self) -> u64 {
+        self.stats.embeddings
+    }
+}
+
+/// A GuP matcher instance: a guarded candidate space plus its configuration.
+pub struct GupMatcher {
+    gcs: Gcs,
+    config: GupConfig,
+}
+
+impl GupMatcher {
+    /// Builds the matcher (GCS construction + reservation-guard generation) for
+    /// `query` against `data`.
+    pub fn new(query: &Graph, data: &Graph, config: GupConfig) -> Result<Self, GupError> {
+        let gcs = Gcs::build(query, data, &config)?;
+        Ok(GupMatcher { gcs, config })
+    }
+
+    /// The underlying guarded candidate space.
+    pub fn gcs(&self) -> &Gcs {
+        &self.gcs
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GupConfig {
+        &self.config
+    }
+
+    /// Runs the sequential guarded backtracking search.
+    pub fn run(&self) -> MatchResult {
+        let outcome = SearchEngine::new(&self.gcs, &self.config).run();
+        self.into_result(outcome)
+    }
+
+    /// Runs the search and also returns the memory breakdown of the GCS including the
+    /// nogood guards accumulated during the search (Table 3 of the paper).
+    pub fn run_with_memory_report(&self) -> (MatchResult, MemoryReport) {
+        let (outcome, nv, ne) = SearchEngine::new(&self.gcs, &self.config).run_with_guards();
+        let report = self.gcs.memory_report(Some(&nv), Some(&ne));
+        (self.into_result(outcome), report)
+    }
+
+    /// Runs the search on `threads` worker threads (§3.5.2). With `threads <= 1` this
+    /// is equivalent to [`GupMatcher::run`].
+    pub fn run_parallel(&self, threads: usize) -> MatchResult {
+        if threads <= 1 {
+            return self.run();
+        }
+        let outcome = crate::parallel::run_parallel(&self.gcs, &self.config, threads);
+        self.into_result(outcome)
+    }
+
+    fn into_result(&self, outcome: SearchOutcome) -> MatchResult {
+        let embeddings = outcome
+            .embeddings
+            .iter()
+            .map(|e| self.gcs.embedding_in_original_ids(e))
+            .collect();
+        MatchResult {
+            embeddings,
+            stats: outcome.stats,
+        }
+    }
+}
+
+/// One-shot convenience: finds (and materializes) all embeddings of `query` in `data`
+/// under the default configuration, with no embedding cap.
+pub fn find_embeddings(query: &Graph, data: &Graph) -> Result<MatchResult, GupError> {
+    let config = GupConfig {
+        collect_embeddings: true,
+        limits: crate::config::SearchLimits::UNLIMITED,
+        ..GupConfig::default()
+    };
+    Ok(GupMatcher::new(query, data, config)?.run())
+}
+
+/// One-shot convenience: counts all embeddings of `query` in `data` (no cap, nothing
+/// materialized).
+pub fn count_embeddings(query: &Graph, data: &Graph) -> Result<u64, GupError> {
+    let config = GupConfig {
+        collect_embeddings: false,
+        limits: crate::config::SearchLimits::UNLIMITED,
+        ..GupConfig::default()
+    };
+    Ok(GupMatcher::new(query, data, config)?.run().embedding_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SearchLimits;
+    use gup_graph::fixtures;
+
+    #[test]
+    fn find_embeddings_returns_original_id_mappings() {
+        let (q, d) = fixtures::paper_example();
+        let result = find_embeddings(&q, &d).unwrap();
+        assert!(result.embedding_count() >= 1);
+        assert_eq!(result.embeddings.len() as u64, result.embedding_count());
+        for emb in &result.embeddings {
+            assert_eq!(emb.len(), q.vertex_count());
+            for u in q.vertices() {
+                assert_eq!(q.label(u), d.label(emb[u as usize]));
+            }
+            for (a, b) in q.edges() {
+                assert!(d.has_edge(emb[a as usize], emb[b as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_find() {
+        let q = fixtures::triangle_query();
+        let d = fixtures::square_with_diagonal();
+        let count = count_embeddings(&q, &d).unwrap();
+        let found = find_embeddings(&q, &d).unwrap();
+        assert_eq!(count, found.embeddings.len() as u64);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn matcher_reuse_is_deterministic() {
+        let (q, d) = fixtures::paper_example();
+        let matcher = GupMatcher::new(&q, &d, GupConfig::default()).unwrap();
+        let a = matcher.run();
+        let b = matcher.run();
+        assert_eq!(a.stats.embeddings, b.stats.embeddings);
+        assert_eq!(a.stats.recursions, b.stats.recursions);
+    }
+
+    #[test]
+    fn memory_report_accounts_for_guards() {
+        let (q, d) = fixtures::paper_example();
+        let cfg = GupConfig {
+            limits: SearchLimits::UNLIMITED,
+            ..GupConfig::default()
+        };
+        let matcher = GupMatcher::new(&q, &d, cfg).unwrap();
+        let (result, report) = matcher.run_with_memory_report();
+        assert!(result.embedding_count() >= 1);
+        assert!(report.candidate_space_bytes > 0);
+        assert!(report.reservation_bytes > 0);
+        assert!(report.guard_share_percent() > 0.0);
+        assert!(report.guard_share_percent() < 100.0);
+    }
+
+    #[test]
+    fn invalid_query_is_reported() {
+        let (_q, d) = fixtures::paper_example();
+        let disconnected =
+            gup_graph::builder::graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        assert!(GupMatcher::new(&disconnected, &d, GupConfig::default()).is_err());
+    }
+
+    #[test]
+    fn run_parallel_single_thread_equals_sequential() {
+        let (q, d) = fixtures::paper_example();
+        let cfg = GupConfig {
+            limits: SearchLimits::UNLIMITED,
+            ..GupConfig::default()
+        };
+        let matcher = GupMatcher::new(&q, &d, cfg).unwrap();
+        assert_eq!(
+            matcher.run().embedding_count(),
+            matcher.run_parallel(1).embedding_count()
+        );
+    }
+}

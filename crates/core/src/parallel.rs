@@ -1,0 +1,166 @@
+//! Parallel search (§3.5.2 of the paper).
+//!
+//! The search tree is split at the candidates of `u_0`; worker threads dynamically
+//! claim the next unexplored root candidate from a shared atomic cursor, which gives
+//! work-sharing load balancing without any locking in the hot path. As in the paper,
+//! the GCS and the reservation guards are shared (read-only) across threads, while
+//! every thread keeps **thread-local nogood guards** — they are mutated during the
+//! search, and §4.3.4 of the paper reports that not sharing them has no observable
+//! impact on pruning.
+//!
+//! The paper's implementation splits subtrees recursively with work stealing; this
+//! reproduction only splits at the root level but claims root candidates dynamically
+//! (one at a time), which already load-balances far better than a static partition —
+//! the comparison the Fig. 10 experiment makes against a DAF-style static root split.
+//! The difference is documented in DESIGN.md.
+
+use crate::config::GupConfig;
+use crate::gcs::Gcs;
+use crate::search::{SearchEngine, SearchOutcome};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Runs a guarded search over `gcs` using `threads` worker threads and merges the
+/// per-thread outcomes.
+pub fn run_parallel(gcs: &Gcs, config: &GupConfig, threads: usize) -> SearchOutcome {
+    let threads = threads.max(1);
+    if gcs.is_empty() {
+        return SearchOutcome::default();
+    }
+    let root_candidates = gcs.space().candidates(0).len();
+    if threads == 1 || root_candidates <= 1 {
+        return SearchEngine::new(gcs, config).run();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let shared_embeddings = Arc::new(AtomicU64::new(0));
+    let merged: Mutex<SearchOutcome> = Mutex::new(SearchOutcome::default());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(root_candidates) {
+            let cursor = &cursor;
+            let merged = &merged;
+            let shared = Arc::clone(&shared_embeddings);
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut local = SearchOutcome::default();
+                loop {
+                    let next = cursor.fetch_add(1, Ordering::Relaxed);
+                    if next >= root_candidates {
+                        break;
+                    }
+                    // Stop claiming work once the global embedding limit is reached.
+                    if let Some(max) = config.limits.max_embeddings {
+                        if shared.load(Ordering::Relaxed) >= max {
+                            break;
+                        }
+                    }
+                    let mut engine = SearchEngine::new(gcs, &config);
+                    engine.restrict_root(next, next + 1);
+                    engine.share_embedding_counter(Arc::clone(&shared));
+                    let outcome = engine.run();
+                    local.stats.merge(&outcome.stats);
+                    local.embeddings.extend(outcome.embeddings);
+                }
+                let mut guard = merged.lock();
+                guard.stats.merge(&local.stats);
+                guard.embeddings.extend(local.embeddings);
+            });
+        }
+    });
+
+    let mut outcome = merged.into_inner();
+    // When the limit fired, threads may have slightly overshot individually; clamp the
+    // reported totals to the shared count, which respects the limit.
+    if let Some(max) = config.limits.max_embeddings {
+        if outcome.stats.embeddings > max {
+            outcome.stats.embeddings = max;
+            outcome.embeddings.truncate(max as usize);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GupConfig, SearchLimits};
+    use gup_graph::fixtures;
+    use gup_graph::generate::{power_law_graph, PowerLawConfig};
+
+    fn build(query: &gup_graph::Graph, data: &gup_graph::Graph, cfg: &GupConfig) -> Gcs {
+        Gcs::build(query, data, cfg).unwrap()
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential() {
+        let data = power_law_graph(&PowerLawConfig {
+            vertices: 300,
+            edges_per_vertex: 3,
+            labels: 4,
+            seed: 5,
+            ..Default::default()
+        });
+        let query = fixtures::triangle_query();
+        let cfg = GupConfig {
+            limits: SearchLimits::UNLIMITED,
+            ..GupConfig::default()
+        };
+        let gcs = build(&query, &data, &cfg);
+        let sequential = SearchEngine::new(&gcs, &cfg).run();
+        for threads in [2, 4] {
+            let parallel = run_parallel(&gcs, &cfg, threads);
+            assert_eq!(parallel.stats.embeddings, sequential.stats.embeddings);
+        }
+    }
+
+    #[test]
+    fn parallel_collects_all_embeddings() {
+        let query = fixtures::triangle_query();
+        let data = fixtures::square_with_diagonal();
+        let cfg = GupConfig {
+            limits: SearchLimits::UNLIMITED,
+            collect_embeddings: true,
+            ..GupConfig::default()
+        };
+        let gcs = build(&query, &data, &cfg);
+        let outcome = run_parallel(&gcs, &cfg, 3);
+        assert_eq!(outcome.stats.embeddings, 4);
+        assert_eq!(outcome.embeddings.len(), 4);
+    }
+
+    #[test]
+    fn parallel_respects_embedding_limit() {
+        let data = power_law_graph(&PowerLawConfig {
+            vertices: 200,
+            edges_per_vertex: 4,
+            labels: 2,
+            seed: 11,
+            ..Default::default()
+        });
+        let query = fixtures::path(3, 0);
+        let cfg = GupConfig {
+            limits: SearchLimits {
+                max_embeddings: Some(50),
+                ..SearchLimits::default()
+            },
+            ..GupConfig::default()
+        };
+        let gcs = build(&query, &data, &cfg);
+        let outcome = run_parallel(&gcs, &cfg, 4);
+        assert!(outcome.stats.embeddings <= 50);
+        assert!(outcome.stats.hit_embedding_limit || outcome.stats.embeddings < 50);
+    }
+
+    #[test]
+    fn empty_space_short_circuits() {
+        let (_q, d) = fixtures::paper_example();
+        let q = gup_graph::builder::graph_from_edges(&[9, 9], &[(0, 1)]);
+        let cfg = GupConfig::default();
+        let gcs = build(&q, &d, &cfg);
+        let outcome = run_parallel(&gcs, &cfg, 4);
+        assert_eq!(outcome.stats.embeddings, 0);
+        assert_eq!(outcome.stats.recursions, 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Reservation-guard generation (paper §3.2.2, Algorithm 1).
+//!
+//! For every candidate vertex `(u_i, v)` we pick a *reservation*: a set of data
+//! vertices that every subembedding rooted at `(u_i, v)` must use. Generation walks the
+//! query vertices in reverse matching order and, for each forward neighbor `u_j`,
+//! builds the graph `G_R` of Eq. (1) and covers it with a small vertex cover
+//! (Lemma 3.11), subject to two constraints:
+//!
+//! * **matchability** (Lemma 3.7): a reservation that no partial embedding can ever
+//!   contain is useless, so candidate sets are rejected when condition (i) or (ii) of
+//!   the lemma holds;
+//! * **size limit `r`** (default 3): large reservations are rarely matched and are
+//!   expensive to generate and test (§3.2.2, Fig. 8).
+//!
+//! The smallest matchable cover over all forward neighbors becomes the reservation
+//! guard; if none exists, the trivial reservation `{v}` is used. Note that correctness
+//! never depends on how small or how matchable the chosen reservation is — any set
+//! satisfying Definition 3.9 is a valid reservation (Lemma 3.10) — so the heuristics
+//! here only influence pruning power.
+
+use crate::guards::ReservationGuard;
+use gup_candidate::CandidateSpace;
+use gup_graph::query::OrderedQuery;
+use gup_graph::{QVSet, VertexId};
+
+/// Inverse candidate index: for each data vertex, the set of query vertices that have
+/// it as a candidate (`C⁻¹(v)` in the paper).
+pub(crate) struct InverseCandidates {
+    sets: Vec<QVSet>,
+}
+
+impl InverseCandidates {
+    /// Builds the inverse index from a candidate space. `data_vertex_count` bounds the
+    /// data-vertex id range.
+    pub(crate) fn build(space: &CandidateSpace, data_vertex_count: usize) -> Self {
+        let mut sets = vec![QVSet::EMPTY; data_vertex_count];
+        for u in 0..space.query_vertex_count() {
+            for &v in space.candidates(u) {
+                sets[v as usize].insert(u);
+            }
+        }
+        InverseCandidates { sets }
+    }
+
+    /// `C⁻¹(v)[: i]`: query vertices earlier than `u_i` that have `v` as a candidate.
+    #[inline]
+    fn before(&self, v: VertexId, i: usize) -> QVSet {
+        self.sets[v as usize].below(i)
+    }
+}
+
+/// Checks Lemma 3.7: returns `true` if some partial embedding of length `i` could
+/// contain assignments to every vertex of `set`.
+///
+/// Condition (i): every member must be a candidate of some query vertex before `u_i`.
+/// Condition (ii): Hall-style counting — no subset may be larger than the union of the
+/// query vertices (before `u_i`) it can be assigned from. Subsets are enumerated
+/// exhaustively up to 12 members; for larger sets only the full set and singletons are
+/// checked (an over-approximation of matchability, which can only cost pruning power,
+/// never correctness).
+pub(crate) fn is_matchable(set: &[VertexId], i: usize, inverse: &InverseCandidates) -> bool {
+    // Condition (i).
+    let per_vertex: Vec<QVSet> = set.iter().map(|&v| inverse.before(v, i)).collect();
+    if per_vertex.iter().any(|s| s.is_empty()) {
+        return false;
+    }
+    let k = set.len();
+    if k <= 12 {
+        // Condition (ii), exhaustively over non-empty subsets.
+        for mask in 1u32..(1u32 << k) {
+            let mut union = QVSet::EMPTY;
+            let size = mask.count_ones() as usize;
+            for (idx, s) in per_vertex.iter().enumerate() {
+                if mask & (1 << idx) != 0 {
+                    union |= *s;
+                }
+            }
+            if size > union.len() {
+                return false;
+            }
+        }
+        true
+    } else {
+        let mut union = QVSet::EMPTY;
+        for s in &per_vertex {
+            union |= *s;
+        }
+        k <= union.len()
+    }
+}
+
+/// Greedy vertex cover of the edge list `edges`, constrained to stay matchable and to
+/// contain at most `limit` vertices. Follows the 2-approximation of CLRS (add both
+/// endpoints of an uncovered edge), falling back to a single endpoint when adding both
+/// would violate a constraint. Returns `None` when no constrained cover is found.
+pub(crate) fn constrained_vertex_cover(
+    edges: &[(VertexId, VertexId)],
+    limit: Option<usize>,
+    i: usize,
+    inverse: &InverseCandidates,
+) -> Option<Vec<VertexId>> {
+    let fits = |s: &[VertexId]| limit.map_or(true, |r| s.len() <= r);
+    let mut cover: Vec<VertexId> = Vec::new();
+    for &(a, b) in edges {
+        if cover.contains(&a) || cover.contains(&b) {
+            continue;
+        }
+        // Try both endpoints (classic 2-approximation), then each endpoint alone.
+        let mut with_both = cover.clone();
+        with_both.push(a);
+        if b != a {
+            with_both.push(b);
+        }
+        if fits(&with_both) && is_matchable(&with_both, i, inverse) {
+            cover = with_both;
+            continue;
+        }
+        let mut with_a = cover.clone();
+        with_a.push(a);
+        if fits(&with_a) && is_matchable(&with_a, i, inverse) {
+            cover = with_a;
+            continue;
+        }
+        if b != a {
+            let mut with_b = cover.clone();
+            with_b.push(b);
+            if fits(&with_b) && is_matchable(&with_b, i, inverse) {
+                cover = with_b;
+                continue;
+            }
+        }
+        return None;
+    }
+    Some(cover)
+}
+
+/// Generates the reservation guards of every candidate vertex (Algorithm 1).
+///
+/// `size_limit` is the paper's `r` (`None` = unbounded, the "r = ∞" setting of Fig. 8).
+pub fn generate_reservation_guards(
+    query: &OrderedQuery,
+    space: &CandidateSpace,
+    data_vertex_count: usize,
+    size_limit: Option<usize>,
+) -> Vec<Vec<ReservationGuard>> {
+    let n = query.vertex_count();
+    let inverse = InverseCandidates::build(space, data_vertex_count);
+    let mut guards: Vec<Vec<ReservationGuard>> = (0..n)
+        .map(|u| vec![ReservationGuard::default(); space.candidates(u).len()])
+        .collect();
+
+    // Reverse matching order so that forward neighbors are already processed.
+    for i in (0..n).rev() {
+        for (ci, &v) in space.candidates(i).iter().enumerate() {
+            let mut best: Option<Vec<VertexId>> = None;
+            for &j in query.forward_neighbors(i) {
+                // Build E_R (Eq. 1): for every forward-adjacent candidate v' of u_j,
+                // connect v' with each member of R(u_j, v') other than v.
+                let adjacent = space.adjacent_candidates(i, ci, j);
+                let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+                for &cj in adjacent {
+                    let v_prime = space.candidates(j)[cj as usize];
+                    for &w in guards[j][cj as usize].vertices() {
+                        if w != v {
+                            edges.push((v_prime, w));
+                        }
+                    }
+                }
+                let candidate_cover = constrained_vertex_cover(&edges, size_limit, i, &inverse);
+                if let Some(cover) = candidate_cover {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => cover.len() < b.len(),
+                    };
+                    if better {
+                        let empty = cover.is_empty();
+                        best = Some(cover);
+                        if empty {
+                            // Nothing can beat the empty reservation.
+                            break;
+                        }
+                    }
+                }
+            }
+            guards[i][ci] = match best {
+                Some(cover) => ReservationGuard::new(cover),
+                None => ReservationGuard::trivial(v),
+            };
+        }
+    }
+    guards
+}
+
+/// Total heap bytes used by a reservation-guard table (for the Table-3 memory report).
+pub fn reservation_heap_bytes(guards: &[Vec<ReservationGuard>]) -> usize {
+    guards
+        .iter()
+        .map(|per_vertex| {
+            per_vertex.iter().map(ReservationGuard::heap_bytes).sum::<usize>()
+                + per_vertex.capacity() * std::mem::size_of::<ReservationGuard>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gup_candidate::{CandidateSpace, FilterConfig};
+    use gup_graph::fixtures::paper_example;
+    use gup_graph::QueryGraph;
+
+    fn paper_setup() -> (OrderedQuery, CandidateSpace, usize) {
+        let (q, d) = paper_example();
+        let cs = CandidateSpace::build(&q, &d, &FilterConfig::default());
+        let query = QueryGraph::new(q).unwrap();
+        // Identity order: the paper's own numbering u0..u4 is already connected.
+        let order: Vec<u32> = (0..query.vertex_count() as u32).collect();
+        let oq = query.with_order(&order).unwrap();
+        (oq, cs, d.vertex_count())
+    }
+
+    #[test]
+    fn inverse_candidates_reflect_membership() {
+        let (_oq, cs, n) = paper_setup();
+        let inv = InverseCandidates::build(&cs, n);
+        // v0 (label A) is a candidate of u0 and u4 only.
+        assert_eq!(inv.sets[0], QVSet::from_iter([0, 4]));
+        // Restriction below u1 keeps only u0.
+        assert_eq!(inv.before(0, 1), QVSet::from_iter([0]));
+        assert_eq!(inv.before(0, 0), QVSet::EMPTY);
+    }
+
+    #[test]
+    fn matchability_conditions() {
+        let (_oq, cs, n) = paper_setup();
+        let inv = InverseCandidates::build(&cs, n);
+        // Example 3.8 of the paper: {v0, v1} is NOT matchable as a reservation guard of
+        // a u1 candidate because both can only be assigned from u0 before u1.
+        assert!(!is_matchable(&[0, 1], 1, &inv));
+        // A single one of them is matchable before u1.
+        assert!(is_matchable(&[0], 1, &inv));
+        // Before u0 nothing is assigned, so nothing is matchable (condition (i)).
+        assert!(!is_matchable(&[0], 0, &inv));
+        // Both are matchable before u5 (u0 and u4 both precede it conceptually).
+        assert!(is_matchable(&[0, 1], 5, &inv));
+        // A data vertex that is nobody's candidate is never matchable.
+        assert!(!is_matchable(&[2, 6], 1, &inv) || inv.before(6, 1).is_empty() == false);
+    }
+
+    #[test]
+    fn constrained_cover_respects_limit_and_matchability() {
+        let (_oq, cs, n) = paper_setup();
+        let inv = InverseCandidates::build(&cs, n);
+        // Edges that force {v0} as a cover at i = 4 (v0 is assignable from u0 before u4).
+        let edges = vec![(0u32, 0u32)];
+        let cover = constrained_vertex_cover(&edges, Some(3), 4, &inv).unwrap();
+        assert_eq!(cover, vec![0]);
+        // Empty edge list -> empty cover.
+        assert_eq!(
+            constrained_vertex_cover(&[], Some(3), 2, &inv).unwrap(),
+            Vec::<u32>::new()
+        );
+        // A cover that would need an unmatchable vertex fails.
+        // v13 is not a candidate of anything before u1 after NLF, so covering a
+        // self-loop on v13 at i = 1 is impossible.
+        assert!(constrained_vertex_cover(&[(13, 13)], Some(3), 1, &inv).is_none());
+        // Size limit 0 rejects any non-empty cover.
+        assert!(constrained_vertex_cover(&[(0, 0)], Some(0), 4, &inv).is_none());
+    }
+
+    #[test]
+    fn generation_produces_guard_per_candidate() {
+        let (oq, cs, n) = paper_setup();
+        let guards = generate_reservation_guards(&oq, &cs, n, Some(3));
+        assert_eq!(guards.len(), 5);
+        for u in 0..5 {
+            assert_eq!(guards[u].len(), cs.candidates(u).len());
+            for g in &guards[u] {
+                assert!(g.len() <= 3 || g.is_empty());
+            }
+        }
+        // The last query vertex has no forward neighbors: all guards are trivial.
+        let last = 4;
+        for (ci, g) in guards[last].iter().enumerate() {
+            assert!(g.is_trivial_for(cs.candidates(last)[ci]));
+        }
+        assert!(reservation_heap_bytes(&guards) > 0);
+    }
+
+    #[test]
+    fn size_limit_is_respected() {
+        let (oq, cs, n) = paper_setup();
+        for limit in [0usize, 1, 2, 3, 5] {
+            let guards = generate_reservation_guards(&oq, &cs, n, Some(limit));
+            for per_vertex in &guards {
+                for (ci, g) in per_vertex.iter().enumerate() {
+                    // Trivial guards always have size 1 regardless of the limit.
+                    let _ = ci;
+                    assert!(g.len() <= limit.max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_guards_never_smaller_coverage_than_limited() {
+        let (oq, cs, n) = paper_setup();
+        let limited = generate_reservation_guards(&oq, &cs, n, Some(1));
+        let unlimited = generate_reservation_guards(&oq, &cs, n, None);
+        // Both tables must exist and have identical shape.
+        for u in 0..5 {
+            assert_eq!(limited[u].len(), unlimited[u].len());
+        }
+    }
+}

@@ -1,0 +1,790 @@
+//! Backtracking with guards (paper §3.3–§3.4, Algorithm 2).
+//!
+//! The engine performs a depth-first search over extensions of partial embeddings,
+//! maintaining *local candidate sets* (Definition 3.18) and *bounding sets*
+//! (Definition 3.19) incrementally. Each extension is tested for the four conflicts of
+//! Definition 3.22 (injectivity, reservation guard, vertex nogood guard, no-candidate);
+//! conflicting or fully-explored deadend extensions yield nogoods via the conflict /
+//! deadend masks (Definitions 3.23 and 3.26), which are recorded as nogood guards on
+//! candidate vertices and candidate edges (search-node encoded, §3.5.1) and drive
+//! backjumping (Algorithm 2 line 14).
+//!
+//! ### Deviation from the paper
+//!
+//! Nogood guards on edges are discovered with a restricted rule: when a nogood
+//! `D = (M ⊕ v)[K]` is found, and the two highest-indexed query vertices of `K` are
+//! adjacent in the query (and inside its 2-core), the guard `D` minus those two
+//! assignments is recorded on the candidate edge between their assignments. This is a
+//! sound special case of Definition 3.30 (any superset of a nogood is a nogood and the
+//! domain restriction of Definition 3.16 holds by construction); the paper's full
+//! fixed-deadend-mask recursion can discover additional edge guards. See DESIGN.md.
+
+use crate::config::{GupConfig, PruningFeatures, SearchLimits};
+use crate::gcs::Gcs;
+use crate::guards::{EdgeGuardStore, NodeId, NogoodRef, VertexGuardStore};
+use crate::stats::SearchStats;
+use gup_graph::{QVSet, VertexId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Result of exploring one extension / partial embedding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StepResult {
+    /// The subtree produced at least one embedding.
+    NotDeadend,
+    /// The partial embedding is a deadend; the payload is its deadend mask.
+    Deadend(QVSet),
+    /// A termination limit fired; unwind without recording further guards.
+    Aborted,
+}
+
+/// Outcome of a full search.
+#[derive(Clone, Debug, Default)]
+pub struct SearchOutcome {
+    /// Found embeddings over the *matching-order* vertex ids (empty unless the search
+    /// was asked to collect them). Use [`Gcs::embedding_in_original_ids`] to translate.
+    pub embeddings: Vec<Vec<VertexId>>,
+    /// Counters collected during the search.
+    pub stats: SearchStats,
+}
+
+/// The sequential guarded backtracking engine. One instance per (GCS, search): it owns
+/// the mutable per-search state, including the nogood-guard stores (which the parallel
+/// engine keeps thread-local, §3.5.2).
+pub struct SearchEngine<'a> {
+    gcs: &'a Gcs,
+    features: PruningFeatures,
+    limits: SearchLimits,
+    collect: bool,
+
+    // Per-search mutable state -------------------------------------------------------
+    /// Candidate index assigned to each query vertex (valid for depths < current).
+    assignment: Vec<u32>,
+    /// Data vertex assigned to each query vertex.
+    assignment_data: Vec<VertexId>,
+    /// For each data vertex: 0 if unassigned, otherwise (query vertex index + 1).
+    owner: Vec<u8>,
+    /// Ancestor array of the current search node (`anc[d]` = node id of the length-`d`
+    /// prefix; `anc[0]` is the imaginary root).
+    anc: Vec<NodeId>,
+    next_node_id: NodeId,
+    /// Stack of local candidate-index lists per query vertex; the top is the current
+    /// local candidate set.
+    cand_stack: Vec<Vec<Vec<u32>>>,
+    /// Stack of bounding sets per query vertex, parallel to `cand_stack`.
+    bound_stack: Vec<Vec<QVSet>>,
+    /// Nogood guards on candidate vertices (populated during the search).
+    nv: VertexGuardStore,
+    /// Nogood guards on candidate edges (populated during the search).
+    ne: EdgeGuardStore,
+
+    stats: SearchStats,
+    embeddings: Vec<Vec<VertexId>>,
+    start: Instant,
+    deadline_checked_at: u64,
+    /// Restrict the root-level candidates to this slice of positions (used by the
+    /// parallel engine to partition the search tree). `None` = all root candidates.
+    root_slice: Option<(usize, usize)>,
+    /// Shared embedding counter for parallel runs: when set, every found embedding is
+    /// also counted here and the embedding limit is checked against the shared total.
+    shared_embeddings: Option<Arc<AtomicU64>>,
+}
+
+impl<'a> SearchEngine<'a> {
+    /// Creates an engine for one search over `gcs` under `config`.
+    pub fn new(gcs: &'a Gcs, config: &GupConfig) -> Self {
+        let n = gcs.query().vertex_count();
+        let cand_stack = (0..n)
+            .map(|u| {
+                let len = gcs.space().candidates(u).len();
+                vec![(0..len as u32).collect::<Vec<u32>>()]
+            })
+            .collect();
+        let bound_stack = (0..n).map(|_| vec![QVSet::EMPTY]).collect();
+        SearchEngine {
+            gcs,
+            features: config.features,
+            limits: config.limits,
+            collect: config.collect_embeddings,
+            assignment: vec![0; n],
+            assignment_data: vec![0; n],
+            owner: vec![0; gcs.data_vertex_count()],
+            anc: vec![0; n + 1],
+            next_node_id: 1,
+            cand_stack,
+            bound_stack,
+            nv: gcs.new_vertex_guard_store(),
+            ne: gcs.new_edge_guard_store(),
+            stats: SearchStats::default(),
+            embeddings: Vec::new(),
+            start: Instant::now(),
+            deadline_checked_at: 0,
+            root_slice: None,
+            shared_embeddings: None,
+        }
+    }
+
+    /// Restricts the root level to candidate positions `[start, end)` of `C(u_0)`.
+    /// Used by the parallel engine to split the search tree across workers.
+    pub fn restrict_root(&mut self, start: usize, end: usize) {
+        self.root_slice = Some((start, end));
+    }
+
+    /// Shares an embedding counter with other workers so that the embedding limit is
+    /// enforced globally across a parallel run (§3.5.2).
+    pub fn share_embedding_counter(&mut self, counter: Arc<AtomicU64>) {
+        self.shared_embeddings = Some(counter);
+    }
+
+    /// Runs the search to completion (or until a limit fires) and returns the outcome.
+    pub fn run(mut self) -> SearchOutcome {
+        self.start = Instant::now();
+        if self.gcs.is_empty() {
+            return SearchOutcome {
+                embeddings: self.embeddings,
+                stats: self.stats,
+            };
+        }
+        let _ = self.backtrack(0);
+        SearchOutcome {
+            embeddings: self.embeddings,
+            stats: self.stats,
+        }
+    }
+
+    /// Runs the search and additionally returns the populated guard stores (used by
+    /// the memory-consumption experiment, Table 3).
+    pub fn run_with_guards(mut self) -> (SearchOutcome, VertexGuardStore, EdgeGuardStore) {
+        self.start = Instant::now();
+        if !self.gcs.is_empty() {
+            let _ = self.backtrack(0);
+        }
+        let outcome = SearchOutcome {
+            embeddings: std::mem::take(&mut self.embeddings),
+            stats: self.stats.clone(),
+        };
+        (outcome, self.nv, self.ne)
+    }
+
+    // ------------------------------------------------------------------------------
+    // Core recursion
+    // ------------------------------------------------------------------------------
+
+    fn backtrack(&mut self, k: usize) -> StepResult {
+        let n = self.gcs.query().vertex_count();
+        if k == n {
+            if self.embedding_limit_reached() {
+                self.stats.hit_embedding_limit = true;
+                return StepResult::Aborted;
+            }
+            self.record_embedding();
+            return StepResult::NotDeadend;
+        }
+        self.stats.recursions += 1;
+        if self.limit_hit() {
+            return StepResult::Aborted;
+        }
+
+        let mut found_any = false;
+        let mut mask_union = QVSet::EMPTY;
+        let mut mask_without_k: Option<QVSet> = None;
+        let mut aborted = false;
+        let mut backjump_mask: Option<QVSet> = None;
+
+        let level = self.cand_stack[k].len() - 1;
+        let (lo, hi) = if k == 0 {
+            let len = self.cand_stack[0][level].len();
+            self.root_slice
+                .map(|(a, b)| (a.min(len), b.min(len)))
+                .unwrap_or((0, len))
+        } else {
+            (0, self.cand_stack[k][level].len())
+        };
+
+        for pos in lo..hi {
+            let cv = self.cand_stack[k][level][pos];
+            let v = self.gcs.space().candidates(k)[cv as usize];
+            self.stats.local_candidates_seen += 1;
+
+            // --- Conflict checks before extension (Algorithm 2, lines 4–5) ----------
+            let conflict = self.pre_extension_conflict(k, cv, v);
+            let child_mask: Option<QVSet> = if let Some(mask) = conflict {
+                Some(mask)
+            } else {
+                // --- Extend and refine local candidates (lines 6–8) ------------------
+                self.owner[v as usize] = k as u8 + 1;
+                self.assignment[k] = cv;
+                self.assignment_data[k] = v;
+                let node = self.next_node_id;
+                self.next_node_id += 1;
+                self.anc[k + 1] = node;
+
+                let refine = self.refine_forward(k, cv, v);
+                let result_mask = match refine {
+                    Err(bound) => {
+                        // No-candidate conflict (Definition 3.22 case 4).
+                        self.stats.no_candidate_conflicts += 1;
+                        Some(bound)
+                    }
+                    Ok(pushed) => {
+                        let result = self.backtrack(k + 1);
+                        self.pop_refinements(&pushed);
+                        match result {
+                            StepResult::Aborted => {
+                                aborted = true;
+                                None
+                            }
+                            StepResult::NotDeadend => {
+                                found_any = true;
+                                None
+                            }
+                            StepResult::Deadend(mask) => Some(mask),
+                        }
+                    }
+                };
+                self.owner[v as usize] = 0;
+                result_mask
+            };
+
+            if aborted {
+                break;
+            }
+
+            if let Some(mask) = child_mask {
+                // A nogood (M ⊕ v)[mask] was discovered: record guards, update the
+                // deadend-mask bookkeeping, and possibly backjump.
+                self.record_nogood(k, cv, v, mask);
+                mask_union |= mask;
+                if !mask.contains(k) {
+                    if mask_without_k.is_none() {
+                        mask_without_k = Some(mask);
+                    }
+                    if self.features.backjumping {
+                        self.stats.backjumps += 1;
+                        backjump_mask = Some(mask);
+                        break;
+                    }
+                }
+            }
+        }
+
+        if aborted {
+            return StepResult::Aborted;
+        }
+        if found_any {
+            return StepResult::NotDeadend;
+        }
+        // The current partial embedding is a deadend; derive its deadend mask
+        // (Definition 3.26, cases 3 and 4).
+        self.stats.futile_recursions += 1;
+        if let Some(mask) = backjump_mask.or(mask_without_k) {
+            return StepResult::Deadend(mask);
+        }
+        let level_bound = *self.bound_stack[k].last().expect("bound stack never empty");
+        let mask = (mask_union | level_bound).without(k);
+        StepResult::Deadend(mask)
+    }
+
+    /// Conflict checks performed before extending with candidate `cv` / data vertex
+    /// `v` of query vertex `u_k` (Definition 3.22 cases 1–3). Returns the conflict mask
+    /// when a conflict is found.
+    fn pre_extension_conflict(&mut self, k: usize, cv: u32, v: VertexId) -> Option<QVSet> {
+        // (1) Injectivity conflict.
+        let owner = self.owner[v as usize];
+        if owner != 0 {
+            self.stats.pruned_by_injectivity += 1;
+            return Some(QVSet::from_iter([owner as usize - 1, k]));
+        }
+        // (2) Reservation-guard conflict.
+        if self.features.reservation_guards {
+            let guard = self.gcs.reservation(k, cv);
+            if !guard.is_trivial_for(v) {
+                let mut mask = QVSet::singleton(k);
+                let mut matched = true;
+                for &w in guard.vertices() {
+                    let o = self.owner[w as usize];
+                    if o == 0 {
+                        matched = false;
+                        break;
+                    }
+                    mask.insert(o as usize - 1);
+                }
+                if matched {
+                    self.stats.pruned_by_reservation += 1;
+                    return Some(mask);
+                }
+            }
+        }
+        // (3) Nogood-guard conflict (vertex guards).
+        if self.features.nogood_vertex_guards {
+            let guard = self.nv.get(k, cv);
+            if guard.matches(&self.anc[..k + 1]) {
+                self.stats.pruned_by_nogood_vertex += 1;
+                return Some(guard.dom.with(k));
+            }
+        }
+        None
+    }
+
+    /// Refines the local candidate sets of the forward neighbors of `u_k` after the
+    /// assignment `(u_k, v)` (Definition 3.18), pushing one new level per forward
+    /// neighbor. On success returns the list of pushed query vertices; on a
+    /// no-candidate conflict returns the bounding set of the emptied vertex
+    /// (Definition 3.23 case 4), having already undone its own pushes.
+    fn refine_forward(&mut self, k: usize, cv: u32, v: VertexId) -> Result<Vec<usize>, QVSet> {
+        let _ = v;
+        let mut pushed: Vec<usize> = Vec::with_capacity(self.gcs.query().forward_neighbors(k).len());
+        let forward: Vec<usize> = self.gcs.query().forward_neighbors(k).to_vec();
+        for f in forward {
+            let eid = self
+                .gcs
+                .space()
+                .edge_id(k, f)
+                .expect("forward neighbors are adjacent in the query");
+            let adjacency = self.gcs.space().adjacent_candidates(k, cv as usize, f);
+            let parent_list = self.cand_stack[f].last().expect("stack never empty");
+            let parent_bound = *self.bound_stack[f].last().expect("stack never empty");
+            let use_ne = self.features.nogood_edge_guards;
+
+            let mut new_list: Vec<u32> = Vec::with_capacity(parent_list.len().min(adjacency.len()));
+            let mut new_bound = parent_bound;
+            let mut removed_any = parent_list.len() != adjacency.len();
+            let mut pruned_by_edge_guard = 0u64;
+
+            // Merge-intersect the (sorted) parent list with the (sorted) adjacency
+            // list; `pos` tracks the position within the adjacency list so that the
+            // matching edge-guard slot can be consulted.
+            let mut pi = 0usize;
+            let mut pos = 0usize;
+            while pi < parent_list.len() && pos < adjacency.len() {
+                let a = parent_list[pi];
+                let b = adjacency[pos];
+                match a.cmp(&b) {
+                    std::cmp::Ordering::Less => {
+                        // Candidate not adjacent to v: removed by the adjacency
+                        // constraint.
+                        removed_any = true;
+                        pi += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        pos += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let keep = if use_ne {
+                            let guard = self.ne.get(eid, cv, pos);
+                            if guard.matches(&self.anc[..k + 2]) {
+                                new_bound |= guard.dom;
+                                pruned_by_edge_guard += 1;
+                                false
+                            } else {
+                                true
+                            }
+                        } else {
+                            true
+                        };
+                        if keep {
+                            new_list.push(a);
+                        } else {
+                            removed_any = true;
+                        }
+                        pi += 1;
+                        pos += 1;
+                    }
+                }
+            }
+            if pi < parent_list.len() {
+                removed_any = true;
+            }
+            self.stats.pruned_by_nogood_edge += pruned_by_edge_guard;
+            if removed_any {
+                new_bound.insert(k);
+            }
+            if new_list.is_empty() {
+                // Undo the refinements already pushed for earlier forward neighbors.
+                self.pop_refinements(&pushed);
+                return Err(new_bound);
+            }
+            self.cand_stack[f].push(new_list);
+            self.bound_stack[f].push(new_bound);
+            pushed.push(f);
+        }
+        Ok(pushed)
+    }
+
+    fn pop_refinements(&mut self, pushed: &[usize]) {
+        for &f in pushed {
+            self.cand_stack[f].pop();
+            self.bound_stack[f].pop();
+        }
+    }
+
+    /// Records the nogood `(M ⊕ v)[mask]` as a nogood guard on a candidate vertex and,
+    /// when possible, on a candidate edge (§3.3.2–3.3.3 plus the search-node encoding
+    /// of §3.5.1).
+    fn record_nogood(&mut self, k: usize, cv: u32, v: VertexId, mask: QVSet) {
+        let _ = v;
+        let Some(last) = mask.max() else {
+            // The empty nogood: no embedding exists anywhere; nothing to attach it to.
+            return;
+        };
+        // Guard on the candidate vertex of the last assignment.
+        if self.features.nogood_vertex_guards {
+            let target_cand = if last == k { cv } else { self.assignment[last] };
+            let rest = mask.without(last);
+            let guard = self.encode(rest);
+            self.nv.set(last, target_cand, guard);
+            self.stats.nv_guards_recorded += 1;
+        }
+        // Guard on the candidate edge between the two last assignments (restricted
+        // edge-guard rule; see the module documentation).
+        if self.features.nogood_edge_guards && mask.len() >= 2 {
+            let b = last;
+            let a = mask.without(b).max().expect("mask has at least two members");
+            let query = self.gcs.query();
+            if query.in_two_core(a) && query.in_two_core(b) {
+                if let Some(eid) = self.gcs.space().edge_id(a, b) {
+                    let ca = self.assignment[a];
+                    let cb = if b == k { cv } else { self.assignment[b] };
+                    let adjacency = self.gcs.space().forward_adjacency(eid, ca as usize);
+                    if let Ok(p) = adjacency.binary_search(&cb) {
+                        let rest = mask.without(a).without(b);
+                        let guard = self.encode(rest);
+                        self.ne.set(eid, ca, p, guard);
+                        self.stats.ne_guards_recorded += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Search-node encoding of the assignment set `M[dom]` (Definition 3.36): round the
+    /// set up to its minimum superset embedding and store `(node id, length, domain)`.
+    fn encode(&self, dom: QVSet) -> NogoodRef {
+        match dom.max() {
+            None => NogoodRef {
+                id: self.anc[0],
+                len: 0,
+                dom,
+            },
+            Some(m) => NogoodRef {
+                id: self.anc[m + 1],
+                len: (m + 1) as u32,
+                dom,
+            },
+        }
+    }
+
+    fn record_embedding(&mut self) {
+        self.stats.embeddings += 1;
+        if let Some(shared) = &self.shared_embeddings {
+            shared.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.collect {
+            self.embeddings.push(self.assignment_data.clone());
+        }
+    }
+
+    /// Total embeddings found so far, across all workers when a shared counter is set.
+    fn total_embeddings(&self) -> u64 {
+        match &self.shared_embeddings {
+            Some(shared) => shared.load(Ordering::Relaxed),
+            None => self.stats.embeddings,
+        }
+    }
+
+    fn embedding_limit_reached(&self) -> bool {
+        self.limits
+            .max_embeddings
+            .is_some_and(|max| self.total_embeddings() >= max)
+    }
+
+    fn limit_hit(&mut self) -> bool {
+        if self.embedding_limit_reached() {
+            self.stats.hit_embedding_limit = true;
+            return true;
+        }
+        if let Some(max) = self.limits.max_recursions {
+            if self.stats.recursions >= max {
+                self.stats.hit_recursion_limit = true;
+                return true;
+            }
+        }
+        if let Some(limit) = self.limits.time_limit {
+            // Checking the clock is comparatively expensive; sample every 1024 calls.
+            if self.stats.recursions - self.deadline_checked_at >= 1024 {
+                self.deadline_checked_at = self.stats.recursions;
+                if self.start.elapsed() >= limit {
+                    self.stats.hit_time_limit = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GupConfig;
+    use gup_graph::builder::graph_from_edges;
+    use gup_graph::fixtures;
+
+    fn run(query: &gup_graph::Graph, data: &gup_graph::Graph, config: &GupConfig) -> SearchOutcome {
+        let gcs = Gcs::build(query, data, config).unwrap();
+        SearchEngine::new(&gcs, config).run()
+    }
+
+    #[test]
+    fn paper_example_has_exactly_the_described_embeddings() {
+        let (q, d) = fixtures::paper_example();
+        let mut cfg = GupConfig::collecting();
+        cfg.limits = SearchLimits::UNLIMITED;
+        let gcs = Gcs::build(&q, &d, &cfg).unwrap();
+        let outcome = SearchEngine::new(&gcs, &cfg).run();
+        assert!(outcome.stats.embeddings >= 1);
+        // Every reported embedding must satisfy all three isomorphism constraints.
+        for emb in &outcome.embeddings {
+            let original = gcs.embedding_in_original_ids(emb);
+            verify_embedding(&q, &d, &original);
+        }
+        // The specific embedding named in the paper's introduction is among them.
+        let expected = vec![1u32, 4, 7, 10, 0];
+        let found: Vec<Vec<u32>> = outcome
+            .embeddings
+            .iter()
+            .map(|e| gcs.embedding_in_original_ids(e))
+            .collect();
+        assert!(found.contains(&expected), "missing the paper's example embedding");
+    }
+
+    fn verify_embedding(q: &gup_graph::Graph, d: &gup_graph::Graph, emb: &[u32]) {
+        assert_eq!(emb.len(), q.vertex_count());
+        for u in q.vertices() {
+            assert_eq!(q.label(u), d.label(emb[u as usize]), "label constraint");
+        }
+        for (a, b) in q.edges() {
+            assert!(
+                d.has_edge(emb[a as usize], emb[b as usize]),
+                "adjacency constraint"
+            );
+        }
+        let mut used: Vec<u32> = emb.to_vec();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), emb.len(), "injectivity constraint");
+    }
+
+    #[test]
+    fn triangle_in_square_found_in_both_orientations() {
+        let q = fixtures::triangle_query();
+        let d = fixtures::square_with_diagonal();
+        let mut cfg = GupConfig::collecting();
+        cfg.limits = SearchLimits::UNLIMITED;
+        let outcome = run(&q, &d, &cfg);
+        // The data triangles {0,1,2} and {0,2,3} both host the labeled query triangle;
+        // swapping the two label-0 query corners doubles each, giving four embeddings.
+        assert_eq!(outcome.stats.embeddings, 4);
+    }
+
+    #[test]
+    fn all_feature_combinations_agree_on_embedding_counts() {
+        let cases: Vec<(gup_graph::Graph, gup_graph::Graph)> = vec![
+            fixtures::paper_example(),
+            (fixtures::triangle_query(), fixtures::square_with_diagonal()),
+            (
+                fixtures::path(4, 0),
+                graph_from_edges(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+            ),
+            (
+                fixtures::clique4(1),
+                graph_from_edges(
+                    &[1; 6],
+                    &[
+                        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (4, 5),
+                        (1, 4),
+                    ],
+                ),
+            ),
+        ];
+        let feature_sets = [
+            PruningFeatures::NONE,
+            PruningFeatures::RESERVATION_ONLY,
+            PruningFeatures::RESERVATION_AND_NV,
+            PruningFeatures::RESERVATION_NV_NE,
+            PruningFeatures::ALL,
+        ];
+        for (q, d) in &cases {
+            let mut counts = Vec::new();
+            for features in feature_sets {
+                let cfg = GupConfig {
+                    features,
+                    limits: SearchLimits::UNLIMITED,
+                    ..GupConfig::default()
+                };
+                let outcome = run(q, d, &cfg);
+                counts.push(outcome.stats.embeddings);
+            }
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "feature combinations disagree: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn guards_never_increase_recursions() {
+        let (q, d) = fixtures::paper_example();
+        let baseline = run(
+            &q,
+            &d,
+            &GupConfig {
+                features: PruningFeatures::NONE,
+                limits: SearchLimits::UNLIMITED,
+                ..GupConfig::default()
+            },
+        );
+        let full = run(
+            &q,
+            &d,
+            &GupConfig {
+                features: PruningFeatures::ALL,
+                limits: SearchLimits::UNLIMITED,
+                ..GupConfig::default()
+            },
+        );
+        assert_eq!(baseline.stats.embeddings, full.stats.embeddings);
+        assert!(full.stats.recursions <= baseline.stats.recursions);
+    }
+
+    #[test]
+    fn embedding_limit_stops_the_search() {
+        // A query with a single vertex matches every same-label data vertex; cap at 3.
+        let q = graph_from_edges(&[0, 0], &[(0, 1)]);
+        let d = graph_from_edges(
+            &[0; 8],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+        );
+        let cfg = GupConfig {
+            limits: SearchLimits {
+                max_embeddings: Some(3),
+                ..SearchLimits::default()
+            },
+            ..GupConfig::default()
+        };
+        let outcome = run(&q, &d, &cfg);
+        assert_eq!(outcome.stats.embeddings, 3);
+        assert!(outcome.stats.hit_embedding_limit);
+        assert!(outcome.stats.terminated_early());
+    }
+
+    #[test]
+    fn recursion_limit_stops_the_search() {
+        let q = fixtures::path(3, 0);
+        let d = graph_from_edges(
+            &[0; 8],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+        );
+        let cfg = GupConfig {
+            limits: SearchLimits {
+                max_embeddings: None,
+                time_limit: None,
+                max_recursions: Some(2),
+            },
+            ..GupConfig::default()
+        };
+        let outcome = run(&q, &d, &cfg);
+        assert!(outcome.stats.hit_recursion_limit);
+    }
+
+    #[test]
+    fn no_embeddings_when_labels_do_not_match() {
+        let q = graph_from_edges(&[7, 7], &[(0, 1)]);
+        let (_pq, d) = fixtures::paper_example();
+        let outcome = run(&q, &d, &GupConfig::default());
+        assert_eq!(outcome.stats.embeddings, 0);
+        assert_eq!(outcome.stats.recursions, 0);
+    }
+
+    #[test]
+    fn no_embeddings_when_cycle_cannot_close() {
+        // Query: labeled triangle. Data: a labeled path (no cycle at all).
+        let q = fixtures::triangle_query();
+        let d = graph_from_edges(&[0, 1, 0, 1, 0], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let outcome = run(
+            &q,
+            &d,
+            &GupConfig {
+                limits: SearchLimits::UNLIMITED,
+                ..GupConfig::default()
+            },
+        );
+        assert_eq!(outcome.stats.embeddings, 0);
+    }
+
+    #[test]
+    fn root_slice_partitions_the_work() {
+        let q = fixtures::triangle_query();
+        let d = fixtures::square_with_diagonal();
+        let cfg = GupConfig {
+            limits: SearchLimits::UNLIMITED,
+            collect_embeddings: true,
+            ..GupConfig::default()
+        };
+        let gcs = Gcs::build(&q, &d, &cfg).unwrap();
+        let root_candidates = gcs.space().candidates(0).len();
+        let mut total = 0u64;
+        for i in 0..root_candidates {
+            let mut engine = SearchEngine::new(&gcs, &cfg);
+            engine.restrict_root(i, i + 1);
+            total += engine.run().stats.embeddings;
+        }
+        let full = SearchEngine::new(&gcs, &cfg).run();
+        assert_eq!(total, full.stats.embeddings);
+    }
+
+    #[test]
+    fn guard_statistics_are_populated_on_hard_instances() {
+        // A query 4-cycle with alternating labels over a bipartite-ish data graph with
+        // many near-misses generates deadends, which must produce guards.
+        let q = graph_from_edges(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let d = {
+            // Two "layers" of label 0/1 vertices with a sparse crossing pattern: many
+            // paths exist but few 4-cycles close.
+            let mut labels = Vec::new();
+            let mut edges = Vec::new();
+            let layer = 8u32;
+            for i in 0..layer {
+                labels.push(0);
+                labels.push(1);
+                let a = 2 * i;
+                let b = 2 * i + 1;
+                edges.push((a, b));
+                edges.push((b, (2 * (i + 1)) % (2 * layer)));
+            }
+            // One genuine 4-cycle.
+            edges.push((0, 3));
+            graph_from_edges(&labels, &edges)
+        };
+        let cfg = GupConfig {
+            limits: SearchLimits::UNLIMITED,
+            ..GupConfig::default()
+        };
+        let outcome = run(&q, &d, &cfg);
+        assert!(outcome.stats.recursions > 0);
+        assert!(outcome.stats.futile_recursions > 0);
+        assert!(outcome.stats.nv_guards_recorded > 0);
+        // The run must agree with the unguarded baseline.
+        let baseline = run(
+            &q,
+            &d,
+            &GupConfig {
+                features: PruningFeatures::NONE,
+                limits: SearchLimits::UNLIMITED,
+                ..GupConfig::default()
+            },
+        );
+        assert_eq!(outcome.stats.embeddings, baseline.stats.embeddings);
+    }
+}

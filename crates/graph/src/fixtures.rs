@@ -1,0 +1,119 @@
+//! Small, well-understood graphs used throughout the workspace's tests, examples, and
+//! documentation. Exposed as a normal (non-`cfg(test)`) module so that downstream
+//! crates can share them.
+
+use crate::builder::graph_from_edges;
+use crate::graph::Graph;
+
+/// Reconstruction of the running example of the GuP paper (Fig. 1).
+///
+/// Returns `(query, data)`:
+///
+/// * **Query** `Q`: the 5-cycle `u0(A) – u1(B) – u2(C) – u3(D) – u4(A) – u0`, with
+///   labels A=0, B=1, C=2, D=3.
+/// * **Data** `G`: 14 vertices. `v0, v1, v13` carry label A, `v2..v4` label B,
+///   `v5..v8` label C, `v9..v12` label D. The edges are chosen so that the candidate
+///   structure discussed in the paper holds; in particular `v13` passes LDF for `u0`
+///   (degree ≥ 2) but fails NLF because it has no label-B neighbor, and the full
+///   embedding `{(u0,v1),(u1,v4),(u2,v7),(u3,v10),(u4,v0)}` exists.
+pub fn paper_example() -> (Graph, Graph) {
+    let query = graph_from_edges(
+        &[0, 1, 2, 3, 0],
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+    );
+    let labels = [0, 0, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 0];
+    let edges = [
+        // A–A edge (needed by the u4–u0 query edge)
+        (0, 1),
+        // A–B edges
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (1, 4),
+        // B–C edges
+        (2, 6),
+        (3, 5),
+        (3, 7),
+        (3, 8),
+        (4, 7),
+        // C–D edges
+        (5, 9),
+        (6, 11),
+        (7, 10),
+        (8, 11),
+        (8, 12),
+        // D–A edges
+        (9, 0),
+        (10, 0),
+        (11, 1),
+        (12, 1),
+        (10, 13),
+        (9, 13),
+    ];
+    let data = graph_from_edges(&labels, &edges);
+    (query, data)
+}
+
+/// A labeled triangle query (labels 0, 1, 0).
+pub fn triangle_query() -> Graph {
+    graph_from_edges(&[0, 1, 0], &[(0, 1), (1, 2), (2, 0)])
+}
+
+/// A small data graph containing exactly one triangle matching [`triangle_query`]:
+/// a labeled square `0-1-2-3` with the diagonal `0-2`, plus an isolated label-1 vertex.
+pub fn square_with_diagonal() -> Graph {
+    graph_from_edges(&[0, 1, 0, 1, 1], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+}
+
+/// A 4-clique on a single label, handy as a dense query.
+pub fn clique4(label: crate::types::Label) -> Graph {
+    graph_from_edges(
+        &[label; 4],
+        &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+    )
+}
+
+/// A path query `0-1-2-...-(n-1)` on a single label.
+pub fn path(n: usize, label: crate::types::Label) -> Graph {
+    let labels = vec![label; n];
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    graph_from_edges(&labels, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+
+    #[test]
+    fn paper_example_shape() {
+        let (q, d) = paper_example();
+        assert_eq!(q.vertex_count(), 5);
+        assert_eq!(q.edge_count(), 5);
+        assert_eq!(d.vertex_count(), 14);
+        assert!(is_connected(&q));
+        // The embedding named in the paper's introduction must exist:
+        // M = {(u0,v1),(u1,v4),(u2,v7),(u3,v10),(u4,v0)}.
+        let m = [1u32, 4, 7, 10, 0];
+        for (a, b) in q.edges() {
+            assert!(
+                d.has_edge(m[a as usize], m[b as usize]),
+                "embedding edge ({a},{b}) missing in data"
+            );
+        }
+        for (u, &v) in m.iter().enumerate() {
+            assert_eq!(q.label(u as u32), d.label(v));
+        }
+    }
+
+    #[test]
+    fn fixture_shapes() {
+        assert_eq!(triangle_query().edge_count(), 3);
+        assert_eq!(square_with_diagonal().vertex_count(), 5);
+        assert_eq!(clique4(2).edge_count(), 6);
+        let p = path(5, 1);
+        assert_eq!(p.vertex_count(), 5);
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(path(1, 0).edge_count(), 0);
+    }
+}

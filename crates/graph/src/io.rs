@@ -1,0 +1,274 @@
+//! Text I/O in the `t/v/e` format used by the subgraph-matching community.
+//!
+//! The format (also used by the DAF / RapidMatch / SubgraphMatching repositories the
+//! paper compares against) is line-oriented:
+//!
+//! ```text
+//! t <num-vertices> <num-edges>
+//! v <vertex-id> <label> [<degree>]
+//! e <src> <dst> [<edge-label>]
+//! ```
+//!
+//! Vertex ids must be `0..num-vertices`; the optional degree / edge-label columns are
+//! ignored. `#`-prefixed lines and blank lines are skipped.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::{Label, VertexId};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced while parsing the text graph format.
+#[derive(Debug)]
+pub enum GraphParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for GraphParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphParseError::Io(e) => write!(f, "I/O error while reading graph: {e}"),
+            GraphParseError::Malformed { line, message } => {
+                write!(f, "malformed graph file at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphParseError {}
+
+impl From<std::io::Error> for GraphParseError {
+    fn from(e: std::io::Error) -> Self {
+        GraphParseError::Io(e)
+    }
+}
+
+fn malformed(line: usize, message: impl Into<String>) -> GraphParseError {
+    GraphParseError::Malformed {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a graph from any reader in the `t/v/e` format.
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphParseError> {
+    let reader = BufReader::new(reader);
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_vertices = 0usize;
+    let mut labels_seen = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("t") => {
+                let nv: usize = parts
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing vertex count"))?
+                    .parse()
+                    .map_err(|_| malformed(lineno, "vertex count is not an integer"))?;
+                let _ne: usize = parts
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing edge count"))?
+                    .parse()
+                    .map_err(|_| malformed(lineno, "edge count is not an integer"))?;
+                let mut b = GraphBuilder::with_capacity(nv, _ne);
+                b.add_vertices(nv, 0);
+                declared_vertices = nv;
+                builder = Some(b);
+            }
+            Some("v") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| malformed(lineno, "'v' line before 't' header"))?;
+                let id: usize = parts
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing vertex id"))?
+                    .parse()
+                    .map_err(|_| malformed(lineno, "vertex id is not an integer"))?;
+                let label: Label = parts
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing vertex label"))?
+                    .parse()
+                    .map_err(|_| malformed(lineno, "vertex label is not an integer"))?;
+                if id >= declared_vertices {
+                    return Err(malformed(
+                        lineno,
+                        format!("vertex id {id} out of declared range {declared_vertices}"),
+                    ));
+                }
+                b.set_label(id as VertexId, label);
+                labels_seen += 1;
+            }
+            Some("e") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| malformed(lineno, "'e' line before 't' header"))?;
+                let src: usize = parts
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing edge source"))?
+                    .parse()
+                    .map_err(|_| malformed(lineno, "edge source is not an integer"))?;
+                let dst: usize = parts
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing edge destination"))?
+                    .parse()
+                    .map_err(|_| malformed(lineno, "edge destination is not an integer"))?;
+                if src >= declared_vertices || dst >= declared_vertices {
+                    return Err(malformed(lineno, "edge endpoint out of range"));
+                }
+                b.add_edge(src as VertexId, dst as VertexId);
+            }
+            Some(other) => {
+                return Err(malformed(lineno, format!("unknown record type '{other}'")));
+            }
+            None => unreachable!("empty lines are skipped above"),
+        }
+    }
+    let builder = builder.ok_or_else(|| malformed(0, "no 't' header found"))?;
+    let _ = labels_seen; // vertices without an explicit 'v' line keep label 0
+    Ok(builder.build())
+}
+
+/// Parses a graph from a string in the `t/v/e` format.
+pub fn parse_graph(text: &str) -> Result<Graph, GraphParseError> {
+    read_graph(text.as_bytes())
+}
+
+/// Loads a graph from a file path.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<Graph, GraphParseError> {
+    let file = std::fs::File::open(path)?;
+    read_graph(file)
+}
+
+/// Serializes a graph into the `t/v/e` format.
+pub fn write_graph<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "t {} {}", g.vertex_count(), g.edge_count())?;
+    for v in g.vertices() {
+        writeln!(writer, "v {} {} {}", v, g.label(v), g.degree(v))?;
+    }
+    for (a, b) in g.edges() {
+        writeln!(writer, "e {a} {b}")?;
+    }
+    Ok(())
+}
+
+/// Serializes a graph into a `String` in the `t/v/e` format.
+pub fn graph_to_string(g: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_graph(g, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format output is ASCII")
+}
+
+/// Saves a graph to a file path.
+pub fn save_graph<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_graph(g, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    const SAMPLE: &str = "\
+# a triangle plus an isolated vertex
+t 4 3
+v 0 5 2
+v 1 5 2
+v 2 7 2
+v 3 9 0
+
+e 0 1
+e 1 2
+e 2 0
+";
+
+    #[test]
+    fn parse_sample() {
+        let g = parse_graph(SAMPLE).unwrap();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.label(0), 5);
+        assert_eq!(g.label(2), 7);
+        assert_eq!(g.label(3), 9);
+        assert!(g.has_edge(0, 2));
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = graph_from_edges(&[0, 1, 2, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let text = graph_to_string(&g);
+        let back = parse_graph(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn vertices_without_v_lines_default_to_label_zero() {
+        let g = parse_graph("t 2 1\ne 0 1\n").unwrap();
+        assert_eq!(g.label(0), 0);
+        assert_eq!(g.label(1), 0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn error_on_missing_header() {
+        let err = parse_graph("v 0 1\n").unwrap_err();
+        assert!(matches!(err, GraphParseError::Malformed { line: 1, .. }));
+        let err = parse_graph("").unwrap_err();
+        assert!(matches!(err, GraphParseError::Malformed { line: 0, .. }));
+    }
+
+    #[test]
+    fn error_on_out_of_range_ids() {
+        let err = parse_graph("t 2 1\nv 5 0\n").unwrap_err();
+        assert!(matches!(err, GraphParseError::Malformed { line: 2, .. }));
+        let err = parse_graph("t 2 1\ne 0 7\n").unwrap_err();
+        assert!(matches!(err, GraphParseError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        let err = parse_graph("t 2 1\nx 1 2\n").unwrap_err();
+        match err {
+            GraphParseError::Malformed { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("unknown record type"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = parse_graph("t x y\n").unwrap_err();
+        assert!(matches!(err, GraphParseError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("gup_graph_io_test_{}.graph", std::process::id()));
+        let g = graph_from_edges(&[3, 3, 4], &[(0, 1), (1, 2)]);
+        save_graph(&g, &path).unwrap();
+        let back = load_graph(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn display_of_errors_mentions_line() {
+        let err = parse_graph("t 1 0\nv bad 0\n").unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("line 2"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # gup-graph
+//!
+//! Labeled-graph substrate for the GuP subgraph-matching reproduction.
+//!
+//! The paper (GuP, SIGMOD 2023) operates on *vertex-labeled simple undirected graphs*.
+//! This crate provides everything the matching layers need from the data side:
+//!
+//! * [`Graph`] — an immutable CSR (compressed sparse row) representation with a label
+//!   index, suitable both for multi-million-edge data graphs and for tiny query graphs.
+//! * [`GraphBuilder`] — incremental construction with de-duplication of parallel edges
+//!   and removal of self loops (the paper assumes simple graphs).
+//! * [`QueryGraph`] — a thin wrapper over [`Graph`] that validates the properties the
+//!   matcher relies on (connectivity, ≤ 64 vertices for bitset masks) and exposes
+//!   forward/backward neighbor views under a matching order.
+//! * [`QVSet`] — a 64-bit query-vertex set used throughout the matcher for conflict
+//!   masks, bounding sets, and nogood domains (O(1) set operations, as assumed by the
+//!   paper's complexity analysis).
+//! * Text I/O ([`io`]) in the common `t/v/e` format used by the subgraph-matching
+//!   community, random generators ([`generate`]) used by the workload crate, and the
+//!   small graph algorithms the matcher needs ([`algo`]: 2-core, connected components,
+//!   degeneracy order).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gup_graph::{GraphBuilder, QueryGraph};
+//!
+//! // A triangle where two vertices share label 0.
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_vertex(0);
+//! let c = b.add_vertex(0);
+//! let d = b.add_vertex(1);
+//! b.add_edge(a, c);
+//! b.add_edge(c, d);
+//! b.add_edge(d, a);
+//! let g = b.build();
+//! assert_eq!(g.vertex_count(), 3);
+//! assert_eq!(g.edge_count(), 3);
+//! assert!(g.has_edge(a, d));
+//!
+//! // Any connected graph with at most 64 vertices can be used as a query.
+//! let q = QueryGraph::new(g.clone()).unwrap();
+//! assert_eq!(q.vertex_count(), 3);
+//! ```
+
+pub mod algo;
+pub mod builder;
+pub mod fixtures;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod query;
+pub mod stats;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use graph::Graph;
+pub use query::{QueryGraph, QueryGraphError};
+pub use types::{Label, QVSet, VertexId, MAX_QUERY_VERTICES};

@@ -1,0 +1,375 @@
+//! Query graphs and matching-order views.
+//!
+//! The matcher assumes (paper §2.2) that query-vertex ids are numbered in the matching
+//! order and that the order is *connected*: every query vertex except `u_0` has a
+//! neighbor with a smaller id. [`QueryGraph`] validates the structural requirements
+//! (connectivity, size ≤ 64) and [`OrderedQuery`] pre-computes backward/forward
+//! neighbor sets `N−(u_i)` / `N+(u_i)` once vertices are renumbered into the matching
+//! order.
+
+use crate::algo::{is_connected, two_core};
+use crate::graph::Graph;
+use crate::types::{QVSet, VertexId, MAX_QUERY_VERTICES};
+
+/// Errors raised when a graph cannot be used as a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryGraphError {
+    /// The query has no vertices.
+    Empty,
+    /// The query has more vertices than the bitset masks support.
+    TooLarge {
+        /// Number of vertices in the rejected query.
+        vertices: usize,
+    },
+    /// The query is not connected; a connected matching order cannot exist.
+    Disconnected,
+}
+
+impl std::fmt::Display for QueryGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryGraphError::Empty => write!(f, "query graph has no vertices"),
+            QueryGraphError::TooLarge { vertices } => write!(
+                f,
+                "query graph has {vertices} vertices; at most {MAX_QUERY_VERTICES} are supported"
+            ),
+            QueryGraphError::Disconnected => write!(f, "query graph is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for QueryGraphError {}
+
+/// A validated query graph.
+#[derive(Clone, Debug)]
+pub struct QueryGraph {
+    graph: Graph,
+}
+
+impl QueryGraph {
+    /// Validates `graph` as a query: non-empty, connected, at most
+    /// [`MAX_QUERY_VERTICES`] vertices.
+    pub fn new(graph: Graph) -> Result<Self, QueryGraphError> {
+        if graph.vertex_count() == 0 {
+            return Err(QueryGraphError::Empty);
+        }
+        if graph.vertex_count() > MAX_QUERY_VERTICES {
+            return Err(QueryGraphError::TooLarge {
+                vertices: graph.vertex_count(),
+            });
+        }
+        if !is_connected(&graph) {
+            return Err(QueryGraphError::Disconnected);
+        }
+        Ok(QueryGraph { graph })
+    }
+
+    /// Underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of query vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Number of query edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Average degree of the query; the paper classifies a query as *dense* if this is
+    /// at least 3 and *sparse* otherwise.
+    pub fn average_degree(&self) -> f64 {
+        self.graph.average_degree()
+    }
+
+    /// `true` if the query is dense in the paper's sense (average degree ≥ 3).
+    pub fn is_dense(&self) -> bool {
+        self.average_degree() >= 3.0
+    }
+
+    /// Renumbers the query vertices so that `order[i]` becomes vertex `u_i` and returns
+    /// the precomputed [`OrderedQuery`]. `order` must be a permutation of the query's
+    /// vertex ids and must be connected (each prefix induces a connected subgraph);
+    /// connectivity of the order is validated.
+    pub fn with_order(&self, order: &[VertexId]) -> Result<OrderedQuery, OrderError> {
+        OrderedQuery::new(self, order)
+    }
+}
+
+/// Errors raised when a matching order is invalid for a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderError {
+    /// The order is not a permutation of the query vertices.
+    NotAPermutation,
+    /// Vertex `u_i` (for some `i > 0`) has no neighbor earlier in the order.
+    NotConnected {
+        /// Position in the order at which connectivity fails.
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for OrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderError::NotAPermutation => {
+                write!(f, "matching order is not a permutation of the query vertices")
+            }
+            OrderError::NotConnected { position } => write!(
+                f,
+                "matching order is not connected: vertex at position {position} has no earlier neighbor"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OrderError {}
+
+/// A query graph whose vertices have been renumbered into the matching order, with the
+/// neighbor views the backtracking engine needs.
+#[derive(Clone, Debug)]
+pub struct OrderedQuery {
+    graph: Graph,
+    /// For each `u_i`, its backward neighbors `N−(u_i) = {u_j ∈ N(u_i) | j < i}`.
+    backward: Vec<Vec<usize>>,
+    /// For each `u_i`, its forward neighbors `N+(u_i) = {u_j ∈ N(u_i) | j > i}`.
+    forward: Vec<Vec<usize>>,
+    /// Backward neighbors as bitsets.
+    backward_set: Vec<QVSet>,
+    /// Forward neighbors as bitsets.
+    forward_set: Vec<QVSet>,
+    /// Membership of each (renumbered) query vertex in the query's 2-core.
+    in_two_core: Vec<bool>,
+    /// Map from the renumbered vertex id back to the id in the original query graph.
+    original_id: Vec<VertexId>,
+}
+
+impl OrderedQuery {
+    fn new(query: &QueryGraph, order: &[VertexId]) -> Result<Self, OrderError> {
+        let n = query.vertex_count();
+        if order.len() != n {
+            return Err(OrderError::NotAPermutation);
+        }
+        let mut seen = vec![false; n];
+        for &v in order {
+            if (v as usize) >= n || seen[v as usize] {
+                return Err(OrderError::NotAPermutation);
+            }
+            seen[v as usize] = true;
+        }
+        let graph = query.graph().permuted(order);
+        // Connectivity of the order: every u_i (i > 0) must have a backward neighbor.
+        for i in 1..n {
+            if !graph.neighbors(i as VertexId).iter().any(|&j| (j as usize) < i) {
+                return Err(OrderError::NotConnected { position: i });
+            }
+        }
+        let mut backward = vec![Vec::new(); n];
+        let mut forward = vec![Vec::new(); n];
+        let mut backward_set = vec![QVSet::new(); n];
+        let mut forward_set = vec![QVSet::new(); n];
+        for i in 0..n {
+            for &j in graph.neighbors(i as VertexId) {
+                let j = j as usize;
+                if j < i {
+                    backward[i].push(j);
+                    backward_set[i].insert(j);
+                } else {
+                    forward[i].push(j);
+                    forward_set[i].insert(j);
+                }
+            }
+        }
+        let in_two_core = two_core(&graph);
+        Ok(OrderedQuery {
+            graph,
+            backward,
+            forward,
+            backward_set,
+            forward_set,
+            in_two_core,
+            original_id: order.to_vec(),
+        })
+    }
+
+    /// The renumbered query graph (`u_i` has vertex id `i`).
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of query vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Backward neighbors of `u_i` (ids `< i`), ascending.
+    #[inline]
+    pub fn backward_neighbors(&self, i: usize) -> &[usize] {
+        &self.backward[i]
+    }
+
+    /// Forward neighbors of `u_i` (ids `> i`), ascending.
+    #[inline]
+    pub fn forward_neighbors(&self, i: usize) -> &[usize] {
+        &self.forward[i]
+    }
+
+    /// Backward neighbors of `u_i` as a bitset.
+    #[inline]
+    pub fn backward_set(&self, i: usize) -> QVSet {
+        self.backward_set[i]
+    }
+
+    /// Forward neighbors of `u_i` as a bitset.
+    #[inline]
+    pub fn forward_set(&self, i: usize) -> QVSet {
+        self.forward_set[i]
+    }
+
+    /// `true` when `u_i` belongs to the query's 2-core (edge nogood guards are only
+    /// generated inside the 2-core, §3.3.3).
+    #[inline]
+    pub fn in_two_core(&self, i: usize) -> bool {
+        self.in_two_core[i]
+    }
+
+    /// Id of `u_i` in the original (pre-renumbering) query graph.
+    #[inline]
+    pub fn original_id(&self, i: usize) -> VertexId {
+        self.original_id[i]
+    }
+
+    /// Translates an embedding expressed over the renumbered vertices back into a
+    /// mapping indexed by the original query-vertex ids.
+    pub fn embedding_in_original_ids(&self, embedding: &[VertexId]) -> Vec<VertexId> {
+        let mut out = vec![0 as VertexId; embedding.len()];
+        for (i, &v) in embedding.iter().enumerate() {
+            out[self.original_id[i] as usize] = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn paper_query() -> QueryGraph {
+        // Fig. 1(a): u0(A)-u1(B), u1-u2(C), u2-u3(D), u3-u4(A), u4-u0, u1-u4? No: edges
+        // are u0-u1, u1-u2, u2-u3, u3-u4, u4-u0 (a 5-cycle with labels A B C D A).
+        QueryGraph::new(graph_from_edges(
+            &[0, 1, 2, 3, 0],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_query() {
+        let g = crate::GraphBuilder::new().build();
+        assert_eq!(QueryGraph::new(g).unwrap_err(), QueryGraphError::Empty);
+    }
+
+    #[test]
+    fn rejects_disconnected_query() {
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        assert_eq!(QueryGraph::new(g).unwrap_err(), QueryGraphError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_oversized_query() {
+        let mut b = crate::GraphBuilder::new();
+        b.add_vertices(65, 0);
+        for i in 0..64u32 {
+            b.add_edge(i, i + 1);
+        }
+        let err = QueryGraph::new(b.build()).unwrap_err();
+        assert!(matches!(err, QueryGraphError::TooLarge { vertices: 65 }));
+    }
+
+    #[test]
+    fn density_classification() {
+        let sparse = paper_query();
+        assert!(!sparse.is_dense());
+        let dense = QueryGraph::new(graph_from_edges(
+            &[0; 4],
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        ))
+        .unwrap();
+        assert!(dense.is_dense());
+    }
+
+    #[test]
+    fn ordered_query_neighbor_views() {
+        let q = paper_query();
+        let oq = q.with_order(&[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(oq.backward_neighbors(0), &[] as &[usize]);
+        assert_eq!(oq.backward_neighbors(1), &[0]);
+        assert_eq!(oq.backward_neighbors(4), &[0, 3]);
+        assert_eq!(oq.forward_neighbors(0), &[1, 4]);
+        assert_eq!(oq.forward_neighbors(4), &[] as &[usize]);
+        assert_eq!(oq.backward_set(4), QVSet::from_iter([0, 3]));
+        assert_eq!(oq.forward_set(2), QVSet::from_iter([3]));
+    }
+
+    #[test]
+    fn ordered_query_validates_connected_order() {
+        let q = paper_query();
+        // 0,2 is not connected: u1=2 has no neighbor among {0}.
+        let err = q.with_order(&[0, 2, 1, 3, 4]).unwrap_err();
+        assert!(matches!(err, OrderError::NotConnected { position: 1 }));
+        // Not a permutation.
+        let err = q.with_order(&[0, 0, 1, 2, 3]).unwrap_err();
+        assert_eq!(err, OrderError::NotAPermutation);
+        let err = q.with_order(&[0, 1, 2]).unwrap_err();
+        assert_eq!(err, OrderError::NotAPermutation);
+    }
+
+    #[test]
+    fn ordered_query_two_core_membership() {
+        // Triangle plus pendant: pendant is outside the 2-core.
+        let q = QueryGraph::new(graph_from_edges(
+            &[0, 0, 0, 0],
+            &[(0, 1), (1, 2), (2, 0), (2, 3)],
+        ))
+        .unwrap();
+        let oq = q.with_order(&[0, 1, 2, 3]).unwrap();
+        assert!(oq.in_two_core(0));
+        assert!(oq.in_two_core(2));
+        assert!(!oq.in_two_core(3));
+        // The whole 5-cycle is its own 2-core.
+        let cyc = paper_query().with_order(&[0, 1, 2, 3, 4]).unwrap();
+        assert!((0..5).all(|i| cyc.in_two_core(i)));
+    }
+
+    #[test]
+    fn reordering_preserves_labels_and_original_ids() {
+        let q = paper_query();
+        let oq = q.with_order(&[2, 1, 0, 4, 3]).unwrap();
+        assert_eq!(oq.original_id(0), 2);
+        assert_eq!(oq.graph().label(0), 2); // label C moved with original vertex 2
+        assert_eq!(oq.original_id(4), 3);
+        // Edges preserved: original (2,3) -> new (0,4).
+        assert!(oq.graph().has_edge(0, 4));
+    }
+
+    #[test]
+    fn embedding_translation_back_to_original_ids() {
+        let q = paper_query();
+        let oq = q.with_order(&[4, 3, 2, 1, 0]).unwrap();
+        // Renumbered embedding assigns u_i -> 100+i.
+        let emb: Vec<u32> = (0..5).map(|i| 100 + i).collect();
+        let back = oq.embedding_in_original_ids(&emb);
+        // Original vertex 4 was renumbered to 0, so it maps to 100.
+        assert_eq!(back[4], 100);
+        assert_eq!(back[0], 104);
+    }
+}

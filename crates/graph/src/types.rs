@@ -1,0 +1,346 @@
+//! Core scalar types shared across the workspace.
+//!
+//! Data-graph vertex ids and labels are `u32` to halve memory traffic versus `usize`
+//! (data graphs in the paper go up to ~3.8 M vertices / 16.5 M edges, well within
+//! `u32`).  Query-vertex sets are 64-bit bitsets because every workload in the paper
+//! uses queries of at most 32 vertices; the matcher relies on O(1) set operations for
+//! its complexity bounds (§3.6 of the paper).
+
+/// Identifier of a vertex in a data graph or a query graph.
+pub type VertexId = u32;
+
+/// Vertex label. Labels are dense small integers (the loaders remap arbitrary label
+/// strings/ids into a dense range).
+pub type Label = u32;
+
+/// Maximum number of query vertices supported by the bitset-based masks.
+pub const MAX_QUERY_VERTICES: usize = 64;
+
+/// A set of query vertices represented as a 64-bit bitmask.
+///
+/// Used for conflict masks, deadend masks, bounding sets, and nogood-guard domains.
+/// All operations are O(1), matching the paper's assumption that "a bit vector of
+/// length |V_Q| takes O(1) space and O(1) time for set operations".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QVSet(u64);
+
+impl QVSet {
+    /// The empty set.
+    pub const EMPTY: QVSet = QVSet(0);
+
+    /// Creates an empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        QVSet(0)
+    }
+
+    /// Creates a set containing the single query vertex `i`.
+    #[inline]
+    pub fn singleton(i: usize) -> Self {
+        debug_assert!(i < MAX_QUERY_VERTICES);
+        QVSet(1u64 << i)
+    }
+
+    /// Creates a set containing all query vertices `0..n`.
+    #[inline]
+    pub fn all_below(n: usize) -> Self {
+        debug_assert!(n <= MAX_QUERY_VERTICES);
+        if n >= 64 {
+            QVSet(u64::MAX)
+        } else {
+            QVSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Creates a set from an iterator of query-vertex indices.
+    pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = QVSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Raw bit representation.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a set from a raw bit representation.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        QVSet(bits)
+    }
+
+    /// Returns `true` when the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of query vertices in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Adds query vertex `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < MAX_QUERY_VERTICES);
+        self.0 |= 1u64 << i;
+    }
+
+    /// Removes query vertex `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < MAX_QUERY_VERTICES);
+        self.0 &= !(1u64 << i);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, i: usize) -> bool {
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: QVSet) -> QVSet {
+        QVSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: QVSet) -> QVSet {
+        QVSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub const fn difference(self, other: QVSet) -> QVSet {
+        QVSet(self.0 & !other.0)
+    }
+
+    /// Returns `self \ {i}` without mutating.
+    #[inline]
+    pub fn without(self, i: usize) -> QVSet {
+        debug_assert!(i < MAX_QUERY_VERTICES);
+        QVSet(self.0 & !(1u64 << i))
+    }
+
+    /// Returns `self ∪ {i}` without mutating.
+    #[inline]
+    pub fn with(self, i: usize) -> QVSet {
+        debug_assert!(i < MAX_QUERY_VERTICES);
+        QVSet(self.0 | (1u64 << i))
+    }
+
+    /// Subset test: is `self ⊆ other`?
+    #[inline]
+    pub const fn is_subset_of(self, other: QVSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Restriction to query vertices with index `< i` (the paper's `[: i]` filtering).
+    #[inline]
+    pub fn below(self, i: usize) -> QVSet {
+        QVSet(self.0 & QVSet::all_below(i).0)
+    }
+
+    /// Largest element of the set, if any.
+    #[inline]
+    pub fn max(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// Smallest element of the set, if any.
+    #[inline]
+    pub fn min(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterates over the members in ascending order.
+    #[inline]
+    pub fn iter(self) -> QVSetIter {
+        QVSetIter(self.0)
+    }
+}
+
+impl std::fmt::Debug for QVSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("{")?;
+        let mut first = true;
+        for i in self.iter() {
+            if !first {
+                f.write_str(",")?;
+            }
+            write!(f, "u{i}")?;
+            first = false;
+        }
+        f.write_str("}")
+    }
+}
+
+impl FromIterator<usize> for QVSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        QVSet::from_iter(iter)
+    }
+}
+
+impl std::ops::BitOr for QVSet {
+    type Output = QVSet;
+    #[inline]
+    fn bitor(self, rhs: QVSet) -> QVSet {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for QVSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: QVSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for QVSet {
+    type Output = QVSet;
+    #[inline]
+    fn bitand(self, rhs: QVSet) -> QVSet {
+        self.intersection(rhs)
+    }
+}
+
+/// Iterator over the members of a [`QVSet`].
+pub struct QVSetIter(u64);
+
+impl Iterator for QVSetIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for QVSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_properties() {
+        let s = QVSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.iter().count(), 0);
+        assert!(s.is_subset_of(QVSet::new()));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = QVSet::new();
+        s.insert(3);
+        s.insert(17);
+        s.insert(63);
+        assert!(s.contains(3));
+        assert!(s.contains(17));
+        assert!(s.contains(63));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 3);
+        s.remove(17);
+        assert!(!s.contains(17));
+        assert_eq!(s.len(), 2);
+        // Removing an element not in the set is a no-op.
+        s.remove(17);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = QVSet::from_iter([0, 1, 2, 5]);
+        let b = QVSet::from_iter([2, 5, 9]);
+        assert_eq!(a.union(b), QVSet::from_iter([0, 1, 2, 5, 9]));
+        assert_eq!(a.intersection(b), QVSet::from_iter([2, 5]));
+        assert_eq!(a.difference(b), QVSet::from_iter([0, 1]));
+        assert_eq!(b.difference(a), QVSet::from_iter([9]));
+    }
+
+    #[test]
+    fn subset_and_below() {
+        let a = QVSet::from_iter([1, 3, 7]);
+        let b = QVSet::from_iter([0, 1, 3, 7, 8]);
+        assert!(a.is_subset_of(b));
+        assert!(!b.is_subset_of(a));
+        assert_eq!(a.below(4), QVSet::from_iter([1, 3]));
+        assert_eq!(a.below(0), QVSet::EMPTY);
+        assert_eq!(b.below(64), b);
+    }
+
+    #[test]
+    fn all_below_boundaries() {
+        assert_eq!(QVSet::all_below(0), QVSet::EMPTY);
+        assert_eq!(QVSet::all_below(1), QVSet::singleton(0));
+        assert_eq!(QVSet::all_below(64).len(), 64);
+        assert_eq!(QVSet::all_below(32).len(), 32);
+    }
+
+    #[test]
+    fn min_max_iter_order() {
+        let s = QVSet::from_iter([40, 2, 9]);
+        assert_eq!(s.min(), Some(2));
+        assert_eq!(s.max(), Some(40));
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![2, 9, 40]);
+    }
+
+    #[test]
+    fn with_without_do_not_mutate() {
+        let s = QVSet::from_iter([1, 2]);
+        let t = s.with(5);
+        let u = s.without(2);
+        assert_eq!(s, QVSet::from_iter([1, 2]));
+        assert_eq!(t, QVSet::from_iter([1, 2, 5]));
+        assert_eq!(u, QVSet::from_iter([1]));
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let s = QVSet::from_iter([0, 2]);
+        assert_eq!(format!("{s:?}"), "{u0,u2}");
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a = QVSet::from_iter([0, 1]);
+        let b = QVSet::from_iter([1, 2]);
+        assert_eq!(a | b, a.union(b));
+        assert_eq!(a & b, a.intersection(b));
+        let mut c = a;
+        c |= b;
+        assert_eq!(c, a.union(b));
+    }
+}

@@ -1,0 +1,210 @@
+//! Synthetic analogues of the paper's four data graphs.
+//!
+//! | Dataset | Vertices | Edges | Labels | Notes |
+//! |---------|---------:|------:|-------:|-------|
+//! | Yeast   | 3,112    | 12,519 | 71 | protein interaction |
+//! | Human   | 4,674    | 86,282 | 44 | dense biology graph |
+//! | WordNet | 76,853   | 120,399 | 5 | sparse, few labels |
+//! | Patents | 3,774,768 | 16,518,947 | 20 | citation graph, random labels |
+//!
+//! The generator reproduces the *scale and shape* (vertex/edge ratio, label count,
+//! skewed degrees) rather than the exact topology; a `scale` factor in `(0, 1]` shrinks
+//! the graphs proportionally so the full experiment suite completes quickly.
+
+use gup_graph::generate::{power_law_graph, PowerLawConfig};
+use gup_graph::stats::GraphStats;
+use gup_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// The four data graphs of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Yeast protein-interaction graph analogue.
+    Yeast,
+    /// Human protein-interaction graph analogue (denser).
+    Human,
+    /// WordNet analogue (large, sparse, only 5 labels).
+    WordNet,
+    /// Patents citation-graph analogue (the largest).
+    Patents,
+}
+
+impl Dataset {
+    /// All datasets in the order the paper lists them.
+    pub const ALL: [Dataset; 4] = [
+        Dataset::Yeast,
+        Dataset::Human,
+        Dataset::WordNet,
+        Dataset::Patents,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Yeast => "Yeast",
+            Dataset::Human => "Human",
+            Dataset::WordNet => "WordNet",
+            Dataset::Patents => "Patents",
+        }
+    }
+
+    /// Published statistics of the original dataset (vertices, edges, labels).
+    pub fn paper_spec(self) -> DatasetSpec {
+        match self {
+            Dataset::Yeast => DatasetSpec {
+                dataset: self,
+                vertices: 3_112,
+                edges: 12_519,
+                labels: 71,
+            },
+            Dataset::Human => DatasetSpec {
+                dataset: self,
+                vertices: 4_674,
+                edges: 86_282,
+                labels: 44,
+            },
+            Dataset::WordNet => DatasetSpec {
+                dataset: self,
+                vertices: 76_853,
+                edges: 120_399,
+                labels: 5,
+            },
+            Dataset::Patents => DatasetSpec {
+                dataset: self,
+                vertices: 3_774_768,
+                edges: 16_518_947,
+                labels: 20,
+            },
+        }
+    }
+
+    /// Generates the analogue graph at the given scale (`1.0` = published size,
+    /// smaller values shrink vertex count proportionally while preserving the
+    /// edge-per-vertex ratio and label count). Deterministic per (dataset, scale).
+    pub fn generate(self, scale: f64) -> ScaledDataset {
+        let spec = self.paper_spec();
+        let scale = scale.clamp(1e-4, 1.0);
+        let vertices = ((spec.vertices as f64 * scale) as usize).max(64);
+        let edges_per_vertex = ((spec.edges as f64 / spec.vertices as f64).round() as usize).max(1);
+        let graph = power_law_graph(&PowerLawConfig {
+            vertices,
+            edges_per_vertex,
+            labels: spec.labels,
+            label_skew: match self {
+                Dataset::WordNet => 0.6,
+                Dataset::Patents => 0.0, // the paper assigns Patents labels uniformly at random
+                _ => 1.0,
+            },
+            extra_edge_fraction: 0.05,
+            seed: match self {
+                Dataset::Yeast => 0x59_45_41_53_54,
+                Dataset::Human => 0x48_55_4d_41_4e,
+                Dataset::WordNet => 0x57_4f_52_44,
+                Dataset::Patents => 0x50_41_54_45,
+            },
+        });
+        ScaledDataset {
+            dataset: self,
+            scale,
+            graph,
+        }
+    }
+}
+
+/// Published statistics of a dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which dataset.
+    pub dataset: Dataset,
+    /// Vertex count of the original graph.
+    pub vertices: usize,
+    /// Edge count of the original graph.
+    pub edges: usize,
+    /// Number of distinct labels.
+    pub labels: usize,
+}
+
+impl DatasetSpec {
+    /// Average degree of the original graph.
+    pub fn average_degree(&self) -> f64 {
+        2.0 * self.edges as f64 / self.vertices as f64
+    }
+}
+
+/// A generated analogue graph together with its provenance.
+#[derive(Clone, Debug)]
+pub struct ScaledDataset {
+    /// Which dataset this is an analogue of.
+    pub dataset: Dataset,
+    /// The scale factor it was generated at.
+    pub scale: f64,
+    /// The generated graph.
+    pub graph: Graph,
+}
+
+impl ScaledDataset {
+    /// Summary statistics of the generated graph (triangle counting skipped: it is
+    /// expensive on the larger analogues).
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::compute(&self.graph, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_match_published_numbers() {
+        assert_eq!(Dataset::Yeast.paper_spec().vertices, 3_112);
+        assert_eq!(Dataset::Human.paper_spec().edges, 86_282);
+        assert_eq!(Dataset::WordNet.paper_spec().labels, 5);
+        assert_eq!(Dataset::Patents.paper_spec().vertices, 3_774_768);
+        assert!(Dataset::Human.paper_spec().average_degree() > Dataset::Yeast.paper_spec().average_degree());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::Yeast.generate(0.1);
+        let b = Dataset::Yeast.generate(0.1);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.dataset.name(), "Yeast");
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = Dataset::Yeast.generate(0.05);
+        let large = Dataset::Yeast.generate(0.2);
+        assert!(small.graph.vertex_count() < large.graph.vertex_count());
+        // Edge-per-vertex ratio roughly preserved (within a factor of ~2 of the spec).
+        let spec_ratio = Dataset::Yeast.paper_spec().edges as f64 / Dataset::Yeast.paper_spec().vertices as f64;
+        let got_ratio = large.graph.edge_count() as f64 / large.graph.vertex_count() as f64;
+        assert!(got_ratio > spec_ratio * 0.5 && got_ratio < spec_ratio * 2.5);
+    }
+
+    #[test]
+    fn label_counts_respect_spec() {
+        let d = Dataset::WordNet.generate(0.02);
+        assert!(d.graph.label_count() <= 5);
+        let stats = d.stats();
+        assert!(stats.labels_used >= 2);
+        assert!(stats.vertices >= 64);
+    }
+
+    #[test]
+    fn all_datasets_generate_at_tiny_scale() {
+        for ds in Dataset::ALL {
+            let scaled = ds.generate(0.002);
+            assert!(scaled.graph.vertex_count() >= 64, "{}", ds.name());
+            assert!(scaled.graph.edge_count() > 0);
+        }
+    }
+
+    #[test]
+    fn scale_is_clamped() {
+        let d = Dataset::Yeast.generate(50.0);
+        assert!(d.scale <= 1.0);
+        let tiny = Dataset::Yeast.generate(0.0);
+        assert!(tiny.scale > 0.0);
+    }
+}

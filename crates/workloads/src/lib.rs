@@ -1,0 +1,24 @@
+//! # gup-workloads
+//!
+//! Synthetic datasets and query sets mirroring the GuP evaluation (§4.1 of the paper).
+//!
+//! The paper evaluates on four labeled data graphs — Yeast, Human, WordNet, Patents —
+//! and on 32 query sets (four sizes × two densities per data graph), each query being
+//! an induced subgraph of a random walk over the data graph. Those exact files are not
+//! redistributable here, so this crate generates deterministic *analogues* at a
+//! configurable scale:
+//!
+//! * [`datasets`] — a catalog of the four data graphs with their published
+//!   vertex/edge/label counts, generated as labeled preferential-attachment graphs
+//!   scaled by a user-chosen factor (so that the whole benchmark suite runs on a
+//!   laptop).
+//! * [`queries`] — the query-set generator: random-walk extraction, sparse/dense
+//!   classification (average degree below / at-least 3), fixed sizes 8–32.
+//!
+//! Everything is seeded and reproducible; see DESIGN.md for the substitution rationale.
+
+pub mod datasets;
+pub mod queries;
+
+pub use datasets::{Dataset, DatasetSpec, ScaledDataset};
+pub use queries::{generate_query_set, QueryClass, QuerySetSpec};

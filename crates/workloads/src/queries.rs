@@ -1,0 +1,170 @@
+//! Query-set generation (paper §4.1).
+//!
+//! "We performed a random walk on a data graph and extracted a subgraph induced by the
+//! visited vertices as a query graph. A query graph is classified as a sparse query
+//! graph if its average degree is less than three; otherwise, it is classified as a
+//! dense query graph." Query sets are named like the paper's: `8S`, `16S`, `24S`,
+//! `32S` (sparse) and `8D`, `16D`, `24D`, `32D` (dense).
+
+use gup_graph::algo::is_connected;
+use gup_graph::generate::random_walk_query;
+use gup_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Density class of a query set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryClass {
+    /// Average degree < 3.
+    Sparse,
+    /// Average degree ≥ 3.
+    Dense,
+}
+
+impl QueryClass {
+    /// The paper's one-letter suffix ("S" / "D").
+    pub fn suffix(self) -> &'static str {
+        match self {
+            QueryClass::Sparse => "S",
+            QueryClass::Dense => "D",
+        }
+    }
+
+    /// Classifies a query graph by its average degree.
+    pub fn of(query: &Graph) -> QueryClass {
+        if query.average_degree() < 3.0 {
+            QueryClass::Sparse
+        } else {
+            QueryClass::Dense
+        }
+    }
+}
+
+/// Specification of one query set ("16S", "24D", ...).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuerySetSpec {
+    /// Number of vertices per query (the paper uses 8, 16, 24, 32).
+    pub vertices: usize,
+    /// Sparse or dense.
+    pub class: QueryClass,
+}
+
+impl QuerySetSpec {
+    /// The paper's eight query sets per data graph, in its order:
+    /// 8S, 16S, 24S, 32S, 8D, 16D, 24D, 32D.
+    pub const PAPER_SETS: [QuerySetSpec; 8] = [
+        QuerySetSpec { vertices: 8, class: QueryClass::Sparse },
+        QuerySetSpec { vertices: 16, class: QueryClass::Sparse },
+        QuerySetSpec { vertices: 24, class: QueryClass::Sparse },
+        QuerySetSpec { vertices: 32, class: QueryClass::Sparse },
+        QuerySetSpec { vertices: 8, class: QueryClass::Dense },
+        QuerySetSpec { vertices: 16, class: QueryClass::Dense },
+        QuerySetSpec { vertices: 24, class: QueryClass::Dense },
+        QuerySetSpec { vertices: 32, class: QueryClass::Dense },
+    ];
+
+    /// The paper's name for this set ("16S", "24D", ...).
+    pub fn name(&self) -> String {
+        format!("{}{}", self.vertices, self.class.suffix())
+    }
+}
+
+/// Generates `count` query graphs of the given specification from `data` by random
+/// walks. Queries that come out in the wrong density class are rejected and the walk
+/// retried; generation is deterministic for a given `(spec, count, seed)`.
+///
+/// The returned vector may be shorter than `count` if the data graph cannot produce
+/// enough queries of the requested class within a bounded number of attempts (for
+/// example, dense 32-vertex queries on a very sparse data graph).
+pub fn generate_query_set(
+    data: &Graph,
+    spec: QuerySetSpec,
+    count: usize,
+    seed: u64,
+) -> Vec<Graph> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (spec.vertices as u64) << 8 ^ matches!(spec.class, QueryClass::Dense) as u64);
+    let mut out = Vec::with_capacity(count);
+    let max_attempts = count * 400;
+    let mut attempts = 0;
+    while out.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let Some(query) = random_walk_query(data, spec.vertices, &mut rng) else {
+            continue;
+        };
+        if !is_connected(&query) || query.vertex_count() != spec.vertices {
+            continue;
+        }
+        if QueryClass::of(&query) == spec.class {
+            out.push(query);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+
+    #[test]
+    fn class_suffixes_and_names() {
+        assert_eq!(QueryClass::Sparse.suffix(), "S");
+        assert_eq!(QueryClass::Dense.suffix(), "D");
+        assert_eq!(QuerySetSpec { vertices: 16, class: QueryClass::Sparse }.name(), "16S");
+        assert_eq!(QuerySetSpec::PAPER_SETS.len(), 8);
+        assert_eq!(QuerySetSpec::PAPER_SETS[7].name(), "32D");
+    }
+
+    #[test]
+    fn classification_by_average_degree() {
+        let path = gup_graph::fixtures::path(8, 0);
+        assert_eq!(QueryClass::of(&path), QueryClass::Sparse);
+        let clique = gup_graph::fixtures::clique4(0);
+        assert_eq!(QueryClass::of(&clique), QueryClass::Dense);
+    }
+
+    #[test]
+    fn generated_queries_match_spec() {
+        let data = Dataset::Yeast.generate(0.2).graph;
+        let spec = QuerySetSpec { vertices: 8, class: QueryClass::Sparse };
+        let set = generate_query_set(&data, spec, 10, 7);
+        assert!(!set.is_empty());
+        for q in &set {
+            assert_eq!(q.vertex_count(), 8);
+            assert!(is_connected(q));
+            assert_eq!(QueryClass::of(q), QueryClass::Sparse);
+        }
+    }
+
+    #[test]
+    fn dense_queries_from_dense_dataset() {
+        let data = Dataset::Human.generate(0.05).graph;
+        let spec = QuerySetSpec { vertices: 8, class: QueryClass::Dense };
+        let set = generate_query_set(&data, spec, 5, 3);
+        for q in &set {
+            assert!(q.average_degree() >= 3.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let data = Dataset::Yeast.generate(0.1).graph;
+        let spec = QuerySetSpec { vertices: 8, class: QueryClass::Sparse };
+        let a = generate_query_set(&data, spec, 5, 42);
+        let b = generate_query_set(&data, spec, 5, 42);
+        assert_eq!(a, b);
+        let c = generate_query_set(&data, spec, 5, 43);
+        // Different seeds should (almost surely) give a different set.
+        assert!(a != c || a.is_empty());
+    }
+
+    #[test]
+    fn impossible_specs_return_short_sets() {
+        // A tree-like tiny data graph cannot produce dense 32-vertex queries.
+        let data = gup_graph::fixtures::path(40, 0);
+        let spec = QuerySetSpec { vertices: 32, class: QueryClass::Dense };
+        let set = generate_query_set(&data, spec, 3, 1);
+        assert!(set.len() < 3);
+    }
+}

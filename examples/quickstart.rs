@@ -1,0 +1,51 @@
+//! Quickstart: run GuP on the paper's running example (Fig. 1).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the 5-vertex query and 14-vertex data graph from the paper, enumerates every
+//! embedding, and prints them together with the search statistics the paper reports
+//! (recursions, futile recursions, guard usage).
+
+use gup::{GupConfig, GupMatcher, SearchLimits};
+use gup_graph::fixtures::paper_example;
+
+fn main() {
+    let (query, data) = paper_example();
+    println!(
+        "query: {} vertices / {} edges; data: {} vertices / {} edges",
+        query.vertex_count(),
+        query.edge_count(),
+        data.vertex_count(),
+        data.edge_count()
+    );
+
+    let config = GupConfig {
+        collect_embeddings: true,
+        limits: SearchLimits::UNLIMITED,
+        ..GupConfig::default()
+    };
+    let matcher = GupMatcher::new(&query, &data, config).expect("valid query");
+    let result = matcher.run();
+
+    println!("\nfound {} embedding(s):", result.embedding_count());
+    for (i, emb) in result.embeddings.iter().enumerate() {
+        let rendered: Vec<String> = emb
+            .iter()
+            .enumerate()
+            .map(|(u, v)| format!("u{u}->v{v}"))
+            .collect();
+        println!("  #{i}: {}", rendered.join(", "));
+    }
+
+    let s = &result.stats;
+    println!("\nsearch statistics:");
+    println!("  recursions            : {}", s.recursions);
+    println!("  futile recursions     : {}", s.futile_recursions);
+    println!("  pruned by reservation : {}", s.pruned_by_reservation);
+    println!("  pruned by nogood (NV) : {}", s.pruned_by_nogood_vertex);
+    println!("  pruned by nogood (NE) : {}", s.pruned_by_nogood_edge);
+    println!("  backjumps             : {}", s.backjumps);
+    println!("  guard prune rate      : {:.1}%", s.guard_prune_rate() * 100.0);
+}

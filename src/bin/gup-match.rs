@@ -1,0 +1,236 @@
+//! `gup-match` — command-line subgraph matcher.
+//!
+//! Loads a data graph and one or more query graphs in the community `t/v/e` text
+//! format and runs the selected matcher, printing a per-query summary line (and
+//! optionally the embeddings themselves).
+//!
+//! ```text
+//! gup-match --data data.graph --query query.graph
+//! gup-match --data data.graph --query q1.graph --query q2.graph \
+//!           --method daf --limit 100000 --timeout-ms 60000
+//! gup-match --data data.graph --query query.graph --print-embeddings --threads 8
+//! ```
+//!
+//! Methods: `gup` (default), `gup-noguards`, `daf`, `gql`, `ri`, `join`.
+
+use gup::{GupConfig, GupMatcher, PruningFeatures, SearchLimits};
+use gup_baselines::{BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline};
+use gup_graph::io::load_graph;
+use gup_graph::Graph;
+use gup_order::OrderingStrategy;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+struct Options {
+    data: String,
+    queries: Vec<String>,
+    method: String,
+    limit: Option<u64>,
+    timeout: Option<Duration>,
+    threads: usize,
+    print_embeddings: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: gup-match --data <file> --query <file> [--query <file> ...]\n\
+     options:\n\
+       --method <gup|gup-noguards|daf|gql|ri|join>   matcher to run (default: gup)\n\
+       --limit <n>            stop after n embeddings (default: 100000; 0 = unlimited)\n\
+       --timeout-ms <n>       per-query time limit in milliseconds (default: none)\n\
+       --threads <n>          worker threads for the GuP methods (default: 1)\n\
+       --print-embeddings     print every embedding (GuP methods only)\n\
+       --help                 show this message"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        data: String::new(),
+        queries: Vec::new(),
+        method: "gup".to_string(),
+        limit: Some(100_000),
+        timeout: None,
+        threads: 1,
+        print_embeddings: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data" => {
+                i += 1;
+                opts.data = args.get(i).cloned().ok_or("--data needs a path")?;
+            }
+            "--query" => {
+                i += 1;
+                opts.queries.push(args.get(i).cloned().ok_or("--query needs a path")?);
+            }
+            "--method" => {
+                i += 1;
+                opts.method = args.get(i).cloned().ok_or("--method needs a value")?;
+            }
+            "--limit" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--limit needs an integer")?;
+                opts.limit = if n == 0 { None } else { Some(n) };
+            }
+            "--timeout-ms" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--timeout-ms needs an integer")?;
+                opts.timeout = Some(Duration::from_millis(n));
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs an integer")?;
+            }
+            "--print-embeddings" => opts.print_embeddings = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if opts.data.is_empty() {
+        return Err("missing --data".to_string());
+    }
+    if opts.queries.is_empty() {
+        return Err("missing --query".to_string());
+    }
+    Ok(opts)
+}
+
+fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, String> {
+    let start = Instant::now();
+    let line = match opts.method.as_str() {
+        "gup" | "gup-noguards" => {
+            let config = GupConfig {
+                features: if opts.method == "gup" {
+                    PruningFeatures::ALL
+                } else {
+                    PruningFeatures::NONE
+                },
+                collect_embeddings: opts.print_embeddings,
+                limits: SearchLimits {
+                    max_embeddings: opts.limit,
+                    time_limit: opts.timeout,
+                    max_recursions: None,
+                },
+                ..GupConfig::default()
+            };
+            let matcher = GupMatcher::new(query, data, config).map_err(|e| e.to_string())?;
+            let result = if opts.threads > 1 {
+                matcher.run_parallel(opts.threads)
+            } else {
+                matcher.run()
+            };
+            if opts.print_embeddings {
+                for emb in &result.embeddings {
+                    let cells: Vec<String> = emb.iter().map(|v| v.to_string()).collect();
+                    println!("embedding\t{}", cells.join("\t"));
+                }
+            }
+            format!(
+                "embeddings={} recursions={} futile={} backjumps={} pruned_by_guards={} elapsed={:?}{}",
+                result.embedding_count(),
+                result.stats.recursions,
+                result.stats.futile_recursions,
+                result.stats.backjumps,
+                result.stats.pruned_by_reservation + result.stats.pruned_by_nogood_vertex,
+                start.elapsed(),
+                if result.stats.terminated_early() { " (terminated early)" } else { "" }
+            )
+        }
+        "daf" | "gql" | "ri" => {
+            let kind = match opts.method.as_str() {
+                "daf" => BaselineKind::DafFailingSet,
+                "gql" => BaselineKind::GqlStyle,
+                _ => BaselineKind::RiStyle,
+            };
+            let matcher = BacktrackingBaseline::new(query, data, kind).map_err(|e| e.to_string())?;
+            let result = matcher.run(BaselineLimits {
+                max_embeddings: opts.limit,
+                time_limit: opts.timeout,
+            });
+            format!(
+                "embeddings={} recursions={} futile={} elapsed={:?}{}",
+                result.embeddings,
+                result.recursions,
+                result.futile_recursions,
+                start.elapsed(),
+                if result.terminated_early() { " (terminated early)" } else { "" }
+            )
+        }
+        "join" => {
+            let matcher = JoinBaseline::new(query, data, OrderingStrategy::GqlStyle)
+                .ok_or("query rejected (empty, disconnected, or > 64 vertices)")?;
+            let result = matcher.run(BaselineLimits {
+                max_embeddings: opts.limit,
+                time_limit: opts.timeout,
+            });
+            format!(
+                "embeddings={} intermediate_results={} elapsed={:?}{}",
+                result.embeddings,
+                result.recursions,
+                start.elapsed(),
+                if result.terminated_early() { " (terminated early)" } else { "" }
+            )
+        }
+        other => return Err(format!("unknown method '{other}' (expected gup, gup-noguards, daf, gql, ri, join)")),
+    };
+    Ok(line)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{}", usage());
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        }
+    };
+    let data = match load_graph(&opts.data) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: cannot load data graph {}: {e}", opts.data);
+            return ExitCode::from(1);
+        }
+    };
+    eprintln!(
+        "data graph: {} vertices, {} edges, {} labels",
+        data.vertex_count(),
+        data.edge_count(),
+        data.label_count()
+    );
+    let mut failures = 0;
+    for path in &opts.queries {
+        match load_graph(path) {
+            Ok(query) => match run_query(&query, &data, &opts) {
+                Ok(line) => println!("{path}\tmethod={}\t{line}", opts.method),
+                Err(e) => {
+                    eprintln!("error: query {path}: {e}");
+                    failures += 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot load query {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,23 @@
+//! # gup-suite
+//!
+//! Umbrella crate of the GuP reproduction workspace. It re-exports the member crates
+//! so that the runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`) have a single import surface:
+//!
+//! * [`gup`] — the GuP matcher itself (guarded candidate space, reservation and nogood
+//!   guards, backtracking with backjumping, parallel search).
+//! * [`gup_graph`] — the labeled-graph substrate (CSR graphs, loaders, generators).
+//! * [`gup_candidate`] — candidate filtering and the candidate space.
+//! * [`gup_order`] — matching-order optimizers.
+//! * [`gup_baselines`] — the comparator matchers used in the evaluation.
+//! * [`gup_workloads`] — synthetic datasets and query sets mirroring the paper's.
+//!
+//! See `README.md` for the project overview, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the reproduction of every table and figure.
+
+pub use gup;
+pub use gup_baselines;
+pub use gup_candidate;
+pub use gup_graph;
+pub use gup_order;
+pub use gup_workloads;

@@ -1,0 +1,65 @@
+//! Integration test for the file-based workflow that backs the `gup-match` CLI:
+//! write graphs to disk in the `t/v/e` format, load them back, and run every matcher
+//! family on the loaded copies. (The CLI binary itself is a thin argument parser over
+//! exactly this path.)
+
+use gup::{GupConfig, GupMatcher, SearchLimits};
+use gup_baselines::{brute_force, BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline};
+use gup_graph::io::{load_graph, save_graph};
+use gup_order::OrderingStrategy;
+use gup_workloads::{generate_query_set, Dataset, QueryClass, QuerySetSpec};
+
+#[test]
+fn matchers_work_on_graphs_loaded_from_disk() {
+    let dir = std::env::temp_dir().join(format!("gup_cli_roundtrip_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let data = Dataset::Yeast.generate(0.05).graph;
+    let queries = generate_query_set(
+        &data,
+        QuerySetSpec { vertices: 8, class: QueryClass::Sparse },
+        2,
+        17,
+    );
+    assert!(!queries.is_empty(), "workload generator must produce queries");
+
+    let data_path = dir.join("data.graph");
+    save_graph(&data, &data_path).unwrap();
+    let loaded_data = load_graph(&data_path).unwrap();
+    assert_eq!(loaded_data, data);
+
+    for (i, query) in queries.iter().enumerate() {
+        let query_path = dir.join(format!("query_{i}.graph"));
+        save_graph(query, &query_path).unwrap();
+        let loaded_query = load_graph(&query_path).unwrap();
+        assert_eq!(&loaded_query, query);
+
+        let expected = brute_force::count(&loaded_query, &loaded_data);
+
+        let gup_count = GupMatcher::new(
+            &loaded_query,
+            &loaded_data,
+            GupConfig {
+                limits: SearchLimits::UNLIMITED,
+                ..GupConfig::default()
+            },
+        )
+        .unwrap()
+        .run()
+        .embedding_count();
+        assert_eq!(gup_count, expected);
+
+        let daf = BacktrackingBaseline::new(&loaded_query, &loaded_data, BaselineKind::DafFailingSet)
+            .unwrap()
+            .run(BaselineLimits::UNLIMITED)
+            .embeddings;
+        assert_eq!(daf, expected);
+
+        let join = JoinBaseline::new(&loaded_query, &loaded_data, OrderingStrategy::GqlStyle)
+            .unwrap()
+            .count();
+        assert_eq!(join, expected);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

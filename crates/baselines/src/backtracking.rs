@@ -120,8 +120,12 @@ impl BacktrackingBaseline {
             .expect("ordering strategies produce connected orders");
         let space = space.permuted(&order);
         let n = ordered.vertex_count();
-        let backward: Vec<Vec<usize>> = (0..n).map(|i| ordered.backward_neighbors(i).to_vec()).collect();
-        let forward: Vec<Vec<usize>> = (0..n).map(|i| ordered.forward_neighbors(i).to_vec()).collect();
+        let backward: Vec<Vec<usize>> = (0..n)
+            .map(|i| ordered.backward_neighbors(i).to_vec())
+            .collect();
+        let forward: Vec<Vec<usize>> = (0..n)
+            .map(|i| ordered.forward_neighbors(i).to_vec())
+            .collect();
         // Ancestor closure: all query vertices reachable by repeatedly following
         // backward neighbors. This is the "and all their ancestors" part of DAF's
         // failing-set definition that the paper contrasts with GuP's smaller masks.
@@ -333,7 +337,10 @@ mod tests {
         for kind in BaselineKind::ALL {
             let m = BacktrackingBaseline::new(query, data, kind).unwrap();
             let r = m.run(BaselineLimits::UNLIMITED);
-            assert_eq!(r.embeddings, expected, "kind {kind:?} disagrees with brute force");
+            assert_eq!(
+                r.embeddings, expected,
+                "kind {kind:?} disagrees with brute force"
+            );
         }
     }
 
@@ -341,7 +348,10 @@ mod tests {
     fn all_kinds_agree_with_brute_force_on_fixtures() {
         let (q, d) = fixtures::paper_example();
         check_against_brute_force(&q, &d);
-        check_against_brute_force(&fixtures::triangle_query(), &fixtures::square_with_diagonal());
+        check_against_brute_force(
+            &fixtures::triangle_query(),
+            &fixtures::square_with_diagonal(),
+        );
         check_against_brute_force(
             &fixtures::path(4, 0),
             &graph_from_edges(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
@@ -350,7 +360,17 @@ mod tests {
             &fixtures::clique4(1),
             &graph_from_edges(
                 &[1; 6],
-                &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 4)],
+                &[
+                    (0, 1),
+                    (0, 2),
+                    (0, 3),
+                    (1, 2),
+                    (1, 3),
+                    (2, 3),
+                    (2, 4),
+                    (3, 4),
+                    (1, 4),
+                ],
             ),
         );
     }
@@ -373,7 +393,16 @@ mod tests {
         let q = graph_from_edges(&[0, 0], &[(0, 1)]);
         let d = graph_from_edges(
             &[0; 8],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
         );
         let m = BacktrackingBaseline::new(&q, &d, BaselineKind::Plain).unwrap();
         let r = m.run(BaselineLimits {

@@ -70,9 +70,18 @@ mod tests {
 
     #[test]
     fn triangle_in_square_has_four_embeddings() {
-        let found = enumerate(&fixtures::triangle_query(), &fixtures::square_with_diagonal());
+        let found = enumerate(
+            &fixtures::triangle_query(),
+            &fixtures::square_with_diagonal(),
+        );
         assert_eq!(found.len(), 4);
-        assert_eq!(count(&fixtures::triangle_query(), &fixtures::square_with_diagonal()), 4);
+        assert_eq!(
+            count(
+                &fixtures::triangle_query(),
+                &fixtures::square_with_diagonal()
+            ),
+            4
+        );
         // All reported embeddings are valid and distinct.
         let mut dedup = found.clone();
         dedup.dedup();

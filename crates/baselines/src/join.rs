@@ -34,7 +34,9 @@ impl JoinBaseline {
         let ordered = validated.with_order(&order).ok()?;
         let space = space.permuted(&order);
         let n = ordered.vertex_count();
-        let backward = (0..n).map(|i| ordered.backward_neighbors(i).to_vec()).collect();
+        let backward = (0..n)
+            .map(|i| ordered.backward_neighbors(i).to_vec())
+            .collect();
         Some(JoinBaseline {
             space,
             query_vertices: n,
@@ -68,9 +70,9 @@ impl JoinBaseline {
                 }
                 // Candidates of u_i adjacent to the first bound anchor, then checked
                 // against the remaining anchors and injectivity.
-                let base = self
-                    .space
-                    .adjacent_candidates(first_anchor, binding[first_anchor] as usize, i);
+                let base =
+                    self.space
+                        .adjacent_candidates(first_anchor, binding[first_anchor] as usize, i);
                 'candidates: for &ci in base {
                     for &a in &anchors[1..] {
                         let adj = self.space.adjacent_candidates(a, binding[a] as usize, i);
@@ -145,7 +147,10 @@ mod tests {
     fn join_agrees_with_brute_force() {
         let (q, d) = fixtures::paper_example();
         check(&q, &d);
-        check(&fixtures::triangle_query(), &fixtures::square_with_diagonal());
+        check(
+            &fixtures::triangle_query(),
+            &fixtures::square_with_diagonal(),
+        );
         check(
             &fixtures::path(4, 0),
             &graph_from_edges(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
@@ -154,7 +159,17 @@ mod tests {
             &fixtures::clique4(1),
             &graph_from_edges(
                 &[1; 6],
-                &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 4)],
+                &[
+                    (0, 1),
+                    (0, 2),
+                    (0, 3),
+                    (1, 2),
+                    (1, 3),
+                    (2, 3),
+                    (2, 4),
+                    (3, 4),
+                    (1, 4),
+                ],
             ),
         );
     }
@@ -173,7 +188,16 @@ mod tests {
         let q = graph_from_edges(&[0, 0], &[(0, 1)]);
         let d = graph_from_edges(
             &[0; 8],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
         );
         let join = JoinBaseline::new(&q, &d, OrderingStrategy::GqlStyle).unwrap();
         let r = join.run(BaselineLimits {

@@ -36,10 +36,19 @@ fn bench_feature_ablation(c: &mut Criterion) {
         PruningFeatures::RESERVATION_NV_NE,
         PruningFeatures::ALL,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(features.label()), query, |b, q| {
-            let cfg = config_with(features, Some(3));
-            b.iter(|| GupMatcher::new(q, &data, cfg.clone()).unwrap().run().embedding_count());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(features.label()),
+            query,
+            |b, q| {
+                let cfg = config_with(features, Some(3));
+                b.iter(|| {
+                    GupMatcher::new(q, &data, cfg.clone())
+                        .unwrap()
+                        .run()
+                        .embedding_count()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -54,10 +63,21 @@ fn bench_reservation_size(c: &mut Criterion) {
     let Some(query) = queries.first() else { return };
     let mut group = c.benchmark_group("reservation_size_16S");
     group.sample_size(15);
-    for (label, r) in [("r0", Some(0)), ("r1", Some(1)), ("r3", Some(3)), ("r7", Some(7)), ("rinf", None)] {
+    for (label, r) in [
+        ("r0", Some(0)),
+        ("r1", Some(1)),
+        ("r3", Some(3)),
+        ("r7", Some(7)),
+        ("rinf", None),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), query, |b, q| {
             let cfg = config_with(PruningFeatures::RESERVATION_ONLY, r);
-            b.iter(|| GupMatcher::new(q, &data, cfg.clone()).unwrap().run().embedding_count());
+            b.iter(|| {
+                GupMatcher::new(q, &data, cfg.clone())
+                    .unwrap()
+                    .run()
+                    .embedding_count()
+            });
         });
     }
     group.finish();

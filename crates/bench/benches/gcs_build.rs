@@ -18,7 +18,9 @@ fn bench_construction(c: &mut Criterion) {
             class: QueryClass::Sparse,
         };
         let queries = generate_query_set(&data, spec, 3, 42);
-        let Some(query) = queries.first() else { continue };
+        let Some(query) = queries.first() else {
+            continue;
+        };
         group.bench_with_input(
             BenchmarkId::new("candidate_space", format!("{}S", size)),
             query,

@@ -19,7 +19,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut config = SuiteConfig::default();
-    let mut max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let mut i = 0;
     while i < args.len() {
@@ -103,12 +105,10 @@ fn run_one(name: &str, config: &SuiteConfig, max_threads: usize) -> String {
 }
 
 fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
-    args.get(i)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("{flag} needs a numeric argument");
-            std::process::exit(2);
-        })
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a numeric argument");
+        std::process::exit(2);
+    })
 }
 
 fn save_report(name: &str, report: &str) -> std::io::Result<()> {

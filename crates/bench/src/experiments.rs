@@ -51,8 +51,17 @@ pub fn collect_headline(config: &SuiteConfig) -> HeadlineResults {
 /// **Table 2** — query sets finished (non-DNF) per method.
 pub fn table2(results: &HeadlineResults) -> String {
     let mut out = String::new();
-    writeln!(out, "== Table 2: finished (non-DNF) query sets per method ==").unwrap();
-    writeln!(out, "{:<8} {:<10} {:>10} {:>8}", "method", "dataset", "set", "finished").unwrap();
+    writeln!(
+        out,
+        "== Table 2: finished (non-DNF) query sets per method =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:<10} {:>10} {:>8}",
+        "method", "dataset", "set", "finished"
+    )
+    .unwrap();
     let mut counts: Vec<(Method, usize)> = Method::HEADLINE.iter().map(|&m| (m, 0)).collect();
     for (dataset, set, method, summary) in &results.rows {
         let finished = !summary.dnf;
@@ -83,14 +92,23 @@ pub fn table2(results: &HeadlineResults) -> String {
 pub fn fig4(results: &HeadlineResults) -> String {
     let cfg = &results.config;
     let mut out = String::new();
-    writeln!(out, "== Figure 4: processing-time distribution (all query sets) ==").unwrap();
+    writeln!(
+        out,
+        "== Figure 4: processing-time distribution (all query sets) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "thresholds: slow >= {:?}, very slow >= {:?}, timeout = {:?} (paper: 1 s / 1 min / 1 h)",
         cfg.slow_threshold, cfg.very_slow_threshold, cfg.per_query_timeout
     )
     .unwrap();
-    writeln!(out, "{:<8} {:>8} {:>8} {:>10} {:>9}", "method", "queries", ">=slow", ">=veryslow", "timeout").unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>8} {:>8} {:>10} {:>9}",
+        "method", "queries", ">=slow", ">=veryslow", "timeout"
+    )
+    .unwrap();
     for &method in &Method::HEADLINE {
         let (mut all, mut slow, mut very, mut to) = (0usize, 0usize, 0usize, 0usize);
         for (_, _, m, s) in &results.rows {
@@ -101,7 +119,16 @@ pub fn fig4(results: &HeadlineResults) -> String {
                 to += s.timed_out;
             }
         }
-        writeln!(out, "{:<8} {:>8} {:>8} {:>10} {:>9}", method.name(), all, slow, very, to).unwrap();
+        writeln!(
+            out,
+            "{:<8} {:>8} {:>8} {:>10} {:>9}",
+            method.name(),
+            all,
+            slow,
+            very,
+            to
+        )
+        .unwrap();
     }
     out
 }
@@ -111,7 +138,11 @@ pub fn fig4(results: &HeadlineResults) -> String {
 pub fn fig5(results: &HeadlineResults) -> String {
     let highlighted = ["16S", "32S", "16D", "24D"];
     let mut out = String::new();
-    writeln!(out, "== Figure 5: breakdown per dataset (sets 16S, 32S, 16D, 24D) ==").unwrap();
+    writeln!(
+        out,
+        "== Figure 5: breakdown per dataset (sets 16S, 32S, 16D, 24D) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<10} {:>5} {:<8} {:>8} {:>8} {:>10} {:>8} {:>6}",
@@ -142,13 +173,24 @@ pub fn fig5(results: &HeadlineResults) -> String {
 /// **Figure 6** — average processing time per query set on the Yeast analogue.
 pub fn fig6(results: &HeadlineResults) -> String {
     let mut out = String::new();
-    writeln!(out, "== Figure 6: average processing time per query set (Yeast analogue) ==").unwrap();
+    writeln!(
+        out,
+        "== Figure 6: average processing time per query set (Yeast analogue) =="
+    )
+    .unwrap();
     writeln!(out, "{:<6} {:<8} {:>14}", "set", "method", "avg time [ms]").unwrap();
     for (dataset, set, method, s) in &results.rows {
         if *dataset != Dataset::Yeast {
             continue;
         }
-        writeln!(out, "{:<6} {:<8} {:>14.3}", set, method.name(), s.average_ms()).unwrap();
+        writeln!(
+            out,
+            "{:<6} {:<8} {:>14.3}",
+            set,
+            method.name(),
+            s.average_ms()
+        )
+        .unwrap();
     }
     out
 }
@@ -160,7 +202,11 @@ pub fn fig7(config: &SuiteConfig) -> String {
     let data = config.data_graph(Dataset::Yeast);
     let methods = [Method::Gup, Method::GqlG, Method::GqlR];
     let mut out = String::new();
-    writeln!(out, "== Figure 7: total recursions per query set (Yeast analogue) ==").unwrap();
+    writeln!(
+        out,
+        "== Figure 7: total recursions per query set (Yeast analogue) =="
+    )
+    .unwrap();
     writeln!(out, "{:<6} {:<8} {:>14}", "set", "method", "recursions").unwrap();
     for spec in QuerySetSpec::PAPER_SETS {
         let queries = config.query_set(&data, spec);
@@ -169,7 +215,14 @@ pub fn fig7(config: &SuiteConfig) -> String {
         }
         for method in methods {
             let summary = run_query_set(method, &queries, &data, config);
-            writeln!(out, "{:<6} {:<8} {:>14}", spec.name(), method.name(), summary.total_recursions).unwrap();
+            writeln!(
+                out,
+                "{:<6} {:<8} {:>14}",
+                spec.name(),
+                method.name(),
+                summary.total_recursions
+            )
+            .unwrap();
         }
     }
     out
@@ -188,7 +241,11 @@ pub fn fig8(config: &SuiteConfig) -> String {
         ("r=inf", None),
     ];
     let mut out = String::new();
-    writeln!(out, "== Figure 8: reservation size limit r vs total recursions (Yeast analogue) ==").unwrap();
+    writeln!(
+        out,
+        "== Figure 8: reservation size limit r vs total recursions (Yeast analogue) =="
+    )
+    .unwrap();
     writeln!(out, "{:<7} {:>14}", "r", "recursions").unwrap();
     for (label, r) in limits {
         let mut total = 0u64;
@@ -217,8 +274,17 @@ pub fn fig9(config: &SuiteConfig) -> String {
         PruningFeatures::ALL,
     ];
     let mut out = String::new();
-    writeln!(out, "== Figure 9: futile recursions per technique combination (Yeast analogue) ==").unwrap();
-    writeln!(out, "{:<6} {:<10} {:>14} {:>14}", "set", "variant", "futile", "recursions").unwrap();
+    writeln!(
+        out,
+        "== Figure 9: futile recursions per technique combination (Yeast analogue) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<6} {:<10} {:>14} {:>14}",
+        "set", "variant", "futile", "recursions"
+    )
+    .unwrap();
     for spec in QuerySetSpec::PAPER_SETS {
         let queries = config.query_set(&data, spec);
         if queries.is_empty() {
@@ -244,7 +310,11 @@ pub fn fig9(config: &SuiteConfig) -> String {
 /// Yeast and Patents analogues for the 8S / 32S / 8D / 32D query sets.
 pub fn table3(config: &SuiteConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "== Table 3: peak memory consumption (guards vs whole) ==").unwrap();
+    writeln!(
+        out,
+        "== Table 3: peak memory consumption (guards vs whole) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<10} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
@@ -262,7 +332,9 @@ pub fn table3(config: &SuiteConfig) -> String {
         let data_bytes = data.heap_bytes();
         for spec in sets {
             let queries = config.query_set(&data, spec);
-            let Some(query) = queries.first() else { continue };
+            let Some(query) = queries.first() else {
+                continue;
+            };
             let gup_config = GupConfig {
                 limits: SearchLimits {
                     max_embeddings: Some(config.embedding_limit),
@@ -271,7 +343,9 @@ pub fn table3(config: &SuiteConfig) -> String {
                 },
                 ..GupConfig::default()
             };
-            let Ok(matcher) = GupMatcher::new(query, &data, gup_config) else { continue };
+            let Ok(matcher) = GupMatcher::new(query, &data, gup_config) else {
+                continue;
+            };
             let (_result, report) = matcher.run_with_memory_report();
             let whole = data_bytes + report.total_bytes();
             let share = 100.0 * report.guard_bytes() as f64 / whole.max(1) as f64;
@@ -297,15 +371,25 @@ pub fn table3(config: &SuiteConfig) -> String {
 /// hardest Yeast query set the configuration can produce (32D, falling back to 32S).
 pub fn fig10(config: &SuiteConfig, max_threads: usize) -> String {
     let data = config.data_graph(Dataset::Yeast);
-    let spec_dense = QuerySetSpec { vertices: 32, class: gup_workloads::QueryClass::Dense };
-    let spec_sparse = QuerySetSpec { vertices: 32, class: gup_workloads::QueryClass::Sparse };
+    let spec_dense = QuerySetSpec {
+        vertices: 32,
+        class: gup_workloads::QueryClass::Dense,
+    };
+    let spec_sparse = QuerySetSpec {
+        vertices: 32,
+        class: gup_workloads::QueryClass::Sparse,
+    };
     let mut queries = config.query_set(&data, spec_dense);
     if queries.is_empty() {
         queries = config.query_set(&data, spec_sparse);
     }
     queries.truncate(8);
     let mut out = String::new();
-    writeln!(out, "== Figure 10: parallel execution (Yeast analogue, 32-vertex queries) ==").unwrap();
+    writeln!(
+        out,
+        "== Figure 10: parallel execution (Yeast analogue, 32-vertex queries) =="
+    )
+    .unwrap();
     if queries.is_empty() {
         writeln!(out, "no 32-vertex queries could be generated at this scale").unwrap();
         return out;
@@ -321,7 +405,12 @@ pub fn fig10(config: &SuiteConfig, max_threads: usize) -> String {
     };
     let mut thread_counts = vec![1usize, 2, 4, 8, 16];
     thread_counts.retain(|&t| t <= max_threads.max(1));
-    writeln!(out, "{:<16} {:>8} {:>14} {:>9}", "scheduler", "threads", "avg time [ms]", "speedup").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>8} {:>14} {:>9}",
+        "scheduler", "threads", "avg time [ms]", "speedup"
+    )
+    .unwrap();
     let mut base_dynamic = None;
     for &threads in &thread_counts {
         let start = Instant::now();
@@ -335,7 +424,10 @@ pub fn fig10(config: &SuiteConfig, max_threads: usize) -> String {
         writeln!(
             out,
             "{:<16} {:>8} {:>14.2} {:>9.2}",
-            "GuP (dynamic)", threads, avg, base / avg.max(1e-9)
+            "GuP (dynamic)",
+            threads,
+            avg,
+            base / avg.max(1e-9)
         )
         .unwrap();
     }
@@ -353,7 +445,10 @@ pub fn fig10(config: &SuiteConfig, max_threads: usize) -> String {
         writeln!(
             out,
             "{:<16} {:>8} {:>14.2} {:>9.2}",
-            "DAF-style static", threads, avg, base / avg.max(1e-9)
+            "DAF-style static",
+            threads,
+            avg,
+            base / avg.max(1e-9)
         )
         .unwrap();
     }
@@ -416,7 +511,8 @@ pub fn run_all(config: &SuiteConfig, max_threads: usize) -> String {
 /// Utility used by the binary: very rough upper bound on a full run's duration, to
 /// warn users that larger scales take correspondingly longer.
 pub fn estimated_budget(config: &SuiteConfig) -> Duration {
-    config.per_set_budget * (Dataset::ALL.len() * QuerySetSpec::PAPER_SETS.len() * Method::HEADLINE.len()) as u32
+    config.per_set_budget
+        * (Dataset::ALL.len() * QuerySetSpec::PAPER_SETS.len() * Method::HEADLINE.len()) as u32
 }
 
 #[cfg(test)]

@@ -187,12 +187,7 @@ impl SuiteConfig {
 }
 
 /// Runs `method` on a single `(query, data)` pair under the suite's per-query limits.
-pub fn run_method(
-    method: Method,
-    query: &Graph,
-    data: &Graph,
-    config: &SuiteConfig,
-) -> RunRecord {
+pub fn run_method(method: Method, query: &Graph, data: &Graph, config: &SuiteConfig) -> RunRecord {
     let start = Instant::now();
     let record = match method {
         Method::Gup | Method::GupWith(_) | Method::GupReservationOnly(_) => {

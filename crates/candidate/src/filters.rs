@@ -121,6 +121,7 @@ mod tests {
         let data = graph_from_edges(&[0, 1, 1, 0, 1], &[(0, 1), (0, 2), (3, 4), (3, 1)]);
         let c = nlf_candidates(&query, &data, 0);
         assert_eq!(c, vec![0, 3]); // v3 has neighbors v4(label1) and v1(label1): passes
+
         // Remove one of v3's label-1 neighbors and it must fail.
         let data2 = graph_from_edges(&[0, 1, 1, 0, 1], &[(0, 1), (0, 2), (3, 4)]);
         let c2 = nlf_candidates(&query, &data2, 0);

@@ -35,6 +35,10 @@ impl Default for FilterConfig {
     }
 }
 
+/// Per-query-edge candidate adjacency: forward lists (indices into the candidates
+/// of the edge's higher endpoint, per candidate of the lower one) and the reverse.
+type EdgeAdjacency = (Vec<Vec<u32>>, Vec<Vec<u32>>);
+
 /// Candidate-vertex sets and candidate edges for a (query, data) pair.
 ///
 /// Query vertices are indexed by their id in the query graph passed to
@@ -50,7 +54,7 @@ pub struct CandidateSpace {
     edges: Vec<(usize, usize)>,
     /// `adjacency[e].0[ia]` = indices (into `candidates[b]`) of candidates of `b`
     /// adjacent to `candidates[a][ia]`; `adjacency[e].1` is the reverse direction.
-    adjacency: Vec<(Vec<Vec<u32>>, Vec<Vec<u32>>)>,
+    adjacency: Vec<EdgeAdjacency>,
     /// Dense lookup: `edge_lookup[a * n + b]` = edge id + 1, or 0 if `(a, b)` is not a
     /// query edge.
     edge_lookup: Vec<u32>,
@@ -77,8 +81,22 @@ impl CandidateSpace {
             let dag = QueryDag::with_selective_root(query, &sizes);
             let mut membership = Membership::new(data.vertex_count(), &candidates);
             for _ in 0..config.refinement_passes {
-                let changed_up = refine_pass(query, data, &dag, &mut candidates, &mut membership, Direction::BottomUp);
-                let changed_down = refine_pass(query, data, &dag, &mut candidates, &mut membership, Direction::TopDown);
+                let changed_up = refine_pass(
+                    query,
+                    data,
+                    &dag,
+                    &mut candidates,
+                    &mut membership,
+                    Direction::BottomUp,
+                );
+                let changed_down = refine_pass(
+                    query,
+                    data,
+                    &dag,
+                    &mut candidates,
+                    &mut membership,
+                    Direction::TopDown,
+                );
                 if !changed_up && !changed_down {
                     break;
                 }
@@ -345,14 +363,10 @@ fn refine_pass(
         let u = u as usize;
         let before = candidates[u].len();
         let mut kept = Vec::with_capacity(before);
-        'cand: for idx in 0..candidates[u].len() {
-            let v = candidates[u][idx];
+        'cand: for &v in &candidates[u] {
             for &c in constraining {
                 let c = c as usize;
-                let ok = data
-                    .neighbors(v)
-                    .iter()
-                    .any(|&w| membership.contains(c, w));
+                let ok = data.neighbors(v).iter().any(|&w| membership.contains(c, w));
                 if !ok {
                     membership.remove(u, v);
                     changed = true;
@@ -380,10 +394,7 @@ mod tests {
     /// Data graph: a labeled square 0-1-2-3 with diagonal 0-2, plus an isolated
     /// label-1 vertex 4 that must be filtered away by refinement.
     fn square_data() -> Graph {
-        graph_from_edges(
-            &[0, 1, 0, 1, 1],
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
-        )
+        graph_from_edges(&[0, 1, 0, 1, 1], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
     }
 
     #[test]

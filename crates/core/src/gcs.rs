@@ -189,10 +189,7 @@ mod tests {
         assert_eq!(gcs.data_vertex_count(), 14);
         // Every query vertex has a reservation guard per candidate.
         for u in 0..5 {
-            assert_eq!(
-                gcs.reservations()[u].len(),
-                gcs.space().candidates(u).len()
-            );
+            assert_eq!(gcs.reservations()[u].len(), gcs.space().candidates(u).len());
         }
     }
 
@@ -201,7 +198,10 @@ mod tests {
         let (_q, d) = fixtures::paper_example();
         let disconnected = gup_graph::builder::graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
         let err = Gcs::build(&disconnected, &d, &GupConfig::default()).unwrap_err();
-        assert!(matches!(err, GupError::InvalidQuery(QueryGraphError::Disconnected)));
+        assert!(matches!(
+            err,
+            GupError::InvalidQuery(QueryGraphError::Disconnected)
+        ));
         let msg = format!("{err}");
         assert!(msg.contains("invalid query"));
     }

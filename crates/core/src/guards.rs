@@ -123,7 +123,10 @@ impl VertexGuardStore {
     /// Creates an empty store shaped after the candidate-set sizes.
     pub fn new(candidate_sizes: &[usize]) -> Self {
         VertexGuardStore {
-            slots: candidate_sizes.iter().map(|&n| vec![NogoodRef::ABSENT; n]).collect(),
+            slots: candidate_sizes
+                .iter()
+                .map(|&n| vec![NogoodRef::ABSENT; n])
+                .collect(),
         }
     }
 
@@ -250,16 +253,28 @@ mod tests {
         };
         assert!(guard.matches(&anc));
         // Different node at the same depth -> no match.
-        let other = NogoodRef { id: 99, len: 2, dom: QVSet::EMPTY };
+        let other = NogoodRef {
+            id: 99,
+            len: 2,
+            dom: QVSet::EMPTY,
+        };
         assert!(!other.matches(&anc));
         // Guard longer than the current embedding -> no match.
-        let deep = NogoodRef { id: 13, len: 9, dom: QVSet::EMPTY };
+        let deep = NogoodRef {
+            id: 13,
+            len: 9,
+            dom: QVSet::EMPTY,
+        };
         assert!(!deep.matches(&anc));
         // Absent guard never matches.
         assert!(!NogoodRef::ABSENT.matches(&anc));
         assert!(!NogoodRef::ABSENT.is_present());
         // An empty-domain guard rooted at the imaginary root matches every embedding.
-        let always = NogoodRef { id: 0, len: 0, dom: QVSet::EMPTY };
+        let always = NogoodRef {
+            id: 0,
+            len: 0,
+            dom: QVSet::EMPTY,
+        };
         assert!(always.matches(&anc));
         assert!(always.matches(&[0u64]));
     }
@@ -269,12 +284,24 @@ mod tests {
         let mut store = VertexGuardStore::new(&[2, 3]);
         assert_eq!(store.present_count(), 0);
         assert!(!store.get(1, 2).is_present());
-        let g = NogoodRef { id: 4, len: 1, dom: QVSet::singleton(0) };
+        let g = NogoodRef {
+            id: 4,
+            len: 1,
+            dom: QVSet::singleton(0),
+        };
         store.set(1, 2, g);
         assert_eq!(store.get(1, 2), g);
         assert_eq!(store.present_count(), 1);
         // Overwriting keeps a single present guard.
-        store.set(1, 2, NogoodRef { id: 9, len: 0, dom: QVSet::EMPTY });
+        store.set(
+            1,
+            2,
+            NogoodRef {
+                id: 9,
+                len: 0,
+                dom: QVSet::EMPTY,
+            },
+        );
         assert_eq!(store.present_count(), 1);
         assert!(store.heap_bytes() >= 5 * std::mem::size_of::<NogoodRef>());
     }
@@ -283,7 +310,11 @@ mod tests {
     fn edge_guard_store_roundtrip() {
         let mut store = EdgeGuardStore::new(vec![vec![2, 0], vec![1]]);
         assert_eq!(store.present_count(), 0);
-        let g = NogoodRef { id: 3, len: 2, dom: QVSet::singleton(1) };
+        let g = NogoodRef {
+            id: 3,
+            len: 2,
+            dom: QVSet::singleton(1),
+        };
         store.set(0, 0, 1, g);
         assert_eq!(store.get(0, 0, 1), g);
         assert!(!store.get(1, 0, 0).is_present());

@@ -55,7 +55,7 @@ impl GupMatcher {
     /// Runs the sequential guarded backtracking search.
     pub fn run(&self) -> MatchResult {
         let outcome = SearchEngine::new(&self.gcs, &self.config).run();
-        self.into_result(outcome)
+        self.finish_result(outcome)
     }
 
     /// Runs the search and also returns the memory breakdown of the GCS including the
@@ -63,7 +63,7 @@ impl GupMatcher {
     pub fn run_with_memory_report(&self) -> (MatchResult, MemoryReport) {
         let (outcome, nv, ne) = SearchEngine::new(&self.gcs, &self.config).run_with_guards();
         let report = self.gcs.memory_report(Some(&nv), Some(&ne));
-        (self.into_result(outcome), report)
+        (self.finish_result(outcome), report)
     }
 
     /// Runs the search on `threads` worker threads (§3.5.2). With `threads <= 1` this
@@ -73,10 +73,10 @@ impl GupMatcher {
             return self.run();
         }
         let outcome = crate::parallel::run_parallel(&self.gcs, &self.config, threads);
-        self.into_result(outcome)
+        self.finish_result(outcome)
     }
 
-    fn into_result(&self, outcome: SearchOutcome) -> MatchResult {
+    fn finish_result(&self, outcome: SearchOutcome) -> MatchResult {
         let embeddings = outcome
             .embeddings
             .iter()
@@ -108,7 +108,9 @@ pub fn count_embeddings(query: &Graph, data: &Graph) -> Result<u64, GupError> {
         limits: crate::config::SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    Ok(GupMatcher::new(query, data, config)?.run().embedding_count())
+    Ok(GupMatcher::new(query, data, config)?
+        .run()
+        .embedding_count())
 }
 
 #[cfg(test)]
@@ -173,8 +175,7 @@ mod tests {
     #[test]
     fn invalid_query_is_reported() {
         let (_q, d) = fixtures::paper_example();
-        let disconnected =
-            gup_graph::builder::graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        let disconnected = gup_graph::builder::graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
         assert!(GupMatcher::new(&disconnected, &d, GupConfig::default()).is_err());
     }
 

@@ -196,7 +196,10 @@ pub fn reservation_heap_bytes(guards: &[Vec<ReservationGuard>]) -> usize {
     guards
         .iter()
         .map(|per_vertex| {
-            per_vertex.iter().map(ReservationGuard::heap_bytes).sum::<usize>()
+            per_vertex
+                .iter()
+                .map(ReservationGuard::heap_bytes)
+                .sum::<usize>()
                 + per_vertex.capacity() * std::mem::size_of::<ReservationGuard>()
         })
         .sum()
@@ -244,7 +247,7 @@ mod tests {
         // Both are matchable before u5 (u0 and u4 both precede it conceptually).
         assert!(is_matchable(&[0, 1], 5, &inv));
         // A data vertex that is nobody's candidate is never matchable.
-        assert!(!is_matchable(&[2, 6], 1, &inv) || inv.before(6, 1).is_empty() == false);
+        assert!(!is_matchable(&[2, 6], 1, &inv) || !inv.before(6, 1).is_empty());
     }
 
     #[test]
@@ -273,9 +276,9 @@ mod tests {
         let (oq, cs, n) = paper_setup();
         let guards = generate_reservation_guards(&oq, &cs, n, Some(3));
         assert_eq!(guards.len(), 5);
-        for u in 0..5 {
-            assert_eq!(guards[u].len(), cs.candidates(u).len());
-            for g in &guards[u] {
+        for (u, per_candidate) in guards.iter().enumerate() {
+            assert_eq!(per_candidate.len(), cs.candidates(u).len());
+            for g in per_candidate {
                 assert!(g.len() <= 3 || g.is_empty());
             }
         }

@@ -334,7 +334,8 @@ impl<'a> SearchEngine<'a> {
     /// (Definition 3.23 case 4), having already undone its own pushes.
     fn refine_forward(&mut self, k: usize, cv: u32, v: VertexId) -> Result<Vec<usize>, QVSet> {
         let _ = v;
-        let mut pushed: Vec<usize> = Vec::with_capacity(self.gcs.query().forward_neighbors(k).len());
+        let mut pushed: Vec<usize> =
+            Vec::with_capacity(self.gcs.query().forward_neighbors(k).len());
         let forward: Vec<usize> = self.gcs.query().forward_neighbors(k).to_vec();
         for f in forward {
             let eid = self
@@ -440,7 +441,10 @@ impl<'a> SearchEngine<'a> {
         // edge-guard rule; see the module documentation).
         if self.features.nogood_edge_guards && mask.len() >= 2 {
             let b = last;
-            let a = mask.without(b).max().expect("mask has at least two members");
+            let a = mask
+                .without(b)
+                .max()
+                .expect("mask has at least two members");
             let query = self.gcs.query();
             if query.in_two_core(a) && query.in_two_core(b) {
                 if let Some(eid) = self.gcs.space().edge_id(a, b) {
@@ -556,7 +560,10 @@ mod tests {
             .iter()
             .map(|e| gcs.embedding_in_original_ids(e))
             .collect();
-        assert!(found.contains(&expected), "missing the paper's example embedding");
+        assert!(
+            found.contains(&expected),
+            "missing the paper's example embedding"
+        );
     }
 
     fn verify_embedding(q: &gup_graph::Graph, d: &gup_graph::Graph, emb: &[u32]) {
@@ -602,7 +609,15 @@ mod tests {
                 graph_from_edges(
                     &[1; 6],
                     &[
-                        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (4, 5),
+                        (0, 1),
+                        (0, 2),
+                        (0, 3),
+                        (1, 2),
+                        (1, 3),
+                        (2, 3),
+                        (2, 4),
+                        (3, 4),
+                        (4, 5),
                         (1, 4),
                     ],
                 ),
@@ -664,7 +679,16 @@ mod tests {
         let q = graph_from_edges(&[0, 0], &[(0, 1)]);
         let d = graph_from_edges(
             &[0; 8],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
         );
         let cfg = GupConfig {
             limits: SearchLimits {
@@ -684,7 +708,16 @@ mod tests {
         let q = fixtures::path(3, 0);
         let d = graph_from_edges(
             &[0; 8],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
         );
         let cfg = GupConfig {
             limits: SearchLimits {

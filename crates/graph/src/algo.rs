@@ -24,7 +24,9 @@ pub fn k_core(g: &Graph, k: usize) -> Vec<bool> {
     let n = g.vertex_count();
     let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
     let mut in_core = vec![true; n];
-    let mut stack: Vec<VertexId> = (0..n as VertexId).filter(|&v| deg[v as usize] < k).collect();
+    let mut stack: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| deg[v as usize] < k)
+        .collect();
     for &v in &stack {
         in_core[v as usize] = false;
     }
@@ -105,9 +107,8 @@ pub fn degeneracy_order(g: &Graph) -> (Vec<VertexId>, usize) {
     let mut order = Vec::with_capacity(n);
     let mut degeneracy = 0usize;
     // Min-heap over (current degree, vertex) with lazy deletion of stale entries.
-    let mut heap: BinaryHeap<Reverse<(usize, VertexId)>> = (0..n)
-        .map(|v| Reverse((deg[v], v as VertexId)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(usize, VertexId)>> =
+        (0..n).map(|v| Reverse((deg[v], v as VertexId))).collect();
     while let Some(Reverse((d, v))) = heap.pop() {
         if removed[v as usize] || deg[v as usize] != d {
             continue; // stale entry

@@ -17,10 +17,7 @@ use crate::graph::Graph;
 ///   (degree ≥ 2) but fails NLF because it has no label-B neighbor, and the full
 ///   embedding `{(u0,v1),(u1,v4),(u2,v7),(u3,v10),(u4,v0)}` exists.
 pub fn paper_example() -> (Graph, Graph) {
-    let query = graph_from_edges(
-        &[0, 1, 2, 3, 0],
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
-    );
+    let query = graph_from_edges(&[0, 1, 2, 3, 0], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
     let labels = [0, 0, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 0];
     let edges = [
         // A–A edge (needed by the u4–u0 query edge)
@@ -76,7 +73,9 @@ pub fn clique4(label: crate::types::Label) -> Graph {
 /// A path query `0-1-2-...-(n-1)` on a single label.
 pub fn path(n: usize, label: crate::types::Label) -> Graph {
     let labels = vec![label; n];
-    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1))
+        .collect();
     graph_from_edges(&labels, &edges)
 }
 

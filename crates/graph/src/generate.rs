@@ -292,7 +292,10 @@ mod tests {
                 produced += 1;
             }
         }
-        assert!(produced > 0, "the generator should succeed on a dense-enough graph");
+        assert!(
+            produced > 0,
+            "the generator should succeed on a dense-enough graph"
+        );
     }
 
     #[test]

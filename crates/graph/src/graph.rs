@@ -222,7 +222,11 @@ impl Graph {
     /// Relabels vertices according to `order`, where `order[i]` is the *old* id that
     /// becomes new id `i`. `order` must be a permutation of the vertex ids.
     pub fn permuted(&self, order: &[VertexId]) -> Graph {
-        assert_eq!(order.len(), self.vertex_count(), "order must be a permutation");
+        assert_eq!(
+            order.len(),
+            self.vertex_count(),
+            "order must be a permutation"
+        );
         let mut new_of_old = vec![VertexId::MAX; self.vertex_count()];
         for (new_id, &old) in order.iter().enumerate() {
             assert!(

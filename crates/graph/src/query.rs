@@ -165,7 +165,11 @@ impl OrderedQuery {
         let graph = query.graph().permuted(order);
         // Connectivity of the order: every u_i (i > 0) must have a backward neighbor.
         for i in 1..n {
-            if !graph.neighbors(i as VertexId).iter().any(|&j| (j as usize) < i) {
+            if !graph
+                .neighbors(i as VertexId)
+                .iter()
+                .any(|&j| (j as usize) < i)
+            {
                 return Err(OrderError::NotConnected { position: i });
             }
         }
@@ -281,7 +285,10 @@ mod tests {
     #[test]
     fn rejects_disconnected_query() {
         let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
-        assert_eq!(QueryGraph::new(g).unwrap_err(), QueryGraphError::Disconnected);
+        assert_eq!(
+            QueryGraph::new(g).unwrap_err(),
+            QueryGraphError::Disconnected
+        );
     }
 
     #[test]

@@ -52,15 +52,6 @@ impl QVSet {
         }
     }
 
-    /// Creates a set from an iterator of query-vertex indices.
-    pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
-        let mut s = QVSet::new();
-        for i in iter {
-            s.insert(i);
-        }
-        s
-    }
-
     /// Raw bit representation.
     #[inline]
     pub const fn bits(self) -> u64 {
@@ -193,7 +184,11 @@ impl std::fmt::Debug for QVSet {
 
 impl FromIterator<usize> for QVSet {
     fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
-        QVSet::from_iter(iter)
+        let mut s = QVSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
     }
 }
 

@@ -163,7 +163,13 @@ fn greedy_order(query: &Graph, candidate_sizes: &[usize], heuristic: Heuristic) 
     // Root selection.
     let root = match heuristic {
         Heuristic::Gql => (0..n as VertexId)
-            .min_by_key(|&v| (candidate_sizes[v as usize], std::cmp::Reverse(query.degree(v)), v))
+            .min_by_key(|&v| {
+                (
+                    candidate_sizes[v as usize],
+                    std::cmp::Reverse(query.degree(v)),
+                    v,
+                )
+            })
             .unwrap(),
         Heuristic::Ri => (0..n as VertexId)
             .max_by_key(|&v| (query.degree(v), std::cmp::Reverse(v)))
@@ -213,7 +219,13 @@ fn greedy_order(query: &Graph, candidate_sizes: &[usize], heuristic: Heuristic) 
                     .unwrap(),
                 Heuristic::Ri => frontier
                     .into_iter()
-                    .max_by_key(|&v| (back_links[v as usize], query.degree(v), std::cmp::Reverse(v)))
+                    .max_by_key(|&v| {
+                        (
+                            back_links[v as usize],
+                            query.degree(v),
+                            std::cmp::Reverse(v),
+                        )
+                    })
                     .unwrap(),
                 Heuristic::Vc => frontier
                     .into_iter()
@@ -259,7 +271,10 @@ mod tests {
             fixtures::triangle_query(),
             fixtures::clique4(0),
             fixtures::path(7, 0),
-            graph_from_edges(&[0, 1, 2, 3, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]),
+            graph_from_edges(
+                &[0, 1, 2, 3, 0, 1],
+                &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)],
+            ),
         ];
         for q in &shapes {
             let cand = sizes(q.vertex_count(), 10);

@@ -160,7 +160,10 @@ mod tests {
         assert_eq!(Dataset::Human.paper_spec().edges, 86_282);
         assert_eq!(Dataset::WordNet.paper_spec().labels, 5);
         assert_eq!(Dataset::Patents.paper_spec().vertices, 3_774_768);
-        assert!(Dataset::Human.paper_spec().average_degree() > Dataset::Yeast.paper_spec().average_degree());
+        assert!(
+            Dataset::Human.paper_spec().average_degree()
+                > Dataset::Yeast.paper_spec().average_degree()
+        );
     }
 
     #[test]
@@ -177,7 +180,8 @@ mod tests {
         let large = Dataset::Yeast.generate(0.2);
         assert!(small.graph.vertex_count() < large.graph.vertex_count());
         // Edge-per-vertex ratio roughly preserved (within a factor of ~2 of the spec).
-        let spec_ratio = Dataset::Yeast.paper_spec().edges as f64 / Dataset::Yeast.paper_spec().vertices as f64;
+        let spec_ratio =
+            Dataset::Yeast.paper_spec().edges as f64 / Dataset::Yeast.paper_spec().vertices as f64;
         let got_ratio = large.graph.edge_count() as f64 / large.graph.vertex_count() as f64;
         assert!(got_ratio > spec_ratio * 0.5 && got_ratio < spec_ratio * 2.5);
     }

@@ -54,14 +54,38 @@ impl QuerySetSpec {
     /// The paper's eight query sets per data graph, in its order:
     /// 8S, 16S, 24S, 32S, 8D, 16D, 24D, 32D.
     pub const PAPER_SETS: [QuerySetSpec; 8] = [
-        QuerySetSpec { vertices: 8, class: QueryClass::Sparse },
-        QuerySetSpec { vertices: 16, class: QueryClass::Sparse },
-        QuerySetSpec { vertices: 24, class: QueryClass::Sparse },
-        QuerySetSpec { vertices: 32, class: QueryClass::Sparse },
-        QuerySetSpec { vertices: 8, class: QueryClass::Dense },
-        QuerySetSpec { vertices: 16, class: QueryClass::Dense },
-        QuerySetSpec { vertices: 24, class: QueryClass::Dense },
-        QuerySetSpec { vertices: 32, class: QueryClass::Dense },
+        QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Sparse,
+        },
+        QuerySetSpec {
+            vertices: 16,
+            class: QueryClass::Sparse,
+        },
+        QuerySetSpec {
+            vertices: 24,
+            class: QueryClass::Sparse,
+        },
+        QuerySetSpec {
+            vertices: 32,
+            class: QueryClass::Sparse,
+        },
+        QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Dense,
+        },
+        QuerySetSpec {
+            vertices: 16,
+            class: QueryClass::Dense,
+        },
+        QuerySetSpec {
+            vertices: 24,
+            class: QueryClass::Dense,
+        },
+        QuerySetSpec {
+            vertices: 32,
+            class: QueryClass::Dense,
+        },
     ];
 
     /// The paper's name for this set ("16S", "24D", ...).
@@ -77,13 +101,10 @@ impl QuerySetSpec {
 /// The returned vector may be shorter than `count` if the data graph cannot produce
 /// enough queries of the requested class within a bounded number of attempts (for
 /// example, dense 32-vertex queries on a very sparse data graph).
-pub fn generate_query_set(
-    data: &Graph,
-    spec: QuerySetSpec,
-    count: usize,
-    seed: u64,
-) -> Vec<Graph> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ (spec.vertices as u64) << 8 ^ matches!(spec.class, QueryClass::Dense) as u64);
+pub fn generate_query_set(data: &Graph, spec: QuerySetSpec, count: usize, seed: u64) -> Vec<Graph> {
+    let mut rng = SmallRng::seed_from_u64(
+        seed ^ (spec.vertices as u64) << 8 ^ matches!(spec.class, QueryClass::Dense) as u64,
+    );
     let mut out = Vec::with_capacity(count);
     let max_attempts = count * 400;
     let mut attempts = 0;
@@ -111,7 +132,14 @@ mod tests {
     fn class_suffixes_and_names() {
         assert_eq!(QueryClass::Sparse.suffix(), "S");
         assert_eq!(QueryClass::Dense.suffix(), "D");
-        assert_eq!(QuerySetSpec { vertices: 16, class: QueryClass::Sparse }.name(), "16S");
+        assert_eq!(
+            QuerySetSpec {
+                vertices: 16,
+                class: QueryClass::Sparse
+            }
+            .name(),
+            "16S"
+        );
         assert_eq!(QuerySetSpec::PAPER_SETS.len(), 8);
         assert_eq!(QuerySetSpec::PAPER_SETS[7].name(), "32D");
     }
@@ -127,7 +155,10 @@ mod tests {
     #[test]
     fn generated_queries_match_spec() {
         let data = Dataset::Yeast.generate(0.2).graph;
-        let spec = QuerySetSpec { vertices: 8, class: QueryClass::Sparse };
+        let spec = QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Sparse,
+        };
         let set = generate_query_set(&data, spec, 10, 7);
         assert!(!set.is_empty());
         for q in &set {
@@ -140,7 +171,10 @@ mod tests {
     #[test]
     fn dense_queries_from_dense_dataset() {
         let data = Dataset::Human.generate(0.05).graph;
-        let spec = QuerySetSpec { vertices: 8, class: QueryClass::Dense };
+        let spec = QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Dense,
+        };
         let set = generate_query_set(&data, spec, 5, 3);
         for q in &set {
             assert!(q.average_degree() >= 3.0);
@@ -150,7 +184,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let data = Dataset::Yeast.generate(0.1).graph;
-        let spec = QuerySetSpec { vertices: 8, class: QueryClass::Sparse };
+        let spec = QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Sparse,
+        };
         let a = generate_query_set(&data, spec, 5, 42);
         let b = generate_query_set(&data, spec, 5, 42);
         assert_eq!(a, b);
@@ -163,7 +200,10 @@ mod tests {
     fn impossible_specs_return_short_sets() {
         // A tree-like tiny data graph cannot produce dense 32-vertex queries.
         let data = gup_graph::fixtures::path(40, 0);
-        let spec = QuerySetSpec { vertices: 32, class: QueryClass::Dense };
+        let spec = QuerySetSpec {
+            vertices: 32,
+            class: QueryClass::Dense,
+        };
         let set = generate_query_set(&data, spec, 3, 1);
         assert!(set.len() < 3);
     }

@@ -28,7 +28,10 @@ fn build_transaction_graph() -> Graph {
         extra_edge_fraction: 0.05,
         seed: 99,
     });
-    let mut b = GraphBuilder::with_capacity(background.vertex_count() + 64, background.edge_count() + 256);
+    let mut b = GraphBuilder::with_capacity(
+        background.vertex_count() + 64,
+        background.edge_count() + 256,
+    );
     for v in background.vertices() {
         b.add_vertex(background.label(v));
     }
@@ -75,7 +78,9 @@ fn run(query: &Graph, data: &Graph, features: PruningFeatures) -> gup::MatchResu
         },
         ..GupConfig::default()
     };
-    GupMatcher::new(query, data, cfg).expect("valid ring query").run()
+    GupMatcher::new(query, data, cfg)
+        .expect("valid ring query")
+        .run()
 }
 
 fn main() {
@@ -91,7 +96,10 @@ fn main() {
         let guarded = run(&query, &data, PruningFeatures::ALL);
         let unguarded = run(&query, &data, PruningFeatures::NONE);
         assert_eq!(guarded.embedding_count(), unguarded.embedding_count());
-        println!("  rings found                : {}", guarded.embedding_count());
+        println!(
+            "  rings found                : {}",
+            guarded.embedding_count()
+        );
         println!(
             "  futile recursions (GuP)    : {:>9}",
             guarded.stats.futile_recursions

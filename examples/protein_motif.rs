@@ -27,7 +27,10 @@ fn most_common_labels(data: &Graph, k: usize) -> Vec<u32> {
 fn main() {
     let dataset = Dataset::Yeast.generate(0.25);
     let data = dataset.graph;
-    println!("Yeast analogue: {}", gup_graph::stats::GraphStats::compute(&data, false));
+    println!(
+        "Yeast analogue: {}",
+        gup_graph::stats::GraphStats::compute(&data, false)
+    );
 
     // Use the three most frequent labels so the motifs actually occur.
     let labels = most_common_labels(&data, 3);
@@ -82,7 +85,10 @@ fn main() {
                 });
                 println!(
                     "  DAF-FS  : {:>8} embeddings, {:>9} recursions, {:>7} futile, {:?}",
-                    r.embeddings, r.recursions, r.futile_recursions, start.elapsed()
+                    r.embeddings,
+                    r.recursions,
+                    r.futile_recursions,
+                    start.elapsed()
                 );
             }
             Err(e) => println!("  DAF-FS  : query rejected ({e})"),

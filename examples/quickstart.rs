@@ -47,5 +47,8 @@ fn main() {
     println!("  pruned by nogood (NV) : {}", s.pruned_by_nogood_vertex);
     println!("  pruned by nogood (NE) : {}", s.pruned_by_nogood_edge);
     println!("  backjumps             : {}", s.backjumps);
-    println!("  guard prune rate      : {:.1}%", s.guard_prune_rate() * 100.0);
+    println!(
+        "  guard prune rate      : {:.1}%",
+        s.guard_prune_rate() * 100.0
+    );
 }

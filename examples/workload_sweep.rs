@@ -61,7 +61,11 @@ fn main() {
             total_time.as_secs_f64() * 1000.0 / queries.len() as f64,
             recursions,
             futile,
-            if seen > 0 { 100.0 * pruned as f64 / seen as f64 } else { 0.0 }
+            if seen > 0 {
+                100.0 * pruned as f64 / seen as f64
+            } else {
+                0.0
+            }
         );
     }
 }

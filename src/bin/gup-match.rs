@@ -62,7 +62,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--query" => {
                 i += 1;
-                opts.queries.push(args.get(i).cloned().ok_or("--query needs a path")?);
+                opts.queries
+                    .push(args.get(i).cloned().ok_or("--query needs a path")?);
             }
             "--method" => {
                 i += 1;
@@ -153,7 +154,8 @@ fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, Stri
                 "gql" => BaselineKind::GqlStyle,
                 _ => BaselineKind::RiStyle,
             };
-            let matcher = BacktrackingBaseline::new(query, data, kind).map_err(|e| e.to_string())?;
+            let matcher =
+                BacktrackingBaseline::new(query, data, kind).map_err(|e| e.to_string())?;
             let result = matcher.run(BaselineLimits {
                 max_embeddings: opts.limit,
                 time_limit: opts.timeout,
@@ -164,7 +166,11 @@ fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, Stri
                 result.recursions,
                 result.futile_recursions,
                 start.elapsed(),
-                if result.terminated_early() { " (terminated early)" } else { "" }
+                if result.terminated_early() {
+                    " (terminated early)"
+                } else {
+                    ""
+                }
             )
         }
         "join" => {
@@ -179,10 +185,18 @@ fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, Stri
                 result.embeddings,
                 result.recursions,
                 start.elapsed(),
-                if result.terminated_early() { " (terminated early)" } else { "" }
+                if result.terminated_early() {
+                    " (terminated early)"
+                } else {
+                    ""
+                }
             )
         }
-        other => return Err(format!("unknown method '{other}' (expected gup, gup-noguards, daf, gql, ri, join)")),
+        other => {
+            return Err(format!(
+                "unknown method '{other}' (expected gup, gup-noguards, daf, gql, ri, join)"
+            ))
+        }
     };
     Ok(line)
 }
@@ -196,7 +210,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!("{}", usage());
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
         }
     };
     let data = match load_graph(&opts.data) {

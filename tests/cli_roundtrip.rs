@@ -4,10 +4,95 @@
 //! exactly this path.)
 
 use gup::{GupConfig, GupMatcher, SearchLimits};
-use gup_baselines::{brute_force, BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline};
+use gup_baselines::{
+    brute_force, BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline,
+};
 use gup_graph::io::{load_graph, save_graph};
 use gup_order::OrderingStrategy;
 use gup_workloads::{generate_query_set, Dataset, QueryClass, QuerySetSpec};
+
+/// Spawns the actual `gup-match` binary on fixture graphs written to disk and
+/// checks that the count it reports on stdout matches the brute-force oracle, for
+/// every matcher family the CLI exposes. This is the only test that exercises the
+/// real argument parsing / exit-code / output-format surface end to end.
+#[test]
+fn gup_match_binary_reports_oracle_counts() {
+    let dir = std::env::temp_dir().join(format!("gup_cli_exec_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (query, data) = gup_graph::fixtures::paper_example();
+    let data_path = dir.join("data.graph");
+    let query_path = dir.join("query.graph");
+    save_graph(&data, &data_path).unwrap();
+    save_graph(&query, &query_path).unwrap();
+    let expected = brute_force::count(&query, &data);
+    assert!(
+        expected > 0,
+        "fixture must have embeddings for the test to be meaningful"
+    );
+
+    for method in ["gup", "gup-noguards", "daf", "gql", "ri", "join"] {
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+            .args([
+                "--data",
+                data_path.to_str().unwrap(),
+                "--query",
+                query_path.to_str().unwrap(),
+                "--method",
+                method,
+                "--limit",
+                "0",
+            ])
+            .output()
+            .expect("failed to spawn gup-match");
+        assert!(
+            output.status.success(),
+            "gup-match --method {method} exited with {:?}; stderr: {}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8(output.stdout).unwrap();
+        let reported: u64 = stdout
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("embeddings=").and_then(|v| v.parse().ok()))
+            .unwrap_or_else(|| panic!("no embeddings= field in gup-match output: {stdout:?}"));
+        assert_eq!(
+            reported, expected,
+            "gup-match --method {method} reported {reported}, oracle says {expected}"
+        );
+    }
+
+    // A multi-threaded run through the CLI must agree as well.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+        .args([
+            "--data",
+            data_path.to_str().unwrap(),
+            "--query",
+            query_path.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--limit",
+            "0",
+        ])
+        .output()
+        .expect("failed to spawn gup-match");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let reported: u64 = stdout
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("embeddings=").and_then(|v| v.parse().ok()))
+        .expect("no embeddings= field in threaded gup-match output");
+    assert_eq!(reported, expected);
+
+    // Bad usage must fail with a non-zero exit code, not succeed silently.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+        .args(["--data", data_path.to_str().unwrap()])
+        .output()
+        .expect("failed to spawn gup-match");
+    assert!(!output.status.success(), "missing --query must be an error");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
 
 #[test]
 fn matchers_work_on_graphs_loaded_from_disk() {
@@ -17,11 +102,17 @@ fn matchers_work_on_graphs_loaded_from_disk() {
     let data = Dataset::Yeast.generate(0.05).graph;
     let queries = generate_query_set(
         &data,
-        QuerySetSpec { vertices: 8, class: QueryClass::Sparse },
+        QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Sparse,
+        },
         2,
         17,
     );
-    assert!(!queries.is_empty(), "workload generator must produce queries");
+    assert!(
+        !queries.is_empty(),
+        "workload generator must produce queries"
+    );
 
     let data_path = dir.join("data.graph");
     save_graph(&data, &data_path).unwrap();
@@ -49,10 +140,11 @@ fn matchers_work_on_graphs_loaded_from_disk() {
         .embedding_count();
         assert_eq!(gup_count, expected);
 
-        let daf = BacktrackingBaseline::new(&loaded_query, &loaded_data, BaselineKind::DafFailingSet)
-            .unwrap()
-            .run(BaselineLimits::UNLIMITED)
-            .embeddings;
+        let daf =
+            BacktrackingBaseline::new(&loaded_query, &loaded_data, BaselineKind::DafFailingSet)
+                .unwrap()
+                .run(BaselineLimits::UNLIMITED)
+                .embeddings;
         assert_eq!(daf, expected);
 
         let join = JoinBaseline::new(&loaded_query, &loaded_data, OrderingStrategy::GqlStyle)

@@ -4,9 +4,13 @@
 //! randomized instances.
 
 use gup::{GupConfig, GupMatcher, PruningFeatures, SearchLimits};
-use gup_baselines::{brute_force, BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline};
+use gup_baselines::{
+    brute_force, BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline,
+};
 use gup_graph::builder::graph_from_edges;
-use gup_graph::generate::{erdos_renyi_graph, power_law_graph, random_walk_query, ErdosRenyiConfig, PowerLawConfig};
+use gup_graph::generate::{
+    erdos_renyi_graph, power_law_graph, random_walk_query, ErdosRenyiConfig, PowerLawConfig,
+};
 use gup_graph::{fixtures, Graph};
 use gup_order::OrderingStrategy;
 use rand::rngs::SmallRng;
@@ -45,7 +49,12 @@ fn check_all_engines(query: &Graph, data: &Graph) {
             .expect("query accepted")
             .run(BaselineLimits::UNLIMITED)
             .embeddings;
-        assert_eq!(count, expected, "{} disagrees with brute force", kind.name());
+        assert_eq!(
+            count,
+            expected,
+            "{} disagrees with brute force",
+            kind.name()
+        );
     }
     let join = JoinBaseline::new(query, data, OrderingStrategy::GqlStyle)
         .expect("query accepted")
@@ -57,19 +66,43 @@ fn check_all_engines(query: &Graph, data: &Graph) {
 fn fixed_instances_agree() {
     let (q, d) = fixtures::paper_example();
     check_all_engines(&q, &d);
-    check_all_engines(&fixtures::triangle_query(), &fixtures::square_with_diagonal());
+    check_all_engines(
+        &fixtures::triangle_query(),
+        &fixtures::square_with_diagonal(),
+    );
     check_all_engines(
         &fixtures::path(5, 0),
-        &graph_from_edges(&[0; 7], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 4)]),
+        &graph_from_edges(
+            &[0; 7],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 0),
+                (1, 4),
+            ],
+        ),
     );
     check_all_engines(
         &fixtures::clique4(0),
         &graph_from_edges(
             &[0; 7],
             &[
-                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
-                (2, 4), (3, 4), (1, 4), (0, 4),                 // K5 actually
-                (4, 5), (5, 6),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3), // K4
+                (2, 4),
+                (3, 4),
+                (1, 4),
+                (0, 4), // K5 actually
+                (4, 5),
+                (5, 6),
             ],
         ),
     );
@@ -95,7 +128,10 @@ fn randomized_erdos_renyi_instances_agree() {
         check_all_engines(&query, &data);
         tested += 1;
     }
-    assert!(tested >= 10, "not enough random instances were generated ({tested})");
+    assert!(
+        tested >= 10,
+        "not enough random instances were generated ({tested})"
+    );
 }
 
 #[test]
@@ -142,7 +178,9 @@ fn parallel_run_agrees_with_sequential_on_random_graphs() {
     let mut rng = SmallRng::seed_from_u64(5);
     let mut tested = 0;
     for _ in 0..8 {
-        let Some(query) = random_walk_query(&data, 5, &mut rng) else { continue };
+        let Some(query) = random_walk_query(&data, 5, &mut rng) else {
+            continue;
+        };
         let cfg = GupConfig {
             limits: SearchLimits::UNLIMITED,
             ..GupConfig::default()

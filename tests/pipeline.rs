@@ -21,9 +21,18 @@ fn yeast_analogue_query_sets_run_under_gup() {
     let data = Dataset::Yeast.generate(0.08).graph;
     let mut ran = 0;
     for spec in [
-        QuerySetSpec { vertices: 8, class: QueryClass::Sparse },
-        QuerySetSpec { vertices: 8, class: QueryClass::Dense },
-        QuerySetSpec { vertices: 16, class: QueryClass::Sparse },
+        QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Sparse,
+        },
+        QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Dense,
+        },
+        QuerySetSpec {
+            vertices: 16,
+            class: QueryClass::Sparse,
+        },
     ] {
         let queries = generate_query_set(&data, spec, 3, 21);
         for q in &queries {
@@ -42,7 +51,10 @@ fn yeast_analogue_query_sets_run_under_gup() {
             ran += 1;
         }
     }
-    assert!(ran >= 3, "expected to run at least a few generated queries, ran {ran}");
+    assert!(
+        ran >= 3,
+        "expected to run at least a few generated queries, ran {ran}"
+    );
 }
 
 #[test]
@@ -52,7 +64,10 @@ fn candidate_space_contains_every_embedding() {
     let data = Dataset::Yeast.generate(0.05).graph;
     let queries = generate_query_set(
         &data,
-        QuerySetSpec { vertices: 8, class: QueryClass::Sparse },
+        QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Sparse,
+        },
         2,
         5,
     );
@@ -87,7 +102,10 @@ fn guard_statistics_reported_on_workload_queries() {
     let data = Dataset::Human.generate(0.02).graph;
     let queries = generate_query_set(
         &data,
-        QuerySetSpec { vertices: 8, class: QueryClass::Dense },
+        QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Dense,
+        },
         2,
         13,
     );
@@ -115,7 +133,10 @@ fn dataset_catalog_supports_all_query_classes() {
         let data = dataset.generate(0.004).graph;
         let queries = generate_query_set(
             &data,
-            QuerySetSpec { vertices: 8, class: QueryClass::Sparse },
+            QuerySetSpec {
+                vertices: 8,
+                class: QueryClass::Sparse,
+            },
             1,
             3,
         );

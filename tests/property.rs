@@ -4,6 +4,12 @@
 //! from it, GuP — with or without guards — reports exactly the same number of
 //! embeddings as the brute-force reference, and every reported embedding satisfies the
 //! three constraints of Definition 2.1 (label, adjacency, injectivity).
+//!
+//! Determinism: the vendored proptest derives each test's RNG seed from the test
+//! name (override with `PROPTEST_SEED=<u64>`), and the case counts below are bounded,
+//! so `cargo test -q` explores the same instances on every run and stays well under a
+//! minute even on 2 cores. The `walk_seed` inputs feed `SmallRng::seed_from_u64`
+//! directly, so a failing case's message (case index + seed) reproduces it exactly.
 
 use gup::{GupConfig, GupMatcher, PruningFeatures, SearchLimits};
 use gup_baselines::brute_force;
@@ -47,11 +53,16 @@ fn gup_count(query: &Graph, data: &Graph, features: PruningFeatures) -> u64 {
         limits: SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    GupMatcher::new(query, data, cfg).unwrap().run().embedding_count()
+    GupMatcher::new(query, data, cfg)
+        .unwrap()
+        .run()
+        .embedding_count()
 }
 
 proptest! {
     #![proptest_config(ProptestConfig {
+        // Bounded so the whole file finishes in seconds; when hunting for
+        // counterexamples, raise this locally or sweep PROPTEST_SEED.
         cases: 48,
         .. ProptestConfig::default()
     })]

@@ -1,0 +1,244 @@
+//! Vendored stand-in for `criterion`. Offline builds cannot fetch the real crate,
+//! so this shim implements the API subset the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros — with a plain wall-clock measurement loop instead of
+//! criterion's statistical machinery. Reported numbers are mean ns/iter; good
+//! enough for coarse A/B comparisons, not for publication-grade statistics.
+//!
+//! The shim honours the flags cargo passes to bench binaries: `--test` (run each
+//! benchmark exactly once, used by `cargo test --benches`) and a positional
+//! filter string; every other flag is accepted and ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.run_one(&id, f);
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with `input` passed by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no explicit input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.id.clone(), f);
+        self
+    }
+
+    /// Ends the group. (No-op beyond matching the real API.)
+    pub fn finish(self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size
+            },
+            deadline: self.measurement_time,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        if bencher.iterations == 0 {
+            println!("{full}: no iterations recorded");
+            return;
+        }
+        let mean_ns = bencher.total.as_nanos() as f64 / bencher.iterations as f64;
+        if self.criterion.test_mode {
+            println!("{full}: ok (1 iteration, test mode)");
+        } else {
+            println!(
+                "{full}: {:.1} ns/iter (mean over {} iterations)",
+                mean_ns, bencher.iterations
+            );
+        }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    deadline: Duration,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`, keeping its output alive via
+    /// [`black_box`] so the optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up run.
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iterations += 1;
+            if started.elapsed() > self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher {
+            samples: 5,
+            deadline: Duration::from_secs(1),
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        // warm-up + up to 5 timed runs
+        assert!(b.iterations >= 1 && b.iterations <= 5);
+        assert_eq!(count, b.iterations + 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

@@ -1,0 +1,58 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform strategy over a type's full domain.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Uniform<T>(core::marker::PhantomData<T>);
+
+impl Strategy for Uniform<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = Uniform<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        Uniform(core::marker::PhantomData)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Uniform<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = Uniform<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                Uniform(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

@@ -1,0 +1,168 @@
+//! Vendored stand-in for `proptest`. Offline builds cannot fetch the real crate,
+//! so this shim implements the subset of the API the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`arbitrary::any`], [`collection::vec`]/[`collection::btree_set`],
+//! the [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from the real proptest, on purpose:
+//!
+//! * **Deterministic by construction** — each generated `#[test]` derives its RNG
+//!   seed from the test's name (FNV-1a), so `cargo test` is reproducible without a
+//!   persistence file. Set `PROPTEST_SEED=<u64>` to override globally.
+//! * **No shrinking** — a failing case reports the case index and seed instead of
+//!   a minimized input. With pinned seeds, re-running reproduces it exactly.
+//! * **Bounded rejects** — `prop_assume!` rejections count toward
+//!   `max_global_rejects`; exceeding it aborts the test as in real proptest.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Rejects the current test case (counts as a skip, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case if the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}` ({} == {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Fails the current test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Declares property-based tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(expr)]` inner attribute followed by `#[test]` functions
+/// whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let seed = $crate::test_runner::resolve_seed(stringify!($name));
+            let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+            let strat = ( $( $strat, )+ );
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case: u64 = 0;
+            while passed < config.cases {
+                case += 1;
+                let ( $( $arg, )+ ) = $crate::strategy::Strategy::generate(&strat, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest `{}`: exceeded {} rejected cases ({} passed); \
+                                 loosen the generator or the assumptions",
+                                stringify!($name),
+                                config.max_global_rejects,
+                                passed,
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest `{}` failed at case {} (seed {:#x}): {}",
+                            stringify!($name),
+                            case,
+                            seed,
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}

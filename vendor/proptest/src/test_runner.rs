@@ -1,0 +1,91 @@
+//! Test-runner configuration and the deterministic RNG behind generated tests.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` configuration. All fields public so struct-update syntax
+/// (`ProptestConfig { cases: 48, ..ProptestConfig::default() }`) works as with the
+/// real crate.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of *successful* cases each test must accumulate.
+    pub cases: u32,
+    /// Abort once this many cases were rejected by `prop_assume!`.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by an assumption; it is skipped, not failed.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// The RNG handed to [`crate::strategy::Strategy::generate`].
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Seed for a named test: `PROPTEST_SEED` env override, else FNV-1a of the test
+/// name — stable across runs, platforms, and test-execution order.
+pub fn resolve_seed(test_name: &str) -> u64 {
+    if let Some(seed) = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        return seed;
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(resolve_seed("alpha"), resolve_seed("alpha"));
+        assert_ne!(resolve_seed("alpha"), resolve_seed("beta"));
+    }
+}

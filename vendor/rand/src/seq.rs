@@ -1,0 +1,34 @@
+//! Sequence-related extensions: random choice and in-place shuffling of slices.
+
+use crate::Rng;
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    type Item;
+
+    /// Returns a uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let idx = rng.gen_range(0..self.len());
+            Some(&self[idx])
+        }
+    }
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}

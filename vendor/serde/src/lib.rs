@@ -1,0 +1,15 @@
+//! Vendored stand-in for the `serde` facade crate. Offline builds cannot fetch the
+//! real serde; this shim provides the two marker traits and re-exports the no-op
+//! derive macros so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No serializer backend
+//! exists in the workspace, so the traits are never exercised at runtime; when a
+//! real serialization dependency becomes available, swapping the path dependency
+//! back to crates.io `serde` is a one-line change per manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! Vendored stand-in for `serde_derive`. The workspace builds offline, so the
+//! real proc-macro crate is unavailable; these derives accept the same positions
+//! in code (`#[derive(Serialize, Deserialize)]`) and expand to nothing. The types
+//! that carry the derives only ever rely on them when an actual serializer is
+//! wired in, which none of the current code paths do.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -13,7 +13,7 @@ fn config_with(features: PruningFeatures, r: Option<usize>) -> GupConfig {
         limits: SearchLimits {
             max_embeddings: Some(100_000),
             time_limit: Some(Duration::from_secs(2)),
-            max_recursions: None,
+            ..SearchLimits::UNLIMITED
         },
         ..GupConfig::default()
     }

@@ -25,7 +25,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             limits: SearchLimits {
                 max_embeddings: Some(100_000),
                 time_limit: Some(Duration::from_secs(2)),
-                max_recursions: None,
+                ..SearchLimits::UNLIMITED
             },
             ..GupConfig::default()
         };

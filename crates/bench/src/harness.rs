@@ -203,7 +203,7 @@ pub fn run_method(method: Method, query: &Graph, data: &Graph, config: &SuiteCon
                 limits: SearchLimits {
                     max_embeddings: Some(config.embedding_limit),
                     time_limit: Some(config.per_query_timeout),
-                    max_recursions: None,
+                    ..SearchLimits::UNLIMITED
                 },
                 ..GupConfig::default()
             };

@@ -2,7 +2,7 @@
 
 use gup_candidate::FilterConfig;
 use gup_order::OrderingStrategy;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which pruning techniques are enabled. The evaluation's ablation (Fig. 9 of the
 /// paper) toggles these: "Baseline", "R", "R+NV", "R+NV+NE", and "All" (= everything
@@ -94,6 +94,11 @@ pub struct SearchLimits {
     /// Stop after this many recursive calls (`None` = unlimited). A robustness valve
     /// for tests and CI; the paper uses only the two limits above.
     pub max_recursions: Option<u64>,
+    /// Absolute deadline. When set it takes precedence over `time_limit`; the
+    /// parallel driver hoists `time_limit` into a deadline once so that per-worker
+    /// engines reused across many tasks share one clock instead of restarting their
+    /// time budget per task.
+    pub deadline: Option<Instant>,
 }
 
 impl SearchLimits {
@@ -102,6 +107,7 @@ impl SearchLimits {
         max_embeddings: None,
         time_limit: None,
         max_recursions: None,
+        deadline: None,
     };
 
     /// The paper's defaults: 10^5 embeddings, one hour per query.
@@ -109,8 +115,15 @@ impl SearchLimits {
         SearchLimits {
             max_embeddings: Some(100_000),
             time_limit: Some(Duration::from_secs(3600)),
-            max_recursions: None,
+            ..SearchLimits::UNLIMITED
         }
+    }
+
+    /// The absolute deadline of a search starting now: `deadline` when set,
+    /// otherwise now + `time_limit`.
+    pub fn effective_deadline(&self) -> Option<Instant> {
+        self.deadline
+            .or_else(|| self.time_limit.map(|limit| Instant::now() + limit))
     }
 }
 
@@ -118,8 +131,33 @@ impl Default for SearchLimits {
     fn default() -> Self {
         SearchLimits {
             max_embeddings: Some(100_000),
-            time_limit: None,
-            max_recursions: None,
+            ..SearchLimits::UNLIMITED
+        }
+    }
+}
+
+/// Knobs of the work-stealing parallel driver (§3.5.2 of the paper: recursive
+/// subtree splitting with work stealing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Only search frames at depth `< max_split_depth` may be split off and donated
+    /// to idle workers. Shallow frames make the biggest tasks; deep splits produce
+    /// tiny tasks whose replay overhead outweighs the balancing benefit.
+    pub max_split_depth: usize,
+    /// Steal granularity: a frame is only split when at least this many unexplored
+    /// sibling candidates remain in it (half of them are donated).
+    pub min_split_candidates: usize,
+    /// Number of root-level chunks seeded per worker before the search starts; work
+    /// stealing rebalances from there.
+    pub seed_chunks_per_worker: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            max_split_depth: 32,
+            min_split_candidates: 2,
+            seed_chunks_per_worker: 4,
         }
     }
 }
@@ -138,6 +176,8 @@ pub struct GupConfig {
     pub features: PruningFeatures,
     /// Early-termination limits.
     pub limits: SearchLimits,
+    /// Work-stealing knobs of the parallel driver.
+    pub parallel: ParallelConfig,
     /// Whether found embeddings are materialized (`true`) or only counted (`false`).
     pub collect_embeddings: bool,
 }
@@ -150,6 +190,7 @@ impl Default for GupConfig {
             reservation_size_limit: Some(3),
             features: PruningFeatures::ALL,
             limits: SearchLimits::default(),
+            parallel: ParallelConfig::default(),
             collect_embeddings: false,
         }
     }
@@ -215,5 +256,30 @@ mod tests {
             Some(7)
         );
         assert_eq!(SearchLimits::UNLIMITED.max_embeddings, None);
+    }
+
+    #[test]
+    fn effective_deadline_prefers_explicit_deadline() {
+        assert!(SearchLimits::UNLIMITED.effective_deadline().is_none());
+        let from_limit = SearchLimits {
+            time_limit: Some(Duration::from_secs(60)),
+            ..SearchLimits::UNLIMITED
+        };
+        assert!(from_limit.effective_deadline().is_some());
+        let fixed = Instant::now() + Duration::from_secs(5);
+        let hoisted = SearchLimits {
+            time_limit: Some(Duration::from_secs(60)),
+            deadline: Some(fixed),
+            ..SearchLimits::UNLIMITED
+        };
+        assert_eq!(hoisted.effective_deadline(), Some(fixed));
+    }
+
+    #[test]
+    fn parallel_defaults_are_sane() {
+        let p = ParallelConfig::default();
+        assert!(p.min_split_candidates >= 2);
+        assert!(p.max_split_depth > 0);
+        assert!(p.seed_chunks_per_worker >= 1);
     }
 }

@@ -18,8 +18,10 @@
 //!    injectivity, with a reservation guard, or with a **nogood guard** learned from a
 //!    previously-explored deadend (paper §3.3). Nogood guards are stored with the O(1)
 //!    *search-node encoding* (§3.5.1); discovered nogoods also drive backjumping.
-//! 3. Multi-core execution shares the GCS and keeps nogood guards thread-local
-//!    ([`parallel`], paper §3.5.2).
+//! 3. Multi-core execution splits search subtrees recursively with work stealing:
+//!    the GCS is shared read-only, while every worker owns one long-lived engine
+//!    whose nogood guards persist across all tasks it executes ([`parallel`],
+//!    paper §3.5.2).
 //!
 //! ## Quick start
 //!
@@ -53,9 +55,9 @@ pub mod reservation;
 pub mod search;
 pub mod stats;
 
-pub use config::{GupConfig, PruningFeatures, SearchLimits};
+pub use config::{GupConfig, ParallelConfig, PruningFeatures, SearchLimits};
 pub use gcs::{Gcs, GupError};
 pub use guards::{NogoodRef, ReservationGuard};
 pub use matcher::{count_embeddings, find_embeddings, GupMatcher, MatchResult};
-pub use search::{SearchEngine, SearchOutcome};
+pub use search::{SearchEngine, SearchOutcome, SearchTask, SplitHandle};
 pub use stats::{MemoryReport, SearchStats};

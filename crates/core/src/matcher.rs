@@ -66,8 +66,14 @@ impl GupMatcher {
         (self.finish_result(outcome), report)
     }
 
-    /// Runs the search on `threads` worker threads (§3.5.2). With `threads <= 1` this
-    /// is equivalent to [`GupMatcher::run`].
+    /// Runs the search on `threads` worker threads with recursive subtree splitting
+    /// and work stealing (§3.5.2). Exact: reports the same embedding count as
+    /// [`GupMatcher::run`]; with `threads <= 1` it *is* the sequential run. The time
+    /// budget, when set, is hoisted into one absolute deadline shared by all
+    /// workers, and the embedding limit is reserved atomically so the merged result
+    /// never overshoots it. Steal/split activity is visible in
+    /// [`SearchStats::tasks_executed`], [`SearchStats::frames_split`], and
+    /// [`SearchStats::tasks_stolen`].
     pub fn run_parallel(&self, threads: usize) -> MatchResult {
         if threads <= 1 {
             return self.run();

@@ -1,85 +1,259 @@
-//! Parallel search (§3.5.2 of the paper).
+//! Work-stealing parallel search (§3.5.2 of the paper).
 //!
-//! The search tree is split at the candidates of `u_0`; worker threads dynamically
-//! claim the next unexplored root candidate from a shared atomic cursor, which gives
-//! work-sharing load balancing without any locking in the hot path. As in the paper,
-//! the GCS and the reservation guards are shared (read-only) across threads, while
-//! every thread keeps **thread-local nogood guards** — they are mutated during the
-//! search, and §4.3.4 of the paper reports that not sharing them has no observable
-//! impact on pruning.
+//! The search tree is split **recursively**: every worker owns a deque of
+//! [`SearchTask`]s (a replayable prefix plus an unexplored candidate range — see
+//! `search.rs`). The root candidate range is seeded as a few chunks per worker; from
+//! there, balancing is pull-based. An idle worker first drains its own deque from the
+//! back (deepest frame, best cache locality), then steals from the *front* of the
+//! busiest peer's deque — the front holds the shallowest frame, i.e. the largest
+//! subtree. When every deque is empty, idle workers advertise hunger through a shared
+//! counter; running workers notice it inside the search recursion and split their
+//! shallowest active frame, donating the unexplored half of its sibling range as a
+//! fresh task (`SearchEngine::maybe_donate`). Donation self-throttles: frames are
+//! only split while hungry workers outnumber queued tasks.
 //!
-//! The paper's implementation splits subtrees recursively with work stealing; this
-//! reproduction only splits at the root level but claims root candidates dynamically
-//! (one at a time), which already load-balances far better than a static partition —
-//! the comparison the Fig. 10 experiment makes against a DAF-style static root split.
-//! The difference is documented in DESIGN.md.
+//! As in the paper, the GCS and the reservation guards are shared read-only across
+//! threads, while nogood guards are **thread-local**: each worker's single long-lived
+//! `SearchEngine` keeps its `VertexGuardStore`/`EdgeGuardStore` across *every* task it
+//! executes (§4.3.4 reports that not sharing them across threads has no observable
+//! impact on pruning). Persisting the engine also means the per-search scratch state
+//! (owner array, candidate stacks, guard stores) is allocated once per worker instead
+//! of once per claimed subtree, which the old root-splitting driver paid on every
+//! root candidate.
+//!
+//! Global termination limits are shared: the embedding budget is one atomic counter
+//! reserved with check-and-increment (no worker can overshoot the limit), and the
+//! time budget is hoisted into one absolute deadline before the workers start, so
+//! engine reuse across tasks cannot restart the clock.
 
 use crate::config::GupConfig;
 use crate::gcs::Gcs;
-use crate::search::{SearchEngine, SearchOutcome};
+use crate::search::{SearchEngine, SearchOutcome, SearchTask, SplitHandle};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared coordination state of one parallel run. The `hungry` and `queued`
+/// counters are `Arc`ed because every worker's [`SplitHandle`] aliases them.
+struct Coordinator {
+    /// One task deque per worker. Owners push/pop at the back; thieves steal from
+    /// the front (the shallowest, largest task).
+    deques: Vec<Arc<Mutex<VecDeque<SearchTask>>>>,
+    /// Number of tasks sitting in deques, not yet claimed.
+    queued: Arc<AtomicUsize>,
+    /// Number of workers currently spinning for work.
+    hungry: Arc<AtomicUsize>,
+    /// Number of workers currently executing a task. Checked together with `queued`
+    /// for termination: no queued task + no running task = no future donation.
+    in_flight: AtomicUsize,
+    /// Set when a worker hits a global limit; makes everyone stop claiming work.
+    abort: AtomicBool,
+}
+
+impl Coordinator {
+    fn new(workers: usize) -> Self {
+        Coordinator {
+            deques: (0..workers)
+                .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+                .collect(),
+            queued: Arc::new(AtomicUsize::new(0)),
+            hungry: Arc::new(AtomicUsize::new(0)),
+            in_flight: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    /// Claims a task for worker `me`: own deque from the back, else steal the front
+    /// of the busiest peer. Returns the task and whether it was stolen.
+    fn claim(&self, me: usize) -> Option<(SearchTask, bool)> {
+        // `queued` is incremented before a task is pushed and decremented after one
+        // is popped, so 0 here proves every deque is empty — skip all the locking
+        // that idle spins would otherwise inflict on running donors.
+        if self.queued.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        if let Some(task) = self.deques[me].lock().pop_back() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some((task, false));
+        }
+        // Probe peers from the busiest downwards so the steal grabs the shallowest
+        // frame of the worker with the most spare work. Lengths are snapshotted with
+        // one lock acquisition per peer; the snapshot can go stale, so every peer is
+        // still probed until a task is found.
+        let mut order: Vec<(usize, usize)> = (0..self.deques.len())
+            .filter(|&i| i != me)
+            .map(|i| (self.deques[i].lock().len(), i))
+            .collect();
+        order.sort_unstable_by_key(|&(len, _)| std::cmp::Reverse(len));
+        for (_, peer) in order {
+            if let Some(task) = self.deques[peer].lock().pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some((task, true));
+            }
+        }
+        None
+    }
+
+    fn seed(&self, tasks: Vec<SearchTask>) {
+        self.queued.fetch_add(tasks.len(), Ordering::SeqCst);
+        for (i, task) in tasks.into_iter().enumerate() {
+            self.deques[i % self.deques.len()].lock().push_back(task);
+        }
+    }
+}
 
 /// Runs a guarded search over `gcs` using `threads` worker threads and merges the
-/// per-thread outcomes.
+/// per-worker outcomes. Exact: reports bit-identical embedding counts to the
+/// sequential engine (the golden fixtures and the determinism suite pin this).
 pub fn run_parallel(gcs: &Gcs, config: &GupConfig, threads: usize) -> SearchOutcome {
     let threads = threads.max(1);
     if gcs.is_empty() {
         return SearchOutcome::default();
     }
-    let root_candidates = gcs.space().candidates(0).len();
-    if threads == 1 || root_candidates <= 1 {
-        return SearchEngine::new(gcs, config).run();
+    // Hoist the time budget into an absolute deadline shared by every worker, so
+    // per-task engine reuse cannot restart the clock (and all workers agree on it).
+    let mut config = config.clone();
+    if config.limits.deadline.is_none() {
+        if let Some(limit) = config.limits.time_limit {
+            config.limits.deadline = Some(Instant::now() + limit);
+        }
     }
+    // Unlike the old root-splitting driver, a single root candidate is *not* a
+    // reason to degrade to one thread: recursive frame splitting parallelizes the
+    // subtree below it.
+    let root_candidates = gcs.space().candidates(0).len();
+    if threads == 1 {
+        return SearchEngine::new(gcs, &config).run();
+    }
+    let workers = threads;
 
-    let cursor = AtomicUsize::new(0);
-    let shared_embeddings = Arc::new(AtomicU64::new(0));
+    let coordinator = Coordinator::new(workers);
+    coordinator.seed(seed_tasks(root_candidates, workers, &config));
+    // The shared counter exists to enforce the global embedding limit; without a
+    // limit every worker counts purely locally — one atomic RMW per embedding on a
+    // single cache line would otherwise dominate enumeration-heavy runs.
+    let shared_embeddings = config
+        .limits
+        .max_embeddings
+        .map(|_| Arc::new(AtomicU64::new(0)));
     let merged: Mutex<SearchOutcome> = Mutex::new(SearchOutcome::default());
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(root_candidates) {
-            let cursor = &cursor;
+        for me in 0..workers {
+            let coordinator = &coordinator;
             let merged = &merged;
-            let shared = Arc::clone(&shared_embeddings);
+            let shared = shared_embeddings.clone();
             let config = config.clone();
             scope.spawn(move || {
-                let mut local = SearchOutcome::default();
-                loop {
-                    let next = cursor.fetch_add(1, Ordering::Relaxed);
-                    if next >= root_candidates {
-                        break;
-                    }
-                    // Stop claiming work once the global embedding limit is reached.
-                    if let Some(max) = config.limits.max_embeddings {
-                        if shared.load(Ordering::Relaxed) >= max {
-                            break;
-                        }
-                    }
-                    let mut engine = SearchEngine::new(gcs, &config);
-                    engine.restrict_root(next, next + 1);
-                    engine.share_embedding_counter(Arc::clone(&shared));
-                    let outcome = engine.run();
-                    local.stats.merge(&outcome.stats);
-                    local.embeddings.extend(outcome.embeddings);
-                }
+                let outcome = worker_loop(me, gcs, &config, coordinator, shared);
                 let mut guard = merged.lock();
-                guard.stats.merge(&local.stats);
-                guard.embeddings.extend(local.embeddings);
+                guard.stats.merge(&outcome.stats);
+                guard.embeddings.extend(outcome.embeddings);
             });
         }
     });
 
-    let mut outcome = merged.into_inner();
-    // When the limit fired, threads may have slightly overshot individually; clamp the
-    // reported totals to the shared count, which respects the limit.
-    if let Some(max) = config.limits.max_embeddings {
-        if outcome.stats.embeddings > max {
-            outcome.stats.embeddings = max;
-            outcome.embeddings.truncate(max as usize);
+    merged.into_inner()
+}
+
+/// Splits the root candidate range into a few contiguous chunks per worker. Work
+/// stealing rebalances from there, so the exact chunking only affects startup.
+fn seed_tasks(root_candidates: usize, workers: usize, config: &GupConfig) -> Vec<SearchTask> {
+    let per_worker = config.parallel.seed_chunks_per_worker.max(1);
+    let chunks = root_candidates.min(workers * per_worker);
+    let chunk = root_candidates.div_ceil(chunks);
+    (0..chunks)
+        .map(|i| {
+            let lo = i * chunk;
+            let hi = ((i + 1) * chunk).min(root_candidates);
+            SearchTask {
+                prefix: Vec::new(),
+                // At the root level the local candidate list is the identity over
+                // candidate indices, so the chunk positions are the indices.
+                candidates: (lo as u32..hi as u32).collect(),
+            }
+        })
+        .filter(|t| !t.candidates.is_empty())
+        .collect()
+}
+
+/// One worker: a long-lived engine (persistent nogood guards) executing tasks until
+/// the run is globally out of work or a limit fired.
+fn worker_loop(
+    me: usize,
+    gcs: &Gcs,
+    config: &GupConfig,
+    coordinator: &Coordinator,
+    shared_embeddings: Option<Arc<AtomicU64>>,
+) -> SearchOutcome {
+    let mut engine = SearchEngine::new(gcs, config);
+    if let Some(shared) = shared_embeddings {
+        engine.share_embedding_counter(shared);
+    }
+    engine.enable_splitting(SplitHandle {
+        hungry: Arc::clone(&coordinator.hungry),
+        queued: Arc::clone(&coordinator.queued),
+        sink: Arc::clone(&coordinator.deques[me]),
+        max_split_depth: config.parallel.max_split_depth,
+        min_split_candidates: config.parallel.min_split_candidates,
+    });
+
+    let mut idle_spins = 0u32;
+    let mut confirmed_idle = false;
+    loop {
+        if coordinator.abort.load(Ordering::SeqCst) {
+            break;
+        }
+        // `in_flight` is raised *before* the claim so the emptiness test elsewhere
+        // can never observe "no queued task, nobody running" while a task is in the
+        // hand-off window between deque and execution.
+        coordinator.in_flight.fetch_add(1, Ordering::SeqCst);
+        match coordinator.claim(me) {
+            Some((task, stolen)) => {
+                idle_spins = 0;
+                confirmed_idle = false;
+                if stolen {
+                    engine.record_steal();
+                }
+                engine.run_task(task);
+                coordinator.in_flight.fetch_sub(1, Ordering::SeqCst);
+                if engine.stats().terminated_early() {
+                    coordinator.abort.store(true, Ordering::SeqCst);
+                }
+            }
+            None => {
+                coordinator.in_flight.fetch_sub(1, Ordering::SeqCst);
+                if coordinator.queued.load(Ordering::SeqCst) == 0
+                    && coordinator.in_flight.load(Ordering::SeqCst) == 0
+                {
+                    // A donor may slip a task in between the two loads above
+                    // (donate, finish, drop in_flight to 0). One confirming claim
+                    // pass closes that window before the worker retires.
+                    if confirmed_idle {
+                        break;
+                    }
+                    confirmed_idle = true;
+                    continue;
+                }
+                confirmed_idle = false;
+                // Advertise hunger so running workers donate a frame, then back off
+                // exponentially: spinning hard would steal cycles from the workers
+                // actually searching when cores are oversubscribed.
+                coordinator.hungry.fetch_add(1, Ordering::SeqCst);
+                if idle_spins < 4 {
+                    std::thread::yield_now();
+                } else {
+                    let exp = (idle_spins - 4).min(5);
+                    std::thread::sleep(Duration::from_micros(10 << exp));
+                }
+                idle_spins = idle_spins.saturating_add(1);
+                coordinator.hungry.fetch_sub(1, Ordering::SeqCst);
+            }
         }
     }
-    outcome
+    engine.take_outcome()
 }
 
 #[cfg(test)]
@@ -109,9 +283,10 @@ mod tests {
         };
         let gcs = build(&query, &data, &cfg);
         let sequential = SearchEngine::new(&gcs, &cfg).run();
-        for threads in [2, 4] {
+        for threads in [2, 4, 8] {
             let parallel = run_parallel(&gcs, &cfg, threads);
             assert_eq!(parallel.stats.embeddings, sequential.stats.embeddings);
+            assert!(parallel.stats.tasks_executed >= 1);
         }
     }
 
@@ -131,7 +306,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_respects_embedding_limit() {
+    fn parallel_respects_embedding_limit_exactly() {
         let data = power_law_graph(&PowerLawConfig {
             vertices: 200,
             edges_per_vertex: 4,
@@ -145,12 +320,18 @@ mod tests {
                 max_embeddings: Some(50),
                 ..SearchLimits::default()
             },
+            collect_embeddings: true,
             ..GupConfig::default()
         };
         let gcs = build(&query, &data, &cfg);
-        let outcome = run_parallel(&gcs, &cfg, 4);
-        assert!(outcome.stats.embeddings <= 50);
-        assert!(outcome.stats.hit_embedding_limit || outcome.stats.embeddings < 50);
+        for _ in 0..8 {
+            let outcome = run_parallel(&gcs, &cfg, 4);
+            // Check-and-reserve: the count can never overshoot, and the collected
+            // set matches the count (no post-hoc truncation).
+            assert!(outcome.stats.embeddings <= 50);
+            assert_eq!(outcome.embeddings.len() as u64, outcome.stats.embeddings);
+            assert!(outcome.stats.hit_embedding_limit || outcome.stats.embeddings < 50);
+        }
     }
 
     #[test]
@@ -162,5 +343,42 @@ mod tests {
         let outcome = run_parallel(&gcs, &cfg, 4);
         assert_eq!(outcome.stats.embeddings, 0);
         assert_eq!(outcome.stats.recursions, 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_not_restarted_per_task() {
+        let data = power_law_graph(&PowerLawConfig {
+            vertices: 400,
+            edges_per_vertex: 6,
+            labels: 1,
+            seed: 3,
+            ..Default::default()
+        });
+        let query = fixtures::path(4, 0);
+        let unlimited = GupConfig {
+            limits: SearchLimits::UNLIMITED,
+            ..GupConfig::default()
+        };
+        let gcs = build(&query, &data, &unlimited);
+        let full = SearchEngine::new(&gcs, &unlimited).run();
+        // Precondition for the deadline sampling (every 1024 recursions) to trigger.
+        assert!(
+            full.stats.recursions > 20_000,
+            "fixture too small for the deadline test: {} recursions",
+            full.stats.recursions
+        );
+        let cfg = GupConfig {
+            limits: SearchLimits {
+                time_limit: Some(Duration::ZERO),
+                ..SearchLimits::UNLIMITED
+            },
+            ..GupConfig::default()
+        };
+        let outcome = run_parallel(&gcs, &cfg, 4);
+        // The already-expired budget is hoisted into one absolute deadline before
+        // the workers start; per-task engine reuse must not restart the clock, so
+        // the run aborts long before exhausting the full search.
+        assert!(outcome.stats.hit_time_limit);
+        assert!(outcome.stats.recursions < full.stats.recursions);
     }
 }

@@ -18,15 +18,68 @@
 //! sound special case of Definition 3.30 (any superset of a nogood is a nogood and the
 //! domain restriction of Definition 3.16 holds by construction); the paper's full
 //! fixed-deadend-mask recursion can discover additional edge guards. See DESIGN.md.
+//!
+//! ### Task frames and work stealing
+//!
+//! A search can be packaged as a [`SearchTask`]: a replayable prefix (the candidate
+//! index assigned at each depth `< base`) plus an explicit list of unexplored
+//! candidates at the base depth. [`SearchEngine::run_task`] replays the prefix
+//! (re-running the forward refinements, which is cheap — at most `|V_Q|` merge
+//! intersections) and then searches exactly the listed candidates. While a task runs,
+//! the engine tracks the unexplored sibling range of every active frame; when a
+//! [`SplitHandle`] reports hungry workers, the shallowest splittable frame donates the
+//! unexplored half of its range as a fresh task (§3.5.2 of the paper). A frame that
+//! donated part of its range can no longer prove the level exhaustively explored, so
+//! it reports `NotDeadend` instead of synthesizing a deadend mask from an incomplete
+//! candidate enumeration — masks obtained by backjumping stay valid because their
+//! claim is independent of which siblings were enumerated locally.
+//!
+//! One engine per worker lives across *all* tasks the worker executes, so the nogood
+//! guard stores persist. Search-node ids keep growing monotonically across tasks,
+//! which keeps stale node-encoded guards inert (their node id can never reappear in a
+//! later ancestor array) while guards whose encoded prefix is the imaginary root —
+//! "this candidate can never be extended, period" — keep pruning in every later task.
 
 use crate::config::{GupConfig, PruningFeatures, SearchLimits};
 use crate::gcs::Gcs;
 use crate::guards::{EdgeGuardStore, NodeId, NogoodRef, VertexGuardStore};
 use crate::stats::SearchStats;
 use gup_graph::{QVSet, VertexId};
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One unit of work for the work-stealing driver: replay `prefix` (candidate index
+/// per query vertex `0..prefix.len()`), then explore exactly the candidate indices in
+/// `candidates` at depth `prefix.len()`.
+#[derive(Clone, Debug)]
+pub struct SearchTask {
+    /// Candidate index assigned to query vertex `k`, for each `k < prefix.len()`.
+    pub prefix: Vec<u32>,
+    /// Unexplored candidate indices of query vertex `prefix.len()`.
+    pub candidates: Vec<u32>,
+}
+
+/// Shared hooks that let a running engine donate split-off frames to a task queue.
+///
+/// The engine donates only while demand exceeds supply (`hungry > queued`), which
+/// self-throttles splitting to the number of idle workers.
+#[derive(Clone)]
+pub struct SplitHandle {
+    /// Number of workers currently looking for work.
+    pub hungry: Arc<AtomicUsize>,
+    /// Number of tasks currently sitting in deques (not yet claimed).
+    pub queued: Arc<AtomicUsize>,
+    /// The owning worker's deque; donated frames are pushed to its back, thieves
+    /// steal from its front (shallowest frame first).
+    pub sink: Arc<Mutex<VecDeque<SearchTask>>>,
+    /// Frames at depth `>= max_split_depth` are never donated.
+    pub max_split_depth: usize,
+    /// Minimum unexplored siblings a frame needs before it may be split.
+    pub min_split_candidates: usize,
+}
 
 /// Result of exploring one extension / partial embedding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,7 +134,10 @@ pub struct SearchEngine<'a> {
 
     stats: SearchStats,
     embeddings: Vec<Vec<VertexId>>,
-    start: Instant,
+    /// Absolute deadline, owned by whoever constructed the config: hoisted once by
+    /// the parallel driver (so engine reuse cannot restart the time budget per task)
+    /// or derived from `time_limit` at engine construction for sequential runs.
+    deadline: Option<Instant>,
     deadline_checked_at: u64,
     /// Restrict the root-level candidates to this slice of positions (used by the
     /// parallel engine to partition the search tree). `None` = all root candidates.
@@ -89,6 +145,21 @@ pub struct SearchEngine<'a> {
     /// Shared embedding counter for parallel runs: when set, every found embedding is
     /// also counted here and the embedding limit is checked against the shared total.
     shared_embeddings: Option<Arc<AtomicU64>>,
+
+    // Task-frame state ---------------------------------------------------------------
+    /// Depth at which the current task's explicit candidate list applies.
+    task_base: usize,
+    /// Explicit candidate list of the current task's base depth.
+    task_candidates: Vec<u32>,
+    /// Current loop position of the active frame at each depth.
+    frame_pos: Vec<usize>,
+    /// Exclusive end of the unexplored range of the active frame at each depth;
+    /// shrunk when the frame donates work.
+    frame_hi: Vec<usize>,
+    /// Whether the active frame at each depth donated part of its range.
+    frame_donated: Vec<bool>,
+    /// Donation hooks of the work-stealing driver.
+    split: Option<SplitHandle>,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -118,10 +189,16 @@ impl<'a> SearchEngine<'a> {
             ne: gcs.new_edge_guard_store(),
             stats: SearchStats::default(),
             embeddings: Vec::new(),
-            start: Instant::now(),
+            deadline: config.limits.effective_deadline(),
             deadline_checked_at: 0,
             root_slice: None,
             shared_embeddings: None,
+            task_base: 0,
+            task_candidates: Vec::new(),
+            frame_pos: vec![0; n],
+            frame_hi: vec![0; n],
+            frame_donated: vec![false; n],
+            split: None,
         }
     }
 
@@ -132,21 +209,51 @@ impl<'a> SearchEngine<'a> {
     }
 
     /// Shares an embedding counter with other workers so that the embedding limit is
-    /// enforced globally across a parallel run (§3.5.2).
+    /// enforced globally across a parallel run (§3.5.2). The limit is reserved
+    /// check-and-increment (`fetch_update`), so workers can never overshoot it.
     pub fn share_embedding_counter(&mut self, counter: Arc<AtomicU64>) {
         self.shared_embeddings = Some(counter);
     }
 
+    /// Enables frame donation: while `handle` reports hungry workers, the engine
+    /// splits the shallowest splittable active frame and pushes the unexplored half
+    /// to `handle.sink`.
+    pub fn enable_splitting(&mut self, handle: SplitHandle) {
+        self.split = Some(handle);
+    }
+
+    /// Counters collected so far (across every task this engine executed).
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// Counts one stolen task against this engine's statistics (driver-side event;
+    /// the engine itself cannot observe where its tasks came from).
+    pub fn record_steal(&mut self) {
+        self.stats.tasks_stolen += 1;
+    }
+
+    /// The task covering this engine's whole search space: empty prefix, every root
+    /// candidate (restricted by [`SearchEngine::restrict_root`] when set).
+    pub fn root_task(&self) -> SearchTask {
+        let list = &self.cand_stack[0][0];
+        let len = list.len();
+        let (lo, hi) = self
+            .root_slice
+            .map(|(a, b)| (a.min(len), b.min(len)))
+            .unwrap_or((0, len));
+        SearchTask {
+            prefix: Vec::new(),
+            candidates: list[lo..hi.max(lo)].to_vec(),
+        }
+    }
+
     /// Runs the search to completion (or until a limit fires) and returns the outcome.
     pub fn run(mut self) -> SearchOutcome {
-        self.start = Instant::now();
-        if self.gcs.is_empty() {
-            return SearchOutcome {
-                embeddings: self.embeddings,
-                stats: self.stats,
-            };
+        if !self.gcs.is_empty() {
+            let task = self.root_task();
+            self.run_task(task);
         }
-        let _ = self.backtrack(0);
         SearchOutcome {
             embeddings: self.embeddings,
             stats: self.stats,
@@ -156,15 +263,78 @@ impl<'a> SearchEngine<'a> {
     /// Runs the search and additionally returns the populated guard stores (used by
     /// the memory-consumption experiment, Table 3).
     pub fn run_with_guards(mut self) -> (SearchOutcome, VertexGuardStore, EdgeGuardStore) {
-        self.start = Instant::now();
         if !self.gcs.is_empty() {
-            let _ = self.backtrack(0);
+            let task = self.root_task();
+            self.run_task(task);
         }
         let outcome = SearchOutcome {
             embeddings: std::mem::take(&mut self.embeddings),
             stats: self.stats.clone(),
         };
         (outcome, self.nv, self.ne)
+    }
+
+    /// Executes one task: replays its prefix, then explores its candidate range.
+    /// Embeddings and counters accumulate in the engine across calls; collect them
+    /// with [`SearchEngine::take_outcome`] when the worker is done.
+    ///
+    /// A prefix that can no longer be extended (a persistent guard or refinement
+    /// proves its subtree empty) makes the task a cheap no-op — that pruning is sound
+    /// because guards and refinements only ever remove embedding-free subtrees.
+    pub fn run_task(&mut self, task: SearchTask) {
+        if self.gcs.is_empty() || task.candidates.is_empty() {
+            return;
+        }
+        self.stats.tasks_executed += 1;
+        let base = task.prefix.len();
+        debug_assert!(base < self.gcs.query().vertex_count());
+        let mut replayed: Vec<Vec<usize>> = Vec::with_capacity(base);
+        let mut alive = true;
+        for (k, &cv) in task.prefix.iter().enumerate() {
+            let v = self.gcs.space().candidates(k)[cv as usize];
+            // A guard learned in an earlier task may have since proven this subtree
+            // empty; injectivity/reservation conflicts cannot occur on a valid prefix.
+            if self.features.nogood_vertex_guards && self.nv.get(k, cv).matches(&self.anc[..k + 1])
+            {
+                self.stats.pruned_by_nogood_vertex += 1;
+                alive = false;
+                break;
+            }
+            self.owner[v as usize] = k as u8 + 1;
+            self.assignment[k] = cv;
+            self.assignment_data[k] = v;
+            let node = self.next_node_id;
+            self.next_node_id += 1;
+            self.anc[k + 1] = node;
+            match self.refine_forward(k, cv, v) {
+                Ok(pushed) => replayed.push(pushed),
+                Err(_) => {
+                    self.owner[v as usize] = 0;
+                    self.stats.no_candidate_conflicts += 1;
+                    alive = false;
+                    break;
+                }
+            }
+        }
+        if alive {
+            self.task_base = base;
+            self.task_candidates = task.candidates;
+            let _ = self.backtrack(base);
+            self.task_base = 0;
+            self.task_candidates = Vec::new();
+        }
+        for k in (0..replayed.len()).rev() {
+            self.pop_refinements(&replayed[k]);
+            self.owner[self.assignment_data[k] as usize] = 0;
+        }
+    }
+
+    /// Moves the accumulated outcome out of the engine (leaving it reusable).
+    pub fn take_outcome(&mut self) -> SearchOutcome {
+        SearchOutcome {
+            embeddings: std::mem::take(&mut self.embeddings),
+            stats: std::mem::take(&mut self.stats),
+        }
     }
 
     // ------------------------------------------------------------------------------
@@ -174,17 +344,17 @@ impl<'a> SearchEngine<'a> {
     fn backtrack(&mut self, k: usize) -> StepResult {
         let n = self.gcs.query().vertex_count();
         if k == n {
-            if self.embedding_limit_reached() {
-                self.stats.hit_embedding_limit = true;
-                return StepResult::Aborted;
-            }
-            self.record_embedding();
-            return StepResult::NotDeadend;
+            return if self.try_record_embedding() {
+                StepResult::NotDeadend
+            } else {
+                StepResult::Aborted
+            };
         }
         self.stats.recursions += 1;
         if self.limit_hit() {
             return StepResult::Aborted;
         }
+        self.maybe_donate(k);
 
         let mut found_any = false;
         let mut mask_union = QVSet::EMPTY;
@@ -192,18 +362,23 @@ impl<'a> SearchEngine<'a> {
         let mut aborted = false;
         let mut backjump_mask: Option<QVSet> = None;
 
+        let at_base = k == self.task_base;
         let level = self.cand_stack[k].len() - 1;
-        let (lo, hi) = if k == 0 {
-            let len = self.cand_stack[0][level].len();
-            self.root_slice
-                .map(|(a, b)| (a.min(len), b.min(len)))
-                .unwrap_or((0, len))
+        self.frame_pos[k] = 0;
+        self.frame_hi[k] = if at_base {
+            self.task_candidates.len()
         } else {
-            (0, self.cand_stack[k][level].len())
+            self.cand_stack[k][level].len()
         };
+        self.frame_donated[k] = false;
 
-        for pos in lo..hi {
-            let cv = self.cand_stack[k][level][pos];
+        while self.frame_pos[k] < self.frame_hi[k] {
+            let pos = self.frame_pos[k];
+            let cv = if at_base {
+                self.task_candidates[pos]
+            } else {
+                self.cand_stack[k][level][pos]
+            };
             let v = self.gcs.space().candidates(k)[cv as usize];
             self.stats.local_candidates_seen += 1;
 
@@ -267,6 +442,7 @@ impl<'a> SearchEngine<'a> {
                     }
                 }
             }
+            self.frame_pos[k] = pos + 1;
         }
 
         if aborted {
@@ -276,14 +452,68 @@ impl<'a> SearchEngine<'a> {
             return StepResult::NotDeadend;
         }
         // The current partial embedding is a deadend; derive its deadend mask
-        // (Definition 3.26, cases 3 and 4).
-        self.stats.futile_recursions += 1;
+        // (Definition 3.26, cases 3 and 4). A mask discovered by backjumping (or any
+        // mask not containing k) claims the whole level dead *independently* of which
+        // siblings were enumerated here, so it stays valid for a donated frame.
         if let Some(mask) = backjump_mask.or(mask_without_k) {
+            self.stats.futile_recursions += 1;
             return StepResult::Deadend(mask);
         }
+        if self.frame_donated[k] {
+            // Part of this level was donated to another worker: the enumeration is
+            // incomplete, so no union-derived deadend mask may be synthesized.
+            return StepResult::NotDeadend;
+        }
+        self.stats.futile_recursions += 1;
         let level_bound = *self.bound_stack[k].last().expect("bound stack never empty");
         let mask = (mask_union | level_bound).without(k);
         StepResult::Deadend(mask)
+    }
+
+    /// When idle workers outnumber queued tasks, splits the shallowest splittable
+    /// active frame (depth `task_base..min(depth, max_split_depth)`) and donates the
+    /// unexplored half of its sibling range as a new task.
+    fn maybe_donate(&mut self, depth: usize) {
+        let (hungry, queued, min_split, max_split) = match &self.split {
+            Some(s) => (
+                s.hungry.load(Ordering::Relaxed),
+                s.queued.load(Ordering::Relaxed),
+                s.min_split_candidates.max(2),
+                s.max_split_depth,
+            ),
+            None => return,
+        };
+        if hungry <= queued {
+            return;
+        }
+        for d in self.task_base..depth.min(max_split) {
+            let pos = self.frame_pos[d];
+            let hi = self.frame_hi[d];
+            // Candidates after the one whose subtree is currently being explored.
+            let rest = hi.saturating_sub(pos + 1);
+            if rest < min_split {
+                continue;
+            }
+            let give = rest - rest / 2;
+            let new_hi = hi - give;
+            let candidates: Vec<u32> = if d == self.task_base {
+                self.task_candidates[new_hi..hi].to_vec()
+            } else {
+                let level = self.cand_stack[d].len() - 1;
+                self.cand_stack[d][level][new_hi..hi].to_vec()
+            };
+            let prefix: Vec<u32> = self.assignment[..d].to_vec();
+            self.frame_hi[d] = new_hi;
+            self.frame_donated[d] = true;
+            self.stats.frames_split += 1;
+            let split = self.split.as_ref().expect("checked above");
+            split.queued.fetch_add(1, Ordering::SeqCst);
+            split
+                .sink
+                .lock()
+                .push_back(SearchTask { prefix, candidates });
+            return;
+        }
     }
 
     /// Conflict checks performed before extending with candidate `cv` / data vertex
@@ -334,10 +564,10 @@ impl<'a> SearchEngine<'a> {
     /// (Definition 3.23 case 4), having already undone its own pushes.
     fn refine_forward(&mut self, k: usize, cv: u32, v: VertexId) -> Result<Vec<usize>, QVSet> {
         let _ = v;
-        let mut pushed: Vec<usize> =
-            Vec::with_capacity(self.gcs.query().forward_neighbors(k).len());
-        let forward: Vec<usize> = self.gcs.query().forward_neighbors(k).to_vec();
-        for f in forward {
+        let forward_count = self.gcs.query().forward_neighbors(k).len();
+        let mut pushed: Vec<usize> = Vec::with_capacity(forward_count);
+        for fi in 0..forward_count {
+            let f = self.gcs.query().forward_neighbors(k)[fi];
             let eid = self
                 .gcs
                 .space()
@@ -479,14 +709,40 @@ impl<'a> SearchEngine<'a> {
         }
     }
 
-    fn record_embedding(&mut self) {
-        self.stats.embeddings += 1;
-        if let Some(shared) = &self.shared_embeddings {
-            shared.fetch_add(1, Ordering::Relaxed);
+    /// Atomically reserves a slot under the embedding limit and records the
+    /// embedding. With a shared counter the reservation is a check-and-increment
+    /// `fetch_update`, so concurrent workers can never overshoot the limit — the
+    /// reported embedding set is limit-respecting without any post-hoc truncation.
+    /// Returns `false` (and flags the limit) when no slot is left.
+    fn try_record_embedding(&mut self) -> bool {
+        match (&self.shared_embeddings, self.limits.max_embeddings) {
+            (Some(shared), Some(max)) => {
+                let reserved = shared
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |count| {
+                        (count < max).then_some(count + 1)
+                    })
+                    .is_ok();
+                if !reserved {
+                    self.stats.hit_embedding_limit = true;
+                    return false;
+                }
+            }
+            (Some(shared), None) => {
+                shared.fetch_add(1, Ordering::Relaxed);
+            }
+            (None, Some(max)) => {
+                if self.stats.embeddings >= max {
+                    self.stats.hit_embedding_limit = true;
+                    return false;
+                }
+            }
+            (None, None) => {}
         }
+        self.stats.embeddings += 1;
         if self.collect {
             self.embeddings.push(self.assignment_data.clone());
         }
+        true
     }
 
     /// Total embeddings found so far, across all workers when a shared counter is set.
@@ -514,11 +770,11 @@ impl<'a> SearchEngine<'a> {
                 return true;
             }
         }
-        if let Some(limit) = self.limits.time_limit {
+        if let Some(deadline) = self.deadline {
             // Checking the clock is comparatively expensive; sample every 1024 calls.
             if self.stats.recursions - self.deadline_checked_at >= 1024 {
                 self.deadline_checked_at = self.stats.recursions;
-                if self.start.elapsed() >= limit {
+                if Instant::now() >= deadline {
                     self.stats.hit_time_limit = true;
                     return true;
                 }
@@ -721,9 +977,8 @@ mod tests {
         );
         let cfg = GupConfig {
             limits: SearchLimits {
-                max_embeddings: None,
-                time_limit: None,
                 max_recursions: Some(2),
+                ..SearchLimits::UNLIMITED
             },
             ..GupConfig::default()
         };

@@ -35,6 +35,14 @@ pub struct SearchStats {
     pub nv_guards_recorded: u64,
     /// Number of nogood guards recorded on edges.
     pub ne_guards_recorded: u64,
+    /// Number of search tasks (suspendable frames) executed. A sequential run is one
+    /// task; the work-stealing driver counts every seeded chunk and stolen frame.
+    pub tasks_executed: u64,
+    /// Number of times a running worker split an active search frame and donated the
+    /// unexplored half to the task queue (work-stealing driver only).
+    pub frames_split: u64,
+    /// Number of tasks a worker stole from another worker's deque.
+    pub tasks_stolen: u64,
     /// `true` if the search stopped because of the embedding limit.
     pub hit_embedding_limit: bool,
     /// `true` if the search stopped because of the time limit.
@@ -74,6 +82,9 @@ impl SearchStats {
         self.backjumps += other.backjumps;
         self.nv_guards_recorded += other.nv_guards_recorded;
         self.ne_guards_recorded += other.ne_guards_recorded;
+        self.tasks_executed += other.tasks_executed;
+        self.frames_split += other.frames_split;
+        self.tasks_stolen += other.tasks_stolen;
         self.hit_embedding_limit |= other.hit_embedding_limit;
         self.hit_time_limit |= other.hit_time_limit;
         self.hit_recursion_limit |= other.hit_recursion_limit;

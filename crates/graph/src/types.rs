@@ -21,6 +21,16 @@ pub const MAX_QUERY_VERTICES: usize = 64;
 /// Used for conflict masks, deadend masks, bounding sets, and nogood-guard domains.
 /// All operations are O(1), matching the paper's assumption that "a bit vector of
 /// length |V_Q| takes O(1) space and O(1) time for set operations".
+///
+/// # Bounds
+///
+/// Members must be `< MAX_QUERY_VERTICES`. The constructors ([`QVSet::singleton`],
+/// [`QVSet::all_below`]) enforce this in **every** build profile — a wrapped shift in
+/// a release build would silently alias vertex 64 with vertex 0. The hot-path
+/// mutators (`insert`/`with`/`without`/`remove`) only `debug_assert!` it; they are
+/// safe because every index reaching them is a query-vertex id, and `QueryGraph`
+/// construction rejects queries with more than `MAX_QUERY_VERTICES` vertices at the
+/// API boundary (`QueryGraphError::TooLarge`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct QVSet(u64);
 
@@ -35,16 +45,29 @@ impl QVSet {
     }
 
     /// Creates a set containing the single query vertex `i`.
+    ///
+    /// # Panics
+    /// When `i >= MAX_QUERY_VERTICES`, in release builds too (a wrapped shift would
+    /// silently produce the wrong set).
     #[inline]
     pub fn singleton(i: usize) -> Self {
-        debug_assert!(i < MAX_QUERY_VERTICES);
+        assert!(
+            i < MAX_QUERY_VERTICES,
+            "query vertex {i} out of range (max {MAX_QUERY_VERTICES})"
+        );
         QVSet(1u64 << i)
     }
 
     /// Creates a set containing all query vertices `0..n`.
+    ///
+    /// # Panics
+    /// When `n > MAX_QUERY_VERTICES`, in release builds too.
     #[inline]
     pub fn all_below(n: usize) -> Self {
-        debug_assert!(n <= MAX_QUERY_VERTICES);
+        assert!(
+            n <= MAX_QUERY_VERTICES,
+            "query size {n} out of range (max {MAX_QUERY_VERTICES})"
+        );
         if n >= 64 {
             QVSet(u64::MAX)
         } else {
@@ -326,6 +349,21 @@ mod tests {
     fn debug_format_lists_members() {
         let s = QVSet::from_iter([0, 2]);
         assert_eq!(format!("{s:?}"), "{u0,u2}");
+    }
+
+    /// Regression for the release-mode shift wrap: `singleton(64)` must panic (not
+    /// silently alias vertex 0) in **every** build profile. `debug_assert!` alone
+    /// would let `1u64 << 64` wrap to `1` with `--release`.
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_singleton_panics_in_release_too() {
+        let _ = QVSet::singleton(MAX_QUERY_VERTICES);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_all_below_panics_in_release_too() {
+        let _ = QVSet::all_below(MAX_QUERY_VERTICES + 1);
     }
 
     #[test]

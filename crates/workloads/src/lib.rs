@@ -20,5 +20,5 @@
 pub mod datasets;
 pub mod queries;
 
-pub use datasets::{Dataset, DatasetSpec, ScaledDataset};
+pub use datasets::{coarsen_labels, Dataset, DatasetSpec, ScaledDataset};
 pub use queries::{generate_query_set, QueryClass, QuerySetSpec};

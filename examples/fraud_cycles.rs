@@ -74,7 +74,7 @@ fn run(query: &Graph, data: &Graph, features: PruningFeatures) -> gup::MatchResu
         limits: SearchLimits {
             max_embeddings: Some(100_000),
             time_limit: Some(Duration::from_secs(10)),
-            max_recursions: None,
+            ..SearchLimits::UNLIMITED
         },
         ..GupConfig::default()
     };

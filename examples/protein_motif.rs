@@ -56,7 +56,7 @@ fn main() {
         let limits = SearchLimits {
             max_embeddings: Some(100_000),
             time_limit: Some(Duration::from_secs(5)),
-            max_recursions: None,
+            ..SearchLimits::UNLIMITED
         };
         let cfg = GupConfig {
             limits,

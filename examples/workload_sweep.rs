@@ -34,7 +34,7 @@ fn main() {
             limits: SearchLimits {
                 max_embeddings: Some(100_000),
                 time_limit: Some(Duration::from_secs(2)),
-                max_recursions: None,
+                ..SearchLimits::UNLIMITED
             },
             ..GupConfig::default()
         };

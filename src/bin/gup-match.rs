@@ -121,7 +121,7 @@ fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, Stri
                 limits: SearchLimits {
                     max_embeddings: opts.limit,
                     time_limit: opts.timeout,
-                    max_recursions: None,
+                    ..SearchLimits::UNLIMITED
                 },
                 ..GupConfig::default()
             };
@@ -137,13 +137,24 @@ fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, Stri
                     println!("embedding\t{}", cells.join("\t"));
                 }
             }
+            let parallel_info = if opts.threads > 1 {
+                format!(
+                    " tasks={} splits={} steals={}",
+                    result.stats.tasks_executed,
+                    result.stats.frames_split,
+                    result.stats.tasks_stolen
+                )
+            } else {
+                String::new()
+            };
             format!(
-                "embeddings={} recursions={} futile={} backjumps={} pruned_by_guards={} elapsed={:?}{}",
+                "embeddings={} recursions={} futile={} backjumps={} pruned_by_guards={}{} elapsed={:?}{}",
                 result.embedding_count(),
                 result.stats.recursions,
                 result.stats.futile_recursions,
                 result.stats.backjumps,
                 result.stats.pruned_by_reservation + result.stats.pruned_by_nogood_vertex,
+                parallel_info,
                 start.elapsed(),
                 if result.stats.terminated_early() { " (terminated early)" } else { "" }
             )

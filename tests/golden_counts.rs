@@ -102,7 +102,7 @@ fn gup_matches_goldens_under_every_feature_combination() {
 #[test]
 fn parallel_gup_matches_goldens() {
     for (name, query, data, expected) in golden_instances() {
-        for threads in [2, 4] {
+        for threads in [2, 4, 8] {
             for features in [PruningFeatures::ALL, PruningFeatures::NONE] {
                 let count = GupMatcher::new(&query, &data, gup_config(features))
                     .unwrap()

@@ -1,0 +1,169 @@
+//! Determinism suite for the work-stealing parallel driver.
+//!
+//! Work stealing makes the *schedule* nondeterministic, so these tests pin what must
+//! stay deterministic regardless of interleaving: the reported embedding count is
+//! bit-identical to the sequential engine for `threads ∈ {1, 2, 4, 8}` on every
+//! golden fixture, with and without an embedding limit, and on a seed-pinned
+//! Yeast-analogue workload. Each configuration is run several times so that racy
+//! schedules get a chance to disagree.
+
+use gup::{GupConfig, GupMatcher, SearchLimits};
+use gup_graph::fixtures::{clique4, paper_example, path, square_with_diagonal, triangle_query};
+use gup_graph::query::{QueryGraph, QueryGraphError};
+use gup_graph::{Graph, GraphBuilder};
+use gup_workloads::{generate_query_set, Dataset, QueryClass, QuerySetSpec};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPEATS: usize = 3;
+
+fn fixtures() -> Vec<(&'static str, Graph, Graph)> {
+    let (paper_query, paper_data) = paper_example();
+    vec![
+        ("paper_example", paper_query, paper_data.clone()),
+        (
+            "triangle_in_square",
+            triangle_query(),
+            square_with_diagonal(),
+        ),
+        ("triangle_in_paper_data", triangle_query(), paper_data),
+        ("clique4_in_clique4", clique4(2), clique4(2)),
+        ("path2_on_diagonal", path(2, 0), square_with_diagonal()),
+        ("path3_no_match", path(3, 1), square_with_diagonal()),
+    ]
+}
+
+fn count(query: &Graph, data: &Graph, limits: SearchLimits, threads: usize) -> u64 {
+    let cfg = GupConfig {
+        limits,
+        ..GupConfig::default()
+    };
+    let matcher = GupMatcher::new(query, data, cfg).unwrap();
+    if threads == 1 {
+        matcher.run().embedding_count()
+    } else {
+        matcher.run_parallel(threads).embedding_count()
+    }
+}
+
+#[test]
+fn thread_counts_agree_on_every_fixture_unlimited() {
+    for (name, query, data) in fixtures() {
+        let sequential = count(&query, &data, SearchLimits::UNLIMITED, 1);
+        for threads in THREAD_COUNTS {
+            for round in 0..REPEATS {
+                let parallel = count(&query, &data, SearchLimits::UNLIMITED, threads);
+                assert_eq!(
+                    parallel, sequential,
+                    "{name}: threads={threads} round={round} disagrees with sequential"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_counts_agree_under_embedding_limits() {
+    for (name, query, data) in fixtures() {
+        let unlimited = count(&query, &data, SearchLimits::UNLIMITED, 1);
+        // A limit below, at, and above the true count; the reserve-based shared
+        // counter must make every schedule report exactly min(limit, unlimited).
+        for limit in [1u64, 2, unlimited.max(1), unlimited + 10] {
+            let limits = SearchLimits {
+                max_embeddings: Some(limit),
+                ..SearchLimits::UNLIMITED
+            };
+            let sequential = count(&query, &data, limits, 1);
+            assert_eq!(sequential, unlimited.min(limit), "{name}: bad seq clamp");
+            for threads in THREAD_COUNTS {
+                for round in 0..REPEATS {
+                    let parallel = count(&query, &data, limits, threads);
+                    assert_eq!(
+                        parallel, sequential,
+                        "{name}: limit={limit} threads={threads} round={round}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Seed-pinned stress test on the Yeast analogue: bigger instances where stealing
+/// and frame splitting actually occur.
+#[test]
+fn yeast_analogue_stress_is_schedule_independent() {
+    let data = Dataset::Yeast.generate(0.10).graph;
+    let mut queries = Vec::new();
+    for (vertices, class) in [
+        (8, QueryClass::Sparse),
+        (8, QueryClass::Dense),
+        (16, QueryClass::Sparse),
+    ] {
+        queries.extend(generate_query_set(
+            &data,
+            QuerySetSpec { vertices, class },
+            2,
+            0xC0FFEE,
+        ));
+    }
+    assert!(
+        !queries.is_empty(),
+        "workload generator produced no queries"
+    );
+    let mut total_tasks = 0u64;
+    for (qi, query) in queries.iter().enumerate() {
+        let sequential = count(query, &data, SearchLimits::UNLIMITED, 1);
+        for threads in [2usize, 4, 8] {
+            let cfg = GupConfig {
+                limits: SearchLimits::UNLIMITED,
+                ..GupConfig::default()
+            };
+            let result = GupMatcher::new(query, &data, cfg)
+                .unwrap()
+                .run_parallel(threads);
+            assert_eq!(
+                result.embedding_count(),
+                sequential,
+                "query {qi}: threads={threads} disagrees with sequential"
+            );
+            total_tasks += result.stats.tasks_executed;
+        }
+        // Limited runs must clamp identically too.
+        let limits = SearchLimits {
+            max_embeddings: Some(sequential / 2 + 1),
+            ..SearchLimits::UNLIMITED
+        };
+        let seq_limited = count(query, &data, limits, 1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                count(query, &data, limits, threads),
+                seq_limited,
+                "query {qi}: limited threads={threads}"
+            );
+        }
+    }
+    // The work-stealing driver really ran tasks (seeded chunks at minimum).
+    assert!(total_tasks > 0);
+}
+
+/// Release-mode regression: a query exceeding the 64-vertex bitset bound must be
+/// rejected with a typed error from every entry point — never reach the bitmask
+/// arithmetic where a wrapped shift could silently corrupt masks with `--release`.
+#[test]
+fn oversized_query_is_a_typed_error_in_every_profile() {
+    let mut b = GraphBuilder::new();
+    b.add_vertices(65, 0);
+    for i in 0..64u32 {
+        b.add_edge(i, i + 1);
+    }
+    let oversized = b.build();
+
+    let err = QueryGraph::new(oversized.clone()).unwrap_err();
+    assert!(matches!(err, QueryGraphError::TooLarge { vertices: 65 }));
+    assert!(format!("{err}").contains("65"));
+
+    let (_q, data) = paper_example();
+    let Err(err) = GupMatcher::new(&oversized, &data, GupConfig::default()) else {
+        panic!("oversized query must be rejected by the matcher front door");
+    };
+    assert!(format!("{err}").contains("at most 64"));
+}

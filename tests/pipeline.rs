@@ -12,7 +12,7 @@ fn limits() -> SearchLimits {
     SearchLimits {
         max_embeddings: Some(50_000),
         time_limit: Some(Duration::from_secs(2)),
-        max_recursions: None,
+        ..SearchLimits::UNLIMITED
     }
 }
 

@@ -17,7 +17,8 @@
 
 use crate::{BaselineLimits, BaselineResult};
 use gup_candidate::{CandidateSpace, FilterConfig};
-use gup_graph::{Graph, QVSet, QueryGraph};
+use gup_graph::sink::{min_limit, CountOnly, EmbeddingSink, SinkControl};
+use gup_graph::{Graph, QVSet, QueryGraph, VertexId};
 use gup_order::OrderingStrategy;
 use std::time::Instant;
 
@@ -89,6 +90,9 @@ pub struct BacktrackingBaseline {
     /// Transitive backward-neighbor closure ("ancestors") of each query vertex, used
     /// by the failing-set rule.
     ancestors: Vec<QVSet>,
+    /// Original query-vertex id at each matching-order position, used to report
+    /// embeddings to sinks in the original numbering.
+    original_id: Vec<VertexId>,
     query_vertices: usize,
 }
 
@@ -143,6 +147,7 @@ impl BacktrackingBaseline {
             space,
             forward,
             ancestors,
+            original_id: order,
             query_vertices: n,
         })
     }
@@ -152,8 +157,24 @@ impl BacktrackingBaseline {
         self.kind
     }
 
-    /// Runs the search under the given limits.
+    /// Runs the search under the given limits, counting embeddings without
+    /// materializing any. Thin adapter over
+    /// [`BacktrackingBaseline::run_with_sink`].
     pub fn run(&self, limits: BaselineLimits) -> BaselineResult {
+        self.run_with_sink(limits, &mut CountOnly::new())
+    }
+
+    /// Runs the search, streaming every embedding into `sink` over the *original*
+    /// query-vertex ids — the same [`EmbeddingSink`] protocol GuP uses, so the two
+    /// families can be driven through identical output layers in differential tests.
+    /// The sink's capacity is folded into the embedding limit; a
+    /// [`SinkControl::Stop`] terminates the run (`BaselineResult::stopped_by_sink`).
+    pub fn run_with_sink(
+        &self,
+        mut limits: BaselineLimits,
+        sink: &mut dyn EmbeddingSink,
+    ) -> BaselineResult {
+        limits.max_embeddings = min_limit(limits.max_embeddings, sink.capacity());
         let mut state = RunState {
             baseline: self,
             limits,
@@ -164,8 +185,10 @@ impl BacktrackingBaseline {
             cand_stack: (0..self.query_vertices)
                 .map(|u| vec![(0..self.space.candidates(u).len() as u32).collect::<Vec<u32>>()])
                 .collect(),
+            sink,
+            scratch: vec![0; self.query_vertices],
         };
-        if !self.space.any_empty() && self.query_vertices > 0 {
+        if !self.space.any_empty() && self.query_vertices > 0 && limits.max_embeddings != Some(0) {
             let _ = state.backtrack(0);
         }
         state.result
@@ -186,7 +209,7 @@ enum Outcome {
     Aborted,
 }
 
-struct RunState<'a> {
+struct RunState<'a, 's> {
     baseline: &'a BacktrackingBaseline,
     limits: BaselineLimits,
     start: Instant,
@@ -194,13 +217,27 @@ struct RunState<'a> {
     assignment: Vec<u32>,
     owner: Vec<Option<u8>>,
     cand_stack: Vec<Vec<Vec<u32>>>,
+    sink: &'s mut dyn EmbeddingSink,
+    /// Reused per-embedding buffer for the original-id translation reported to the
+    /// sink (no per-embedding allocation).
+    scratch: Vec<VertexId>,
 }
 
-impl<'a> RunState<'a> {
+impl<'a, 's> RunState<'a, 's> {
     fn backtrack(&mut self, k: usize) -> Outcome {
         let n = self.baseline.query_vertices;
         if k == n {
             self.result.embeddings += 1;
+            if self.sink.wants_embeddings() {
+                for (j, &cj) in self.assignment.iter().enumerate() {
+                    self.scratch[self.baseline.original_id[j] as usize] =
+                        self.baseline.space.candidates(j)[cj as usize];
+                }
+            }
+            if self.sink.report(&self.scratch) == SinkControl::Stop {
+                self.result.stopped_by_sink = true;
+                return Outcome::Aborted;
+            }
             if let Some(max) = self.limits.max_embeddings {
                 if self.result.embeddings >= max {
                     self.result.hit_embedding_limit = true;

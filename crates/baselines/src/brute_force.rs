@@ -5,6 +5,7 @@
 //! simplicity makes it easy to audit — every other engine in the workspace is tested
 //! against it on small instances.
 
+use gup_graph::sink::{CollectAll, CountOnly, EmbeddingSink, SinkControl};
 use gup_graph::{Graph, VertexId};
 
 /// Enumerates every embedding of `query` in `data` and returns them sorted (each
@@ -13,21 +14,33 @@ use gup_graph::{Graph, VertexId};
 /// Intended for small instances only (tests, examples); the running time is
 /// `O(|V_G|^{|V_Q|})` in the worst case.
 pub fn enumerate(query: &Graph, data: &Graph) -> Vec<Vec<VertexId>> {
-    let n = query.vertex_count();
-    let mut out = Vec::new();
-    if n == 0 {
-        return out;
-    }
-    let mut assignment: Vec<VertexId> = vec![u32::MAX; n];
-    let mut used = vec![false; data.vertex_count()];
-    recurse(query, data, 0, &mut assignment, &mut used, &mut out);
+    let mut sink = CollectAll::new();
+    enumerate_with_sink(query, data, &mut sink);
+    let mut out = sink.into_embeddings();
     out.sort();
     out
 }
 
-/// Counts embeddings without materializing them.
+/// Counts embeddings without materializing them (streams through a [`CountOnly`]
+/// sink).
 pub fn count(query: &Graph, data: &Graph) -> u64 {
-    enumerate(query, data).len() as u64
+    let mut sink = CountOnly::new();
+    enumerate_with_sink(query, data, &mut sink);
+    sink.count()
+}
+
+/// Streams every embedding of `query` in `data` into `sink` (original query-vertex
+/// numbering, in the oracle's deterministic enumeration order — *not* sorted). A
+/// [`SinkControl::Stop`] terminates the enumeration immediately, which makes
+/// `FirstK` exact against this oracle too.
+pub fn enumerate_with_sink(query: &Graph, data: &Graph, sink: &mut dyn EmbeddingSink) {
+    let n = query.vertex_count();
+    if n == 0 {
+        return;
+    }
+    let mut assignment: Vec<VertexId> = vec![u32::MAX; n];
+    let mut used = vec![false; data.vertex_count()];
+    let _ = recurse(query, data, 0, &mut assignment, &mut used, sink);
 }
 
 fn recurse(
@@ -36,11 +49,10 @@ fn recurse(
     u: usize,
     assignment: &mut Vec<VertexId>,
     used: &mut Vec<bool>,
-    out: &mut Vec<Vec<VertexId>>,
-) {
+    sink: &mut dyn EmbeddingSink,
+) -> SinkControl {
     if u == query.vertex_count() {
-        out.push(assignment.clone());
-        return;
+        return sink.report(assignment);
     }
     for v in data.vertices() {
         if used[v as usize] || data.label(v) != query.label(u as VertexId) {
@@ -56,10 +68,14 @@ fn recurse(
         }
         assignment[u] = v;
         used[v as usize] = true;
-        recurse(query, data, u + 1, assignment, used, out);
+        let control = recurse(query, data, u + 1, assignment, used, sink);
         used[v as usize] = false;
         assignment[u] = u32::MAX;
+        if control == SinkControl::Stop {
+            return SinkControl::Stop;
+        }
     }
+    SinkControl::Continue
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@
 
 use crate::{BaselineLimits, BaselineResult};
 use gup_candidate::{CandidateSpace, FilterConfig};
-use gup_graph::{Graph, QueryGraph};
+use gup_graph::sink::{min_limit, CountOnly, EmbeddingSink, SinkControl};
+use gup_graph::{Graph, QueryGraph, VertexId};
 use gup_order::OrderingStrategy;
 use std::time::Instant;
 
@@ -22,6 +23,9 @@ pub struct JoinBaseline {
     /// For vertex `i` (i ≥ 1): its backward neighbors (all already bound when `i` is
     /// joined in).
     backward: Vec<Vec<usize>>,
+    /// Original query-vertex id at each join-order position (sinks receive
+    /// embeddings in the original numbering).
+    original_id: Vec<VertexId>,
 }
 
 impl JoinBaseline {
@@ -41,22 +45,56 @@ impl JoinBaseline {
             space,
             query_vertices: n,
             backward,
+            original_id: order,
         })
     }
 
-    /// Runs the join and reports embeddings / intermediate-result counts.
+    /// Runs the join and reports embeddings / intermediate-result counts. Thin
+    /// adapter over [`JoinBaseline::run_with_sink`].
     pub fn run(&self, limits: BaselineLimits) -> BaselineResult {
+        self.run_with_sink(limits, &mut CountOnly::new())
+    }
+
+    /// Runs the join, streaming every complete binding into `sink` as an embedding
+    /// over the *original* query-vertex ids (the shared [`EmbeddingSink`] protocol).
+    /// The sink's capacity is folded into the embedding limit; a
+    /// [`SinkControl::Stop`] ends the run.
+    pub fn run_with_sink(
+        &self,
+        mut limits: BaselineLimits,
+        sink: &mut dyn EmbeddingSink,
+    ) -> BaselineResult {
+        limits.max_embeddings = min_limit(limits.max_embeddings, sink.capacity());
         let mut result = BaselineResult::default();
         let start = Instant::now();
         let n = self.query_vertices;
-        if n == 0 || self.space.any_empty() {
+        if n == 0 || self.space.any_empty() || limits.max_embeddings == Some(0) {
             return result;
         }
+        let mut scratch: Vec<VertexId> = vec![0; n];
         // Partial bindings after joining vertex 0: one per candidate.
         let mut table: Vec<Vec<u32>> = (0..self.space.candidates(0).len() as u32)
             .map(|c| vec![c])
             .collect();
         result.recursions += table.len() as u64;
+        if n == 1 {
+            // Single-vertex query: every candidate of vertex 0 already is a complete
+            // binding; there is no edge to join.
+            for binding in &table {
+                result.embeddings += 1;
+                if self.deliver(binding, None, sink, &mut scratch) == SinkControl::Stop {
+                    result.stopped_by_sink = true;
+                    return result;
+                }
+                if let Some(max) = limits.max_embeddings {
+                    if result.embeddings >= max {
+                        result.hit_embedding_limit = true;
+                        return result;
+                    }
+                }
+            }
+            return result;
+        }
         for i in 1..n {
             let mut next: Vec<Vec<u32>> = Vec::new();
             let anchors = &self.backward[i];
@@ -87,11 +125,14 @@ impl JoinBaseline {
                             continue 'candidates;
                         }
                     }
-                    let mut extended = binding.clone();
-                    extended.push(ci);
                     result.recursions += 1;
                     if i == n - 1 {
                         result.embeddings += 1;
+                        if self.deliver(binding, Some(ci), sink, &mut scratch) == SinkControl::Stop
+                        {
+                            result.stopped_by_sink = true;
+                            break 'bindings;
+                        }
                         if let Some(max) = limits.max_embeddings {
                             if result.embeddings >= max {
                                 result.hit_embedding_limit = true;
@@ -99,6 +140,8 @@ impl JoinBaseline {
                             }
                         }
                     } else {
+                        let mut extended = binding.clone();
+                        extended.push(ci);
                         next.push(extended);
                     }
                 }
@@ -113,8 +156,29 @@ impl JoinBaseline {
         result
     }
 
-    /// Enumerates all embeddings (original query-vertex numbering is *not* restored;
-    /// the result is over the join order). Intended for tests.
+    /// Translates a complete binding (plus, optionally, the final vertex's candidate
+    /// index that was never pushed into the table) into original-id form in `scratch`
+    /// and reports it. Translation is skipped for sinks that ignore contents.
+    fn deliver(
+        &self,
+        binding: &[u32],
+        last: Option<u32>,
+        sink: &mut dyn EmbeddingSink,
+        scratch: &mut [VertexId],
+    ) -> SinkControl {
+        if sink.wants_embeddings() {
+            for (j, &cj) in binding.iter().enumerate() {
+                scratch[self.original_id[j] as usize] = self.space.candidates(j)[cj as usize];
+            }
+            if let Some(ci) = last {
+                let j = binding.len();
+                scratch[self.original_id[j] as usize] = self.space.candidates(j)[ci as usize];
+            }
+        }
+        sink.report(scratch)
+    }
+
+    /// Counts all embeddings (through a [`CountOnly`] sink). Intended for tests.
     pub fn count(&self) -> u64 {
         self.run(BaselineLimits::UNLIMITED).embeddings
     }

@@ -14,13 +14,19 @@
 //!
 //! All engines report the same [`BaselineResult`] record (embeddings, recursions /
 //! intermediate results, early-termination flags) so the benchmark harness can compare
-//! them with GuP on equal terms.
+//! them with GuP on equal terms, and every engine streams its embeddings through the
+//! workspace-wide [`EmbeddingSink`] trait (`run_with_sink` /
+//! [`brute_force::enumerate_with_sink`]) — the same output layer GuP uses — so
+//! metamorphic and differential tests can drive all engines through identical sinks.
 
 pub mod backtracking;
 pub mod brute_force;
 pub mod join;
 
 pub use backtracking::{BacktrackingBaseline, BaselineKind};
+pub use gup_graph::sink::{
+    CallbackSink, CollectAll, CountOnly, EmbeddingSink, FirstK, SinkControl,
+};
 pub use join::JoinBaseline;
 
 use std::time::Duration;
@@ -66,12 +72,14 @@ pub struct BaselineResult {
     pub hit_embedding_limit: bool,
     /// `true` if the time limit stopped the run.
     pub hit_time_limit: bool,
+    /// `true` if the sink returned [`SinkControl::Stop`] and ended the run.
+    pub stopped_by_sink: bool,
 }
 
 impl BaselineResult {
-    /// `true` if any limit fired.
+    /// `true` if any early-termination condition fired (a limit or a sink stop).
     pub fn terminated_early(&self) -> bool {
-        self.hit_embedding_limit || self.hit_time_limit
+        self.hit_embedding_limit || self.hit_time_limit || self.stopped_by_sink
     }
 }
 

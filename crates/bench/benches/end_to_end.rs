@@ -4,6 +4,7 @@
 //! query-set sweeps).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gup::sink::{CollectAll, CountOnly};
 use gup::{GupConfig, GupMatcher, SearchLimits};
 use gup_baselines::{BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline};
 use gup_order::OrderingStrategy;
@@ -35,6 +36,27 @@ fn bench_end_to_end(c: &mut Criterion) {
                     .unwrap()
                     .run()
                     .embedding_count()
+            });
+        });
+        // The same search through the two extreme sinks: counting (no embedding is
+        // ever materialized) versus collecting everything — the gap is the price of
+        // materialization that `--count-only` avoids.
+        group.bench_with_input(BenchmarkId::new("GuP-count-sink", qi), query, |b, q| {
+            b.iter(|| {
+                let mut sink = CountOnly::new();
+                GupMatcher::new(q, &data, gup_cfg.clone())
+                    .unwrap()
+                    .run_with_sink(&mut sink);
+                sink.count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("GuP-collect-sink", qi), query, |b, q| {
+            b.iter(|| {
+                let mut sink = CollectAll::new();
+                GupMatcher::new(q, &data, gup_cfg.clone())
+                    .unwrap()
+                    .run_with_sink(&mut sink);
+                sink.len()
             });
         });
         let limits = BaselineLimits {

@@ -1,5 +1,6 @@
 //! Uniform runner for GuP, its ablations, and the baselines.
 
+use gup::sink::CountOnly;
 use gup::{GupConfig, GupMatcher, PruningFeatures, SearchLimits};
 use gup_baselines::{BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline};
 use gup_graph::Graph;
@@ -209,13 +210,15 @@ pub fn run_method(method: Method, query: &Graph, data: &Graph, config: &SuiteCon
             };
             match GupMatcher::new(query, data, gup_config) {
                 Ok(matcher) => {
-                    let result = matcher.run();
+                    // The harness only aggregates counts, so it streams through a
+                    // counting sink — nothing is materialized anywhere.
+                    let stats = matcher.run_with_sink(&mut CountOnly::new());
                     RunRecord {
-                        embeddings: result.stats.embeddings,
-                        recursions: result.stats.recursions,
-                        futile_recursions: result.stats.futile_recursions,
+                        embeddings: stats.embeddings,
+                        recursions: stats.recursions,
+                        futile_recursions: stats.futile_recursions,
                         elapsed: Duration::ZERO,
-                        timed_out: result.stats.hit_time_limit,
+                        timed_out: stats.hit_time_limit,
                     }
                 }
                 Err(_) => RunRecord::default(),

@@ -168,6 +168,13 @@ impl Gcs {
     pub fn embedding_in_original_ids(&self, embedding: &[VertexId]) -> Vec<VertexId> {
         self.query.embedding_in_original_ids(embedding)
     }
+
+    /// Allocation-free variant of [`Gcs::embedding_in_original_ids`]: writes into a
+    /// caller-owned scratch buffer (used by the streaming sink layer to translate
+    /// every reported embedding without a per-embedding allocation).
+    pub fn embedding_in_original_ids_into(&self, embedding: &[VertexId], out: &mut Vec<VertexId>) {
+        self.query.embedding_in_original_ids_into(embedding, out);
+    }
 }
 
 #[cfg(test)]

@@ -55,9 +55,18 @@ pub mod reservation;
 pub mod search;
 pub mod stats;
 
+/// Streaming output sinks shared by every engine in the workspace (re-exported from
+/// `gup_graph::sink`): the search pushes embeddings into an
+/// [`EmbeddingSink`] so the output demand — count, first `k`,
+/// everything, or a callback — decides how much work is done and what is allocated.
+pub use gup_graph::sink;
+
 pub use config::{GupConfig, ParallelConfig, PruningFeatures, SearchLimits};
 pub use gcs::{Gcs, GupError};
 pub use guards::{NogoodRef, ReservationGuard};
 pub use matcher::{count_embeddings, find_embeddings, GupMatcher, MatchResult};
 pub use search::{SearchEngine, SearchOutcome, SearchTask, SplitHandle};
+pub use sink::{
+    CallbackSink, CollectAll, CountOnly, EmbeddingReservation, EmbeddingSink, FirstK, SinkControl,
+};
 pub use stats::{MemoryReport, SearchStats};

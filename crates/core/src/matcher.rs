@@ -8,6 +8,7 @@ use crate::config::GupConfig;
 use crate::gcs::{Gcs, GupError};
 use crate::search::{SearchEngine, SearchOutcome};
 use crate::stats::{MemoryReport, SearchStats};
+use gup_graph::sink::{CountOnly, EmbeddingSink, SinkControl};
 use gup_graph::{Graph, VertexId};
 
 /// Result of a matching run.
@@ -58,6 +59,60 @@ impl GupMatcher {
         self.finish_result(outcome)
     }
 
+    /// Runs the sequential search, streaming every embedding into `sink` over the
+    /// *original* query-vertex ids (unlike the matching-order ids the raw
+    /// [`SearchEngine`] reports). The sink's capacity is folded into the embedding
+    /// limit and a [`SinkControl::Stop`] ends the search immediately, so the search
+    /// performs no more work than the output demands: a counting sink materializes
+    /// nothing, a `FirstK` sink stops after `k` matches.
+    ///
+    /// ```
+    /// use gup::{GupConfig, GupMatcher};
+    /// use gup::sink::{CountOnly, FirstK};
+    /// use gup_graph::fixtures::paper_example;
+    ///
+    /// let (query, data) = paper_example();
+    /// let matcher = GupMatcher::new(&query, &data, GupConfig::default()).unwrap();
+    ///
+    /// let mut count = CountOnly::new();
+    /// let stats = matcher.run_with_sink(&mut count);
+    /// assert_eq!(count.count(), 4);
+    /// assert_eq!(stats.embeddings, 4);
+    ///
+    /// let mut first = FirstK::new(2);
+    /// matcher.run_with_sink(&mut first);
+    /// assert_eq!(first.embeddings().len(), 2);
+    /// ```
+    pub fn run_with_sink(&self, sink: &mut dyn EmbeddingSink) -> SearchStats {
+        let mut translate = OriginalIdSink::new(&self.gcs, sink);
+        SearchEngine::new(&self.gcs, &self.config).run_with_sink(&mut translate)
+    }
+
+    /// Parallel counterpart of [`GupMatcher::run_with_sink`]: runs on `threads`
+    /// workers, each streaming into a worker-local buffer, and delivers the merged
+    /// embeddings to `sink` in worker-index order (original query-vertex ids). The
+    /// embedding count delivered is schedule-independent; under a limit (or a
+    /// `FirstK` capacity) exactly `min(limit, total)` embeddings are delivered.
+    pub fn run_parallel_with_sink(
+        &self,
+        threads: usize,
+        sink: &mut dyn EmbeddingSink,
+    ) -> SearchStats {
+        if threads <= 1 {
+            return self.run_with_sink(sink);
+        }
+        let mut translate = OriginalIdSink::new(&self.gcs, sink);
+        crate::parallel::run_parallel_with_sink(&self.gcs, &self.config, threads, &mut translate)
+    }
+
+    /// Counts the embeddings without materializing any of them (the cheapest output
+    /// mode: no per-embedding allocation or translation happens anywhere).
+    pub fn count(&self) -> u64 {
+        let mut sink = CountOnly::new();
+        self.run_with_sink(&mut sink);
+        sink.count()
+    }
+
     /// Runs the search and also returns the memory breakdown of the GCS including the
     /// nogood guards accumulated during the search (Table 3 of the paper).
     pub fn run_with_memory_report(&self) -> (MatchResult, MemoryReport) {
@@ -95,6 +150,54 @@ impl GupMatcher {
     }
 }
 
+/// Wraps a user sink so that embeddings reported by the engine (matching-order ids)
+/// arrive at the user sink in original query-vertex numbering. The translation
+/// reuses one scratch buffer across reports (no per-embedding allocation) and is
+/// skipped entirely for sinks that never look at embedding contents.
+struct OriginalIdSink<'g, 's> {
+    gcs: &'g Gcs,
+    inner: &'s mut dyn EmbeddingSink,
+    scratch: Vec<VertexId>,
+}
+
+impl<'g, 's> OriginalIdSink<'g, 's> {
+    fn new(gcs: &'g Gcs, inner: &'s mut dyn EmbeddingSink) -> Self {
+        OriginalIdSink {
+            gcs,
+            inner,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl EmbeddingSink for OriginalIdSink<'_, '_> {
+    fn report(&mut self, embedding: &[VertexId]) -> SinkControl {
+        if self.inner.wants_embeddings() {
+            self.gcs
+                .embedding_in_original_ids_into(embedding, &mut self.scratch);
+            self.inner.report(&self.scratch)
+        } else {
+            self.inner.report(embedding)
+        }
+    }
+
+    fn wants_embeddings(&self) -> bool {
+        self.inner.wants_embeddings()
+    }
+
+    fn capacity(&self) -> Option<u64> {
+        self.inner.capacity()
+    }
+
+    fn may_stop(&self) -> bool {
+        self.inner.may_stop()
+    }
+
+    fn report_count(&mut self, n: u64) -> SinkControl {
+        self.inner.report_count(n)
+    }
+}
+
 /// One-shot convenience: finds (and materializes) all embeddings of `query` in `data`
 /// under the default configuration, with no embedding cap.
 pub fn find_embeddings(query: &Graph, data: &Graph) -> Result<MatchResult, GupError> {
@@ -107,16 +210,14 @@ pub fn find_embeddings(query: &Graph, data: &Graph) -> Result<MatchResult, GupEr
 }
 
 /// One-shot convenience: counts all embeddings of `query` in `data` (no cap, nothing
-/// materialized).
+/// materialized — the count streams through a [`CountOnly`] sink).
 pub fn count_embeddings(query: &Graph, data: &Graph) -> Result<u64, GupError> {
     let config = GupConfig {
         collect_embeddings: false,
         limits: crate::config::SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    Ok(GupMatcher::new(query, data, config)?
-        .run()
-        .embedding_count())
+    Ok(GupMatcher::new(query, data, config)?.count())
 }
 
 #[cfg(test)]

@@ -29,6 +29,9 @@
 use crate::config::GupConfig;
 use crate::gcs::Gcs;
 use crate::search::{SearchEngine, SearchOutcome, SearchTask, SplitHandle};
+use crate::stats::SearchStats;
+use gup_graph::sink::{min_limit, CollectAll, CountOnly, EmbeddingSink, SinkControl};
+use gup_graph::VertexId;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -106,15 +109,61 @@ impl Coordinator {
 
 /// Runs a guarded search over `gcs` using `threads` worker threads and merges the
 /// per-worker outcomes. Exact: reports bit-identical embedding counts to the
-/// sequential engine (the golden fixtures and the determinism suite pin this).
+/// sequential engine (the golden fixtures and the determinism suite pin this). Thin
+/// adapter over [`run_parallel_with_sink`]; embeddings are collected or discarded
+/// according to `GupConfig::collect_embeddings`.
 pub fn run_parallel(gcs: &Gcs, config: &GupConfig, threads: usize) -> SearchOutcome {
+    if config.collect_embeddings {
+        let mut sink = CollectAll::new();
+        let stats = run_parallel_with_sink(gcs, config, threads, &mut sink);
+        SearchOutcome {
+            embeddings: sink.into_embeddings(),
+            stats,
+        }
+    } else {
+        let mut sink = CountOnly::new();
+        let stats = run_parallel_with_sink(gcs, config, threads, &mut sink);
+        SearchOutcome {
+            embeddings: Vec::new(),
+            stats,
+        }
+    }
+}
+
+/// Runs a guarded parallel search, streaming every found embedding into `sink`
+/// (over the *matching-order* vertex ids; use `GupMatcher::run_parallel_with_sink`
+/// for original ids).
+///
+/// The sink's [`EmbeddingSink::capacity`] is folded into the embedding limit, so the
+/// shared check-and-increment reservation stops all workers once the sink can take
+/// no more — the one place where the limit lives, identical to the sequential path.
+/// Workers report into per-worker buffers (none at all when the sink does not want
+/// embedding contents); the buffers are drained into `sink` in worker-index order
+/// after the run, so for a fixed schedule the merge is deterministic, and without an
+/// embedding limit the delivered multiset of embeddings is schedule-independent.
+///
+/// A sink that declares [`EmbeddingSink::may_stop`] (it can return
+/// [`SinkControl::Stop`] at any report, before any capacity the reservation could
+/// enforce is exhausted) is run on the sequential engine instead: honoring an
+/// arbitrary live stop requires serializing every report through the caller's sink
+/// anyway, and the sequential path does that with the exact Stop-is-immediate,
+/// nothing-buffered contract.
+pub fn run_parallel_with_sink(
+    gcs: &Gcs,
+    config: &GupConfig,
+    threads: usize,
+    sink: &mut dyn EmbeddingSink,
+) -> SearchStats {
     let threads = threads.max(1);
     if gcs.is_empty() {
-        return SearchOutcome::default();
+        return SearchStats::default();
     }
+    let user_limit = config.limits.max_embeddings;
+    let capacity = sink.capacity();
+    let mut config = config.clone();
+    config.limits.max_embeddings = min_limit(user_limit, capacity);
     // Hoist the time budget into an absolute deadline shared by every worker, so
     // per-task engine reuse cannot restart the clock (and all workers agree on it).
-    let mut config = config.clone();
     if config.limits.deadline.is_none() {
         if let Some(limit) = config.limits.time_limit {
             config.limits.deadline = Some(Instant::now() + limit);
@@ -124,10 +173,11 @@ pub fn run_parallel(gcs: &Gcs, config: &GupConfig, threads: usize) -> SearchOutc
     // reason to degrade to one thread: recursive frame splitting parallelizes the
     // subtree below it.
     let root_candidates = gcs.space().candidates(0).len();
-    if threads == 1 {
-        return SearchEngine::new(gcs, &config).run();
+    if threads == 1 || sink.may_stop() {
+        return SearchEngine::new(gcs, &config).run_with_sink(sink);
     }
     let workers = threads;
+    let buffer_embeddings = sink.wants_embeddings();
 
     let coordinator = Coordinator::new(workers);
     coordinator.seed(seed_tasks(root_candidates, workers, &config));
@@ -138,24 +188,58 @@ pub fn run_parallel(gcs: &Gcs, config: &GupConfig, threads: usize) -> SearchOutc
         .limits
         .max_embeddings
         .map(|_| Arc::new(AtomicU64::new(0)));
-    let merged: Mutex<SearchOutcome> = Mutex::new(SearchOutcome::default());
+    // One result slot per worker (not a shared accumulator), so the merge below can
+    // run in worker-index order regardless of finish order.
+    let results: Vec<Mutex<Option<WorkerResult>>> =
+        (0..workers).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
-        for me in 0..workers {
+        for (me, slot) in results.iter().enumerate() {
             let coordinator = &coordinator;
-            let merged = &merged;
             let shared = shared_embeddings.clone();
             let config = config.clone();
             scope.spawn(move || {
-                let outcome = worker_loop(me, gcs, &config, coordinator, shared);
-                let mut guard = merged.lock();
-                guard.stats.merge(&outcome.stats);
-                guard.embeddings.extend(outcome.embeddings);
+                let result = worker_loop(me, gcs, &config, coordinator, shared, buffer_embeddings);
+                *slot.lock() = Some(result);
             });
         }
     });
 
-    merged.into_inner()
+    let mut merged = SearchStats::default();
+    let mut buffers: Vec<Vec<Vec<VertexId>>> = Vec::with_capacity(workers);
+    for slot in results {
+        let result = slot.into_inner().expect("worker stored its result");
+        merged.merge(&result.stats);
+        buffers.push(result.embeddings);
+    }
+    if buffer_embeddings {
+        let mut open = true;
+        for embedding in buffers.iter().flatten() {
+            if open && sink.report(embedding) == SinkControl::Stop {
+                // With the sink capacity folded into the reservation this only
+                // happens on the very last delivery (or for a callback sink that
+                // decided it is done); nothing further is delivered.
+                merged.stopped_by_sink = true;
+                open = false;
+            }
+        }
+    } else {
+        // Counting sinks never see contents — the workers counted locally and
+        // buffered nothing — but the caller's sink must still observe every
+        // reserved embedding. One bulk call keeps the merge O(workers).
+        if sink.report_count(merged.embeddings) == SinkControl::Stop {
+            merged.stopped_by_sink = true;
+        }
+    }
+    merged.attribute_capacity_stop(user_limit, capacity);
+    merged
+}
+
+/// What one worker hands back: its engine's counters plus the embeddings it
+/// buffered (empty when the caller's sink does not want embedding contents).
+struct WorkerResult {
+    stats: SearchStats,
+    embeddings: Vec<Vec<VertexId>>,
 }
 
 /// Splits the root candidate range into a few contiguous chunks per worker. Work
@@ -180,18 +264,23 @@ fn seed_tasks(root_candidates: usize, workers: usize, config: &GupConfig) -> Vec
 }
 
 /// One worker: a long-lived engine (persistent nogood guards) executing tasks until
-/// the run is globally out of work or a limit fired.
+/// the run is globally out of work or a limit fired. Reserved embeddings go into a
+/// worker-local buffer sink (or are merely counted when `buffer_embeddings` is
+/// false); the driver merges the buffers deterministically afterwards.
 fn worker_loop(
     me: usize,
     gcs: &Gcs,
     config: &GupConfig,
     coordinator: &Coordinator,
     shared_embeddings: Option<Arc<AtomicU64>>,
-) -> SearchOutcome {
+    buffer_embeddings: bool,
+) -> WorkerResult {
     let mut engine = SearchEngine::new(gcs, config);
     if let Some(shared) = shared_embeddings {
         engine.share_embedding_counter(shared);
     }
+    let mut buffer = CollectAll::new();
+    let mut counter = CountOnly::new();
     engine.enable_splitting(SplitHandle {
         hungry: Arc::clone(&coordinator.hungry),
         queued: Arc::clone(&coordinator.queued),
@@ -217,7 +306,12 @@ fn worker_loop(
                 if stolen {
                     engine.record_steal();
                 }
-                engine.run_task(task);
+                let sink: &mut dyn EmbeddingSink = if buffer_embeddings {
+                    &mut buffer
+                } else {
+                    &mut counter
+                };
+                engine.run_task_with_sink(task, sink);
                 coordinator.in_flight.fetch_sub(1, Ordering::SeqCst);
                 if engine.stats().terminated_early() {
                     coordinator.abort.store(true, Ordering::SeqCst);
@@ -253,7 +347,10 @@ fn worker_loop(
             }
         }
     }
-    engine.take_outcome()
+    WorkerResult {
+        stats: engine.take_outcome().stats,
+        embeddings: buffer.into_embeddings(),
+    }
 }
 
 #[cfg(test)]

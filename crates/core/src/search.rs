@@ -44,6 +44,7 @@ use crate::config::{GupConfig, PruningFeatures, SearchLimits};
 use crate::gcs::Gcs;
 use crate::guards::{EdgeGuardStore, NodeId, NogoodRef, VertexGuardStore};
 use crate::stats::SearchStats;
+use gup_graph::sink::{CollectAll, EmbeddingReservation, EmbeddingSink, SinkControl};
 use gup_graph::{QVSet, VertexId};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -102,6 +103,36 @@ pub struct SearchOutcome {
     pub stats: SearchStats,
 }
 
+/// The sink backing the legacy `Vec<Embedding>`-returning entry points
+/// ([`SearchEngine::run`], [`SearchEngine::run_task`]): discard when the
+/// configuration only counts, collect when it materializes.
+enum DefaultSink {
+    Discard,
+    Collect(CollectAll),
+}
+
+impl DefaultSink {
+    fn take_collected(&mut self) -> Vec<Vec<VertexId>> {
+        match self {
+            DefaultSink::Discard => Vec::new(),
+            DefaultSink::Collect(all) => all.take_embeddings(),
+        }
+    }
+}
+
+impl EmbeddingSink for DefaultSink {
+    fn report(&mut self, embedding: &[VertexId]) -> SinkControl {
+        match self {
+            DefaultSink::Discard => SinkControl::Continue,
+            DefaultSink::Collect(all) => all.report(embedding),
+        }
+    }
+
+    fn wants_embeddings(&self) -> bool {
+        matches!(self, DefaultSink::Collect(_))
+    }
+}
+
 /// The sequential guarded backtracking engine. One instance per (GCS, search): it owns
 /// the mutable per-search state, including the nogood-guard stores (which the parallel
 /// engine keeps thread-local, §3.5.2).
@@ -109,7 +140,6 @@ pub struct SearchEngine<'a> {
     gcs: &'a Gcs,
     features: PruningFeatures,
     limits: SearchLimits,
-    collect: bool,
 
     // Per-search mutable state -------------------------------------------------------
     /// Candidate index assigned to each query vertex (valid for depths < current).
@@ -133,7 +163,14 @@ pub struct SearchEngine<'a> {
     ne: EdgeGuardStore,
 
     stats: SearchStats,
-    embeddings: Vec<Vec<VertexId>>,
+    /// Backs the legacy `Vec`-returning entry points; the sink-based entry points
+    /// ([`SearchEngine::run_with_sink`], [`SearchEngine::run_task_with_sink`]) bypass
+    /// it entirely.
+    default_sink: DefaultSink,
+    /// Embedding-limit slot reservation: local check for sequential runs, one shared
+    /// check-and-increment counter across all workers of a parallel run. The single
+    /// place where the limit is enforced.
+    reservation: EmbeddingReservation,
     /// Absolute deadline, owned by whoever constructed the config: hoisted once by
     /// the parallel driver (so engine reuse cannot restart the time budget per task)
     /// or derived from `time_limit` at engine construction for sequential runs.
@@ -142,9 +179,6 @@ pub struct SearchEngine<'a> {
     /// Restrict the root-level candidates to this slice of positions (used by the
     /// parallel engine to partition the search tree). `None` = all root candidates.
     root_slice: Option<(usize, usize)>,
-    /// Shared embedding counter for parallel runs: when set, every found embedding is
-    /// also counted here and the embedding limit is checked against the shared total.
-    shared_embeddings: Option<Arc<AtomicU64>>,
 
     // Task-frame state ---------------------------------------------------------------
     /// Depth at which the current task's explicit candidate list applies.
@@ -177,7 +211,6 @@ impl<'a> SearchEngine<'a> {
             gcs,
             features: config.features,
             limits: config.limits,
-            collect: config.collect_embeddings,
             assignment: vec![0; n],
             assignment_data: vec![0; n],
             owner: vec![0; gcs.data_vertex_count()],
@@ -188,11 +221,15 @@ impl<'a> SearchEngine<'a> {
             nv: gcs.new_vertex_guard_store(),
             ne: gcs.new_edge_guard_store(),
             stats: SearchStats::default(),
-            embeddings: Vec::new(),
+            default_sink: if config.collect_embeddings {
+                DefaultSink::Collect(CollectAll::new())
+            } else {
+                DefaultSink::Discard
+            },
+            reservation: EmbeddingReservation::local(config.limits.max_embeddings),
             deadline: config.limits.effective_deadline(),
             deadline_checked_at: 0,
             root_slice: None,
-            shared_embeddings: None,
             task_base: 0,
             task_candidates: Vec::new(),
             frame_pos: vec![0; n],
@@ -212,7 +249,7 @@ impl<'a> SearchEngine<'a> {
     /// enforced globally across a parallel run (§3.5.2). The limit is reserved
     /// check-and-increment (`fetch_update`), so workers can never overshoot it.
     pub fn share_embedding_counter(&mut self, counter: Arc<AtomicU64>) {
-        self.shared_embeddings = Some(counter);
+        self.reservation = EmbeddingReservation::shared(counter, self.limits.max_embeddings);
     }
 
     /// Enables frame donation: while `handle` reports hungry workers, the engine
@@ -249,15 +286,36 @@ impl<'a> SearchEngine<'a> {
     }
 
     /// Runs the search to completion (or until a limit fires) and returns the outcome.
+    /// Thin adapter over [`SearchEngine::run_with_sink`]: embeddings are collected or
+    /// discarded according to `GupConfig::collect_embeddings`.
     pub fn run(mut self) -> SearchOutcome {
         if !self.gcs.is_empty() {
             let task = self.root_task();
             self.run_task(task);
         }
         SearchOutcome {
-            embeddings: self.embeddings,
+            embeddings: self.default_sink.take_collected(),
             stats: self.stats,
         }
+    }
+
+    /// Runs the search, streaming every found embedding into `sink` (over the
+    /// *matching-order* vertex ids; use [`GupMatcher::run_with_sink`] for original
+    /// ids). The sink's [`EmbeddingSink::capacity`] is folded into the embedding
+    /// limit, and a [`SinkControl::Stop`] terminates the search immediately
+    /// (`SearchStats::stopped_by_sink`).
+    ///
+    /// [`GupMatcher::run_with_sink`]: crate::matcher::GupMatcher::run_with_sink
+    pub fn run_with_sink(mut self, sink: &mut dyn EmbeddingSink) -> SearchStats {
+        let configured_limit = self.reservation.max();
+        self.reservation.cap(sink.capacity());
+        if !self.gcs.is_empty() {
+            let task = self.root_task();
+            self.run_task_with_sink(task, sink);
+        }
+        self.stats
+            .attribute_capacity_stop(configured_limit, sink.capacity());
+        self.stats
     }
 
     /// Runs the search and additionally returns the populated guard stores (used by
@@ -268,20 +326,31 @@ impl<'a> SearchEngine<'a> {
             self.run_task(task);
         }
         let outcome = SearchOutcome {
-            embeddings: std::mem::take(&mut self.embeddings),
+            embeddings: self.default_sink.take_collected(),
             stats: self.stats.clone(),
         };
         (outcome, self.nv, self.ne)
     }
 
-    /// Executes one task: replays its prefix, then explores its candidate range.
-    /// Embeddings and counters accumulate in the engine across calls; collect them
-    /// with [`SearchEngine::take_outcome`] when the worker is done.
+    /// Executes one task against the engine's built-in sink (collect or discard per
+    /// `GupConfig::collect_embeddings`); see [`SearchEngine::run_task_with_sink`].
+    pub fn run_task(&mut self, task: SearchTask) {
+        // The default sink is swapped out for the duration of the call so that the
+        // recursion can borrow the engine and the sink independently.
+        let mut sink = std::mem::replace(&mut self.default_sink, DefaultSink::Discard);
+        self.run_task_with_sink(task, &mut sink);
+        self.default_sink = sink;
+    }
+
+    /// Executes one task, streaming found embeddings into `sink`: replays the task's
+    /// prefix, then explores its candidate range. Counters accumulate in the engine
+    /// across calls; collect them with [`SearchEngine::take_outcome`] when the worker
+    /// is done.
     ///
     /// A prefix that can no longer be extended (a persistent guard or refinement
     /// proves its subtree empty) makes the task a cheap no-op — that pruning is sound
     /// because guards and refinements only ever remove embedding-free subtrees.
-    pub fn run_task(&mut self, task: SearchTask) {
+    pub fn run_task_with_sink(&mut self, task: SearchTask, sink: &mut dyn EmbeddingSink) {
         if self.gcs.is_empty() || task.candidates.is_empty() {
             return;
         }
@@ -319,7 +388,7 @@ impl<'a> SearchEngine<'a> {
         if alive {
             self.task_base = base;
             self.task_candidates = task.candidates;
-            let _ = self.backtrack(base);
+            let _ = self.backtrack(base, sink);
             self.task_base = 0;
             self.task_candidates = Vec::new();
         }
@@ -329,10 +398,12 @@ impl<'a> SearchEngine<'a> {
         }
     }
 
-    /// Moves the accumulated outcome out of the engine (leaving it reusable).
+    /// Moves the accumulated outcome out of the engine (leaving it reusable). Only
+    /// embeddings recorded through the built-in sink ([`SearchEngine::run_task`])
+    /// appear here; [`SearchEngine::run_task_with_sink`] callers own their sink.
     pub fn take_outcome(&mut self) -> SearchOutcome {
         SearchOutcome {
-            embeddings: std::mem::take(&mut self.embeddings),
+            embeddings: self.default_sink.take_collected(),
             stats: std::mem::take(&mut self.stats),
         }
     }
@@ -341,10 +412,10 @@ impl<'a> SearchEngine<'a> {
     // Core recursion
     // ------------------------------------------------------------------------------
 
-    fn backtrack(&mut self, k: usize) -> StepResult {
+    fn backtrack(&mut self, k: usize, sink: &mut dyn EmbeddingSink) -> StepResult {
         let n = self.gcs.query().vertex_count();
         if k == n {
-            return if self.try_record_embedding() {
+            return if self.try_record_embedding(sink) {
                 StepResult::NotDeadend
             } else {
                 StepResult::Aborted
@@ -403,7 +474,7 @@ impl<'a> SearchEngine<'a> {
                         Some(bound)
                     }
                     Ok(pushed) => {
-                        let result = self.backtrack(k + 1);
+                        let result = self.backtrack(k + 1, sink);
                         self.pop_refinements(&pushed);
                         match result {
                             StepResult::Aborted => {
@@ -709,58 +780,28 @@ impl<'a> SearchEngine<'a> {
         }
     }
 
-    /// Atomically reserves a slot under the embedding limit and records the
-    /// embedding. With a shared counter the reservation is a check-and-increment
-    /// `fetch_update`, so concurrent workers can never overshoot the limit — the
-    /// reported embedding set is limit-respecting without any post-hoc truncation.
-    /// Returns `false` (and flags the limit) when no slot is left.
-    fn try_record_embedding(&mut self) -> bool {
-        match (&self.shared_embeddings, self.limits.max_embeddings) {
-            (Some(shared), Some(max)) => {
-                let reserved = shared
-                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |count| {
-                        (count < max).then_some(count + 1)
-                    })
-                    .is_ok();
-                if !reserved {
-                    self.stats.hit_embedding_limit = true;
-                    return false;
-                }
-            }
-            (Some(shared), None) => {
-                shared.fetch_add(1, Ordering::Relaxed);
-            }
-            (None, Some(max)) => {
-                if self.stats.embeddings >= max {
-                    self.stats.hit_embedding_limit = true;
-                    return false;
-                }
-            }
-            (None, None) => {}
+    /// Reserves a slot under the embedding limit (via the shared
+    /// [`EmbeddingReservation`] logic — a check-and-increment `fetch_update` when the
+    /// counter is shared across workers, so the limit can never be overshot and no
+    /// post-hoc truncation is needed) and reports the embedding to the sink. Returns
+    /// `false` when no slot is left or the sink asked the search to stop.
+    fn try_record_embedding(&mut self, sink: &mut dyn EmbeddingSink) -> bool {
+        if !self.reservation.try_reserve(self.stats.embeddings) {
+            self.stats.hit_embedding_limit = true;
+            return false;
         }
         self.stats.embeddings += 1;
-        if self.collect {
-            self.embeddings.push(self.assignment_data.clone());
+        match sink.report(&self.assignment_data) {
+            SinkControl::Continue => true,
+            SinkControl::Stop => {
+                self.stats.stopped_by_sink = true;
+                false
+            }
         }
-        true
-    }
-
-    /// Total embeddings found so far, across all workers when a shared counter is set.
-    fn total_embeddings(&self) -> u64 {
-        match &self.shared_embeddings {
-            Some(shared) => shared.load(Ordering::Relaxed),
-            None => self.stats.embeddings,
-        }
-    }
-
-    fn embedding_limit_reached(&self) -> bool {
-        self.limits
-            .max_embeddings
-            .is_some_and(|max| self.total_embeddings() >= max)
     }
 
     fn limit_hit(&mut self) -> bool {
-        if self.embedding_limit_reached() {
+        if self.reservation.exhausted(self.stats.embeddings) {
             self.stats.hit_embedding_limit = true;
             return true;
         }

@@ -49,12 +49,22 @@ pub struct SearchStats {
     pub hit_time_limit: bool,
     /// `true` if the search stopped because of the recursion limit.
     pub hit_recursion_limit: bool,
+    /// `true` if the search stopped because an [`EmbeddingSink`] returned
+    /// [`SinkControl::Stop`] (e.g. a satisfied `FirstK` or a callback that found what
+    /// it was looking for).
+    ///
+    /// [`EmbeddingSink`]: gup_graph::sink::EmbeddingSink
+    /// [`SinkControl::Stop`]: gup_graph::sink::SinkControl::Stop
+    pub stopped_by_sink: bool,
 }
 
 impl SearchStats {
-    /// `true` if any early-termination limit fired.
+    /// `true` if any early-termination condition fired (a limit or a sink stop).
     pub fn terminated_early(&self) -> bool {
-        self.hit_embedding_limit || self.hit_time_limit || self.hit_recursion_limit
+        self.hit_embedding_limit
+            || self.hit_time_limit
+            || self.hit_recursion_limit
+            || self.stopped_by_sink
     }
 
     /// Fraction of local candidates that guards filtered out (0.0 when none were seen).
@@ -65,6 +75,27 @@ impl SearchStats {
         }
         (self.pruned_by_reservation + self.pruned_by_nogood_vertex) as f64
             / self.local_candidates_seen as f64
+    }
+
+    /// When the embedding budget that fired was a sink's capacity (folded into the
+    /// limit) rather than a configured limit, re-reports it as a sink stop — the one
+    /// attribution rule shared by the sequential engine and the parallel driver, so
+    /// the public flags never depend on the thread count or on whether the sink's
+    /// own `Stop` or its folded capacity happened to fire first. A capacity equal to
+    /// the configured limit counts as the sink's stop (both budgets ran out
+    /// together; the sink-side attribution is the one every thread count can agree
+    /// on).
+    pub(crate) fn attribute_capacity_stop(
+        &mut self,
+        configured_limit: Option<u64>,
+        capacity: Option<u64>,
+    ) {
+        if self.hit_embedding_limit
+            && capacity.is_some_and(|cap| configured_limit.map_or(true, |limit| cap <= limit))
+        {
+            self.hit_embedding_limit = false;
+            self.stopped_by_sink = true;
+        }
     }
 
     /// Merges another run's counters into this one (used by the parallel engine and by
@@ -88,6 +119,7 @@ impl SearchStats {
         self.hit_embedding_limit |= other.hit_embedding_limit;
         self.hit_time_limit |= other.hit_time_limit;
         self.hit_recursion_limit |= other.hit_recursion_limit;
+        self.stopped_by_sink |= other.stopped_by_sink;
     }
 }
 

@@ -50,10 +50,14 @@ pub mod generate;
 pub mod graph;
 pub mod io;
 pub mod query;
+pub mod sink;
 pub mod stats;
 pub mod types;
 
 pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use query::{QueryGraph, QueryGraphError};
+pub use sink::{
+    CallbackSink, CollectAll, CountOnly, EmbeddingReservation, EmbeddingSink, FirstK, SinkControl,
+};
 pub use types::{Label, QVSet, VertexId, MAX_QUERY_VERTICES};

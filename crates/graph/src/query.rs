@@ -253,11 +253,20 @@ impl OrderedQuery {
     /// Translates an embedding expressed over the renumbered vertices back into a
     /// mapping indexed by the original query-vertex ids.
     pub fn embedding_in_original_ids(&self, embedding: &[VertexId]) -> Vec<VertexId> {
-        let mut out = vec![0 as VertexId; embedding.len()];
+        let mut out = Vec::new();
+        self.embedding_in_original_ids_into(embedding, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`OrderedQuery::embedding_in_original_ids`]: writes
+    /// the translation into `out` (cleared and resized), so a caller translating many
+    /// embeddings can reuse one scratch buffer.
+    pub fn embedding_in_original_ids_into(&self, embedding: &[VertexId], out: &mut Vec<VertexId>) {
+        out.clear();
+        out.resize(embedding.len(), 0 as VertexId);
         for (i, &v) in embedding.iter().enumerate() {
             out[self.original_id[i] as usize] = v;
         }
-        out
     }
 }
 

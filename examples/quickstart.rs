@@ -6,8 +6,10 @@
 //!
 //! Builds the 5-vertex query and 14-vertex data graph from the paper, enumerates every
 //! embedding, and prints them together with the search statistics the paper reports
-//! (recursions, futile recursions, guard usage).
+//! (recursions, futile recursions, guard usage). Also demonstrates the streaming
+//! output sinks: counting without materializing, and stopping after the first `k`.
 
+use gup::sink::{CountOnly, FirstK};
 use gup::{GupConfig, GupMatcher, SearchLimits};
 use gup_graph::fixtures::paper_example;
 
@@ -50,5 +52,20 @@ fn main() {
     println!(
         "  guard prune rate      : {:.1}%",
         s.guard_prune_rate() * 100.0
+    );
+
+    // Streaming sinks: the output demand drives the work. Counting allocates no
+    // embedding anywhere; FirstK stops the whole search after the k-th match.
+    let mut count = CountOnly::new();
+    matcher.run_with_sink(&mut count);
+    println!("\ncount-only sink        : {} embeddings", count.count());
+
+    let mut first = FirstK::new(2);
+    let stats = matcher.run_with_sink(&mut first);
+    println!(
+        "first-2 sink           : kept {} of {} reported, search stopped early: {}",
+        first.embeddings().len(),
+        stats.embeddings,
+        stats.terminated_early()
     );
 }

@@ -9,6 +9,7 @@
 //! aggregates (average time, recursions, guard prune rate) — a small-scale preview of
 //! what `cargo run -p gup-bench --bin experiments -- all` produces.
 
+use gup::sink::CountOnly;
 use gup::{GupConfig, GupMatcher, SearchLimits};
 use gup_workloads::{generate_query_set, Dataset, QuerySetSpec};
 use std::time::{Duration, Instant};
@@ -46,11 +47,13 @@ fn main() {
         for q in &queries {
             let start = Instant::now();
             if let Ok(matcher) = GupMatcher::new(q, &data, cfg.clone()) {
-                let result = matcher.run();
-                recursions += result.stats.recursions;
-                futile += result.stats.futile_recursions;
-                seen += result.stats.local_candidates_seen;
-                pruned += result.stats.pruned_by_reservation + result.stats.pruned_by_nogood_vertex;
+                // Only aggregates are reported, so stream through a counting sink —
+                // the cheapest output mode.
+                let stats = matcher.run_with_sink(&mut CountOnly::new());
+                recursions += stats.recursions;
+                futile += stats.futile_recursions;
+                seen += stats.local_candidates_seen;
+                pruned += stats.pruned_by_reservation + stats.pruned_by_nogood_vertex;
             }
             total_time += start.elapsed();
         }

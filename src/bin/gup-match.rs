@@ -9,17 +9,39 @@
 //! gup-match --data data.graph --query q1.graph --query q2.graph \
 //!           --method daf --limit 100000 --timeout-ms 60000
 //! gup-match --data data.graph --query query.graph --print-embeddings --threads 8
+//! gup-match --data data.graph --query query.graph --count-only
+//! gup-match --data data.graph --query query.graph --first-k 10
 //! ```
 //!
 //! Methods: `gup` (default), `gup-noguards`, `daf`, `gql`, `ri`, `join`.
+//!
+//! Output modes (all methods): the default prints the per-query summary line;
+//! `--count-only` streams through a counting sink (no embedding is ever
+//! materialized); `--first-k <k>` stops the search after the first `k` embeddings
+//! and prints them; `--print-embeddings` materializes and prints everything.
 
-use gup::{GupConfig, GupMatcher, PruningFeatures, SearchLimits};
+use gup::sink::{CountOnly, EmbeddingSink, FirstK};
+use gup::{GupConfig, GupMatcher, PruningFeatures, SearchLimits, SearchStats};
 use gup_baselines::{BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline};
 use gup_graph::io::load_graph;
-use gup_graph::Graph;
+use gup_graph::{Graph, VertexId};
 use gup_order::OrderingStrategy;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
+
+/// How much of the output the search must produce — each mode maps to a different
+/// [`EmbeddingSink`], so cheaper modes do strictly less work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OutputMode {
+    /// Summary line only (embeddings are counted, not kept).
+    Summary,
+    /// `--count-only`: counting sink, zero materialization.
+    CountOnly,
+    /// `--first-k <k>`: stop after the first `k` embeddings and print them.
+    FirstK(u64),
+    /// `--print-embeddings`: collect and print everything.
+    PrintAll,
+}
 
 #[derive(Clone, Debug)]
 struct Options {
@@ -29,7 +51,7 @@ struct Options {
     limit: Option<u64>,
     timeout: Option<Duration>,
     threads: usize,
-    print_embeddings: bool,
+    output: OutputMode,
 }
 
 fn usage() -> &'static str {
@@ -39,7 +61,9 @@ fn usage() -> &'static str {
        --limit <n>            stop after n embeddings (default: 100000; 0 = unlimited)\n\
        --timeout-ms <n>       per-query time limit in milliseconds (default: none)\n\
        --threads <n>          worker threads for the GuP methods (default: 1)\n\
-       --print-embeddings     print every embedding (GuP methods only)\n\
+       --count-only           count embeddings without materializing any\n\
+       --first-k <k>          stop after the first k embeddings and print them\n\
+       --print-embeddings     print every embedding\n\
        --help                 show this message"
 }
 
@@ -51,8 +75,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         limit: Some(100_000),
         timeout: None,
         threads: 1,
-        print_embeddings: false,
+        output: OutputMode::Summary,
     };
+    let mut modes_given = 0u32;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -92,11 +117,32 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--threads needs an integer")?;
             }
-            "--print-embeddings" => opts.print_embeddings = true,
+            "--print-embeddings" => {
+                opts.output = OutputMode::PrintAll;
+                modes_given += 1;
+            }
+            "--count-only" => {
+                opts.output = OutputMode::CountOnly;
+                modes_given += 1;
+            }
+            "--first-k" => {
+                i += 1;
+                let k: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--first-k needs an integer")?;
+                opts.output = OutputMode::FirstK(k);
+                modes_given += 1;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
         }
         i += 1;
+    }
+    if modes_given > 1 {
+        return Err(
+            "--count-only, --first-k, and --print-embeddings are mutually exclusive".to_string(),
+        );
     }
     if opts.data.is_empty() {
         return Err("missing --data".to_string());
@@ -105,6 +151,44 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err("missing --query".to_string());
     }
     Ok(opts)
+}
+
+fn print_embeddings(embeddings: &[Vec<VertexId>]) {
+    for emb in embeddings {
+        let cells: Vec<String> = emb.iter().map(|v| v.to_string()).collect();
+        println!("embedding\t{}", cells.join("\t"));
+    }
+}
+
+/// Maps an output mode to its sink, runs the engine-specific `run` closure through
+/// it, prints whatever the mode retains, and hands back the engine's result record.
+/// One implementation for every matcher family — each mode makes the search do
+/// strictly as much work as the output demands.
+fn run_with_output<R>(output: OutputMode, run: impl FnOnce(&mut dyn EmbeddingSink) -> R) -> R {
+    match output {
+        OutputMode::Summary | OutputMode::CountOnly => run(&mut CountOnly::new()),
+        OutputMode::FirstK(k) => {
+            let mut sink = FirstK::new(k);
+            let result = run(&mut sink);
+            print_embeddings(sink.embeddings());
+            result
+        }
+        OutputMode::PrintAll => {
+            let mut sink = gup::sink::CollectAll::new();
+            let result = run(&mut sink);
+            print_embeddings(sink.embeddings());
+            result
+        }
+    }
+}
+
+/// Runs a GuP matcher through `sink`, sequentially or in parallel.
+fn run_gup_sink(matcher: &GupMatcher, threads: usize, sink: &mut dyn EmbeddingSink) -> SearchStats {
+    if threads > 1 {
+        matcher.run_parallel_with_sink(threads, sink)
+    } else {
+        matcher.run_with_sink(sink)
+    }
 }
 
 fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, String> {
@@ -117,7 +201,6 @@ fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, Stri
                 } else {
                     PruningFeatures::NONE
                 },
-                collect_embeddings: opts.print_embeddings,
                 limits: SearchLimits {
                     max_embeddings: opts.limit,
                     time_limit: opts.timeout,
@@ -126,37 +209,27 @@ fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, Stri
                 ..GupConfig::default()
             };
             let matcher = GupMatcher::new(query, data, config).map_err(|e| e.to_string())?;
-            let result = if opts.threads > 1 {
-                matcher.run_parallel(opts.threads)
-            } else {
-                matcher.run()
-            };
-            if opts.print_embeddings {
-                for emb in &result.embeddings {
-                    let cells: Vec<String> = emb.iter().map(|v| v.to_string()).collect();
-                    println!("embedding\t{}", cells.join("\t"));
-                }
-            }
+            let stats = run_with_output(opts.output, |sink| {
+                run_gup_sink(&matcher, opts.threads, sink)
+            });
             let parallel_info = if opts.threads > 1 {
                 format!(
                     " tasks={} splits={} steals={}",
-                    result.stats.tasks_executed,
-                    result.stats.frames_split,
-                    result.stats.tasks_stolen
+                    stats.tasks_executed, stats.frames_split, stats.tasks_stolen
                 )
             } else {
                 String::new()
             };
             format!(
                 "embeddings={} recursions={} futile={} backjumps={} pruned_by_guards={}{} elapsed={:?}{}",
-                result.embedding_count(),
-                result.stats.recursions,
-                result.stats.futile_recursions,
-                result.stats.backjumps,
-                result.stats.pruned_by_reservation + result.stats.pruned_by_nogood_vertex,
+                stats.embeddings,
+                stats.recursions,
+                stats.futile_recursions,
+                stats.backjumps,
+                stats.pruned_by_reservation + stats.pruned_by_nogood_vertex,
                 parallel_info,
                 start.elapsed(),
-                if result.stats.terminated_early() { " (terminated early)" } else { "" }
+                if stats.terminated_early() { " (terminated early)" } else { "" }
             )
         }
         "daf" | "gql" | "ri" => {
@@ -167,10 +240,11 @@ fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, Stri
             };
             let matcher =
                 BacktrackingBaseline::new(query, data, kind).map_err(|e| e.to_string())?;
-            let result = matcher.run(BaselineLimits {
+            let limits = BaselineLimits {
                 max_embeddings: opts.limit,
                 time_limit: opts.timeout,
-            });
+            };
+            let result = run_with_output(opts.output, |sink| matcher.run_with_sink(limits, sink));
             format!(
                 "embeddings={} recursions={} futile={} elapsed={:?}{}",
                 result.embeddings,
@@ -187,10 +261,11 @@ fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, Stri
         "join" => {
             let matcher = JoinBaseline::new(query, data, OrderingStrategy::GqlStyle)
                 .ok_or("query rejected (empty, disconnected, or > 64 vertices)")?;
-            let result = matcher.run(BaselineLimits {
+            let limits = BaselineLimits {
                 max_embeddings: opts.limit,
                 time_limit: opts.timeout,
-            });
+            };
+            let result = run_with_output(opts.output, |sink| matcher.run_with_sink(limits, sink));
             format!(
                 "embeddings={} intermediate_results={} elapsed={:?}{}",
                 result.embeddings,

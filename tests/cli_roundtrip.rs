@@ -84,6 +84,74 @@ fn gup_match_binary_reports_oracle_counts() {
         .expect("no embeddings= field in threaded gup-match output");
     assert_eq!(reported, expected);
 
+    // The sink-backed output modes: --count-only reports the same count without
+    // materializing, and --first-k prints exactly k embeddings.
+    for method in ["gup", "daf", "join"] {
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+            .args([
+                "--data",
+                data_path.to_str().unwrap(),
+                "--query",
+                query_path.to_str().unwrap(),
+                "--method",
+                method,
+                "--limit",
+                "0",
+                "--count-only",
+            ])
+            .output()
+            .expect("failed to spawn gup-match");
+        assert!(output.status.success(), "--count-only --method {method}");
+        let stdout = String::from_utf8(output.stdout).unwrap();
+        let reported: u64 = stdout
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("embeddings=").and_then(|v| v.parse().ok()))
+            .expect("no embeddings= field in --count-only output");
+        assert_eq!(reported, expected, "--count-only --method {method}");
+        assert!(
+            !stdout.contains("embedding\t"),
+            "--count-only must not print embeddings"
+        );
+
+        let k = expected - 1; // truncating: the search must stop early
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+            .args([
+                "--data",
+                data_path.to_str().unwrap(),
+                "--query",
+                query_path.to_str().unwrap(),
+                "--method",
+                method,
+                "--limit",
+                "0",
+                "--first-k",
+                &k.to_string(),
+            ])
+            .output()
+            .expect("failed to spawn gup-match");
+        assert!(output.status.success(), "--first-k --method {method}");
+        let stdout = String::from_utf8(output.stdout).unwrap();
+        let printed = stdout.matches("embedding\t").count() as u64;
+        assert_eq!(printed, k, "--first-k {k} --method {method} printed lines");
+    }
+
+    // The output modes are mutually exclusive.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+        .args([
+            "--data",
+            data_path.to_str().unwrap(),
+            "--query",
+            query_path.to_str().unwrap(),
+            "--count-only",
+            "--print-embeddings",
+        ])
+        .output()
+        .expect("failed to spawn gup-match");
+    assert!(
+        !output.status.success(),
+        "--count-only with --print-embeddings must be rejected"
+    );
+
     // Bad usage must fail with a non-zero exit code, not succeed silently.
     let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
         .args(["--data", data_path.to_str().unwrap()])

@@ -1,0 +1,26 @@
+//! Helpers shared by the integration-test binaries (`mod common;`).
+
+use gup_graph::{Graph, VertexId};
+
+/// Asserts that `emb` is a valid embedding of `query` in `data` per Definition 2.1:
+/// right arity, label-preserving, adjacency-preserving, and injective.
+pub fn assert_valid_embedding(name: &str, query: &Graph, data: &Graph, emb: &[VertexId]) {
+    assert_eq!(emb.len(), query.vertex_count(), "{name}: wrong arity");
+    for u in query.vertices() {
+        assert_eq!(
+            query.label(u),
+            data.label(emb[u as usize]),
+            "{name}: label constraint violated"
+        );
+    }
+    for (a, b) in query.edges() {
+        assert!(
+            data.has_edge(emb[a as usize], emb[b as usize]),
+            "{name}: adjacency constraint violated"
+        );
+    }
+    let mut seen = emb.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), emb.len(), "{name}: non-injective embedding");
+}

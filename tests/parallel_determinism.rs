@@ -4,14 +4,21 @@
 //! stay deterministic regardless of interleaving: the reported embedding count is
 //! bit-identical to the sequential engine for `threads ∈ {1, 2, 4, 8}` on every
 //! golden fixture, with and without an embedding limit, and on a seed-pinned
-//! Yeast-analogue workload. Each configuration is run several times so that racy
-//! schedules get a chance to disagree.
+//! Yeast-analogue workload. The sink-mode cases pin the same property through the
+//! streaming output layer: counting sinks agree with the sequential count, and
+//! `FirstK` delivers *exactly* `min(k, total)` valid embeddings under every thread
+//! count. Each configuration is run several times so that racy schedules get a
+//! chance to disagree.
 
+use gup::sink::{CountOnly, FirstK};
 use gup::{GupConfig, GupMatcher, SearchLimits};
 use gup_graph::fixtures::{clique4, paper_example, path, square_with_diagonal, triangle_query};
 use gup_graph::query::{QueryGraph, QueryGraphError};
 use gup_graph::{Graph, GraphBuilder};
 use gup_workloads::{generate_query_set, Dataset, QueryClass, QuerySetSpec};
+
+mod common;
+use common::assert_valid_embedding;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const REPEATS: usize = 3;
@@ -143,6 +150,161 @@ fn yeast_analogue_stress_is_schedule_independent() {
     }
     // The work-stealing driver really ran tasks (seeded chunks at minimum).
     assert!(total_tasks > 0);
+}
+
+/// Counting sinks must observe exactly the sequential count under every thread
+/// count and schedule — the streamed count is the same number the stats report.
+#[test]
+fn counting_sinks_agree_across_thread_counts() {
+    for (name, query, data) in fixtures() {
+        let sequential = count(&query, &data, SearchLimits::UNLIMITED, 1);
+        for threads in THREAD_COUNTS {
+            for round in 0..REPEATS {
+                let cfg = GupConfig {
+                    limits: SearchLimits::UNLIMITED,
+                    ..GupConfig::default()
+                };
+                let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+                let mut sink = CountOnly::new();
+                let stats = matcher.run_parallel_with_sink(threads, &mut sink);
+                assert_eq!(
+                    sink.count(),
+                    sequential,
+                    "{name}: counting sink threads={threads} round={round}"
+                );
+                assert_eq!(
+                    stats.embeddings, sequential,
+                    "{name}: stats drifted from the sink count"
+                );
+            }
+        }
+    }
+}
+
+/// `FirstK` must deliver exactly `min(k, total)` embeddings — never more, never
+/// fewer — regardless of the thread count and interleaving, and each delivered
+/// embedding must be a valid injective label/adjacency-preserving map. Which
+/// embeddings are delivered is schedule-dependent under truncation; the count and
+/// validity are not.
+#[test]
+fn first_k_is_exact_under_every_thread_count() {
+    for (name, query, data) in fixtures() {
+        let total = count(&query, &data, SearchLimits::UNLIMITED, 1);
+        for k in [1u64, 2, total.max(1), total + 5] {
+            for threads in THREAD_COUNTS {
+                for round in 0..REPEATS {
+                    let cfg = GupConfig {
+                        limits: SearchLimits::UNLIMITED,
+                        ..GupConfig::default()
+                    };
+                    let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+                    let mut sink = FirstK::new(k);
+                    let stats = matcher.run_parallel_with_sink(threads, &mut sink);
+                    let expected = k.min(total);
+                    assert_eq!(
+                        sink.embeddings().len() as u64,
+                        expected,
+                        "{name}: FirstK({k}) threads={threads} round={round}"
+                    );
+                    assert_eq!(
+                        stats.embeddings, expected,
+                        "{name}: FirstK({k}) stats threads={threads} round={round}"
+                    );
+                    // Flag consistency across thread counts: truncation by a sink's
+                    // capacity is a sink stop, never a (nonexistent) embedding
+                    // limit — sequential and parallel must agree.
+                    assert!(
+                        !stats.hit_embedding_limit,
+                        "{name}: FirstK({k}) threads={threads} blamed the embedding limit"
+                    );
+                    // (At k == total the k-th report still fills the sink, which
+                    // answers Stop — so the flag is set exactly when k <= total.)
+                    assert_eq!(
+                        stats.stopped_by_sink,
+                        k <= total && total > 0,
+                        "{name}: FirstK({k}) threads={threads} stopped_by_sink flag"
+                    );
+                    for emb in sink.embeddings() {
+                        assert_valid_embedding(name, &query, &data, emb);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// When a `FirstK` capacity coincides with the configured embedding limit, the
+/// termination flags must still be identical on every thread count: truncation is
+/// attributed to the sink (whose Stop every schedule observes), never left as a
+/// schedule-dependent `hit_embedding_limit`.
+#[test]
+fn capacity_equal_to_limit_attributes_to_the_sink_on_every_thread_count() {
+    let (query, data) = paper_example(); // 4 embeddings
+    for threads in THREAD_COUNTS {
+        for round in 0..REPEATS {
+            let cfg = GupConfig {
+                limits: SearchLimits {
+                    max_embeddings: Some(2),
+                    ..SearchLimits::UNLIMITED
+                },
+                ..GupConfig::default()
+            };
+            let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+            let mut sink = FirstK::new(2);
+            let stats = matcher.run_parallel_with_sink(threads, &mut sink);
+            assert_eq!(
+                sink.embeddings().len(),
+                2,
+                "threads={threads} round={round}"
+            );
+            assert!(
+                stats.stopped_by_sink,
+                "threads={threads} round={round}: missing sink-stop flag"
+            );
+            assert!(
+                !stats.hit_embedding_limit,
+                "threads={threads} round={round}: blamed the embedding limit"
+            );
+        }
+    }
+}
+
+/// Sink-mode stress on the Yeast analogue: larger instances where frame splitting
+/// and stealing actually occur, `FirstK` still exact.
+#[test]
+fn first_k_is_exact_on_yeast_analogue_stress() {
+    let data = Dataset::Yeast.generate(0.10).graph;
+    let queries = generate_query_set(
+        &data,
+        QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Sparse,
+        },
+        2,
+        0xF1257,
+    );
+    assert!(
+        !queries.is_empty(),
+        "workload generator produced no queries"
+    );
+    for (qi, query) in queries.iter().enumerate() {
+        let total = count(query, &data, SearchLimits::UNLIMITED, 1);
+        let k = total / 2 + 1;
+        for threads in [2usize, 4, 8] {
+            let cfg = GupConfig {
+                limits: SearchLimits::UNLIMITED,
+                ..GupConfig::default()
+            };
+            let matcher = GupMatcher::new(query, &data, cfg).unwrap();
+            let mut sink = FirstK::new(k);
+            matcher.run_parallel_with_sink(threads, &mut sink);
+            assert_eq!(
+                sink.embeddings().len() as u64,
+                k.min(total),
+                "query {qi}: FirstK({k}) threads={threads}"
+            );
+        }
+    }
 }
 
 /// Release-mode regression: a query exceeding the 64-vertex bitset bound must be

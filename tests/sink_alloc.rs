@@ -1,0 +1,131 @@
+//! Allocation accounting for the sink layer: a `CountOnly` run must perform **zero
+//! per-embedding allocations** in the search hot path.
+//!
+//! A thread-local counting `#[global_allocator]` tallies every allocation made by
+//! the test thread. The instance is a single-vertex query over data graphs whose
+//! every candidate is an embedding, so the embedding count scales with the instance
+//! while the rest of the search structure stays constant-size: if any part of the
+//! count-only path allocated per embedding, the allocation count would grow with the
+//! instance. The test pins that it does not (and that collecting sinks *do* pay one
+//! allocation per retained embedding, i.e. the counter itself works).
+//!
+//! This file holds exactly this test so the global allocator hook cannot interfere
+//! with unrelated suites.
+
+use gup::sink::{CollectAll, CountOnly, FirstK};
+use gup::{GupConfig, GupMatcher, SearchLimits};
+use gup_graph::builder::graph_from_edges;
+use gup_graph::Graph;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates all allocation to `System`; the bookkeeping only touches a
+// const-initialized thread-local `Cell`, which never allocates or reenters.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with` so allocations during TLS teardown cannot panic.
+        let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(|count| count.get())
+}
+
+/// `n` label-0 vertices, no edges: a single-vertex label-0 query has exactly `n`
+/// embeddings and the search never refines a forward neighbor.
+fn all_match_instance(n: usize) -> (Graph, Graph) {
+    let query = graph_from_edges(&[0], &[]);
+    let data = graph_from_edges(&vec![0u32; n], &[]);
+    (query, data)
+}
+
+fn count_run_allocations(n: usize) -> (u64, u64) {
+    let (query, data) = all_match_instance(n);
+    let cfg = GupConfig {
+        limits: SearchLimits::UNLIMITED,
+        ..GupConfig::default()
+    };
+    let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+    let mut sink = CountOnly::new();
+    let before = allocations();
+    matcher.run_with_sink(&mut sink);
+    let spent = allocations() - before;
+    (spent, sink.count())
+}
+
+#[test]
+fn count_only_run_allocations_do_not_scale_with_embeddings() {
+    // Warm up lazily-initialized runtime state so it cannot pollute the counters.
+    let _ = count_run_allocations(8);
+
+    let (small_allocs, small_count) = count_run_allocations(200);
+    let (large_allocs, large_count) = count_run_allocations(2000);
+    assert_eq!(small_count, 200);
+    assert_eq!(large_count, 2000);
+
+    // 10x the embeddings, identical allocation count: the count-only hot path
+    // performs zero per-embedding allocations. (Engine setup is a fixed number of
+    // allocations — candidate stacks, owner array — independent of how many
+    // embeddings stream through the sink.)
+    assert_eq!(
+        small_allocs, large_allocs,
+        "count-only allocations scaled with the embedding count"
+    );
+    // And that fixed setup cost really is small.
+    assert!(
+        large_allocs < 64,
+        "count-only run made {large_allocs} allocations — hot path no longer lean"
+    );
+}
+
+#[test]
+fn collecting_sinks_pay_exactly_for_what_they_keep() {
+    let (query, data) = all_match_instance(1000);
+    let cfg = GupConfig {
+        limits: SearchLimits::UNLIMITED,
+        ..GupConfig::default()
+    };
+    let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+
+    // CollectAll clones each of the 1000 embeddings: at least one allocation each.
+    let mut all = CollectAll::new();
+    let before = allocations();
+    matcher.run_with_sink(&mut all);
+    let collect_allocs = allocations() - before;
+    assert_eq!(all.len(), 1000);
+    assert!(
+        collect_allocs >= 1000,
+        "CollectAll made only {collect_allocs} allocations for 1000 embeddings"
+    );
+
+    // FirstK(5) stops the search after 5: allocations stay near the setup cost.
+    let mut first = FirstK::new(5);
+    let before = allocations();
+    matcher.run_with_sink(&mut first);
+    let first_allocs = allocations() - before;
+    assert_eq!(first.embeddings().len(), 5);
+    assert!(
+        first_allocs < 64,
+        "FirstK(5) made {first_allocs} allocations — early stop is not early"
+    );
+}

@@ -1,6 +1,6 @@
 //! Vendored stand-in for `proptest`. Offline builds cannot fetch the real crate,
 //! so this shim implements the subset of the API the workspace's property tests
-//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! use: the [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`, range and tuple
 //! strategies, [`arbitrary::any`], [`collection::vec`]/[`collection::btree_set`],
 //! the [`proptest!`] macro with `#![proptest_config(..)]`, and the
 //! `prop_assert*`/`prop_assume!` macros.

@@ -18,7 +18,7 @@
 use crate::{BaselineLimits, BaselineResult};
 use gup_candidate::{CandidateSpace, FilterConfig};
 use gup_graph::sink::{min_limit, CountOnly, EmbeddingSink, SinkControl};
-use gup_graph::{Graph, QVSet, QueryGraph, VertexId};
+use gup_graph::{Graph, PreparedData, QVSet, QueryGraph, VertexId};
 use gup_order::OrderingStrategy;
 use std::time::Instant;
 
@@ -114,10 +114,35 @@ impl std::fmt::Display for BaselineError {
 impl std::error::Error for BaselineError {}
 
 impl BacktrackingBaseline {
-    /// Builds the baseline matcher for `query` against `data`.
+    /// Builds the baseline matcher for `query` against `data`. Legacy one-shot
+    /// adapter: borrows `data` directly (no clone, no index build) and shares
+    /// everything after the initial filter pass with
+    /// [`BacktrackingBaseline::with_prepared`].
     pub fn new(query: &Graph, data: &Graph, kind: BaselineKind) -> Result<Self, BaselineError> {
         let validated = QueryGraph::new(query.clone()).map_err(BaselineError::InvalidQuery)?;
         let space = CandidateSpace::build(query, data, &kind.filter_config());
+        Ok(Self::from_parts(query, validated, space, kind))
+    }
+
+    /// Builds the baseline matcher for `query` against a prepared data graph (the
+    /// candidate space's NLF pass runs against the precomputed signature arena).
+    pub fn with_prepared(
+        query: &Graph,
+        prepared: &PreparedData,
+        kind: BaselineKind,
+    ) -> Result<Self, BaselineError> {
+        let validated = QueryGraph::new(query.clone()).map_err(BaselineError::InvalidQuery)?;
+        let space = CandidateSpace::build_prepared(query, prepared, &kind.filter_config());
+        Ok(Self::from_parts(query, validated, space, kind))
+    }
+
+    /// Everything after the initial candidate filter, shared by both constructors.
+    fn from_parts(
+        query: &Graph,
+        validated: QueryGraph,
+        space: CandidateSpace,
+        kind: BaselineKind,
+    ) -> Self {
         let order = gup_order::compute_order(query, &space.candidate_sizes(), kind.ordering());
         let ordered = validated
             .with_order(&order)
@@ -142,14 +167,14 @@ impl BacktrackingBaseline {
             }
             ancestors[i] = set;
         }
-        Ok(BacktrackingBaseline {
+        BacktrackingBaseline {
             kind,
             space,
             forward,
             ancestors,
             original_id: order,
             query_vertices: n,
-        })
+        }
     }
 
     /// The baseline family of this instance.

@@ -6,7 +6,7 @@
 //! against it on small instances.
 
 use gup_graph::sink::{CollectAll, CountOnly, EmbeddingSink, SinkControl};
-use gup_graph::{Graph, VertexId};
+use gup_graph::{Graph, PreparedData, VertexId};
 
 /// Enumerates every embedding of `query` in `data` and returns them sorted (each
 /// embedding is the vector `emb[u] = data vertex assigned to query vertex u`).
@@ -27,6 +27,18 @@ pub fn count(query: &Graph, data: &Graph) -> u64 {
     let mut sink = CountOnly::new();
     enumerate_with_sink(query, data, &mut sink);
     sink.count()
+}
+
+/// Prepared-data counterpart of [`enumerate_with_sink`]: the oracle needs no index,
+/// so this simply enumerates over the prepared graph — it exists so that every
+/// engine in the workspace, oracle included, can be driven off one shared
+/// [`PreparedData`].
+pub fn enumerate_with_sink_prepared(
+    query: &Graph,
+    prepared: &PreparedData,
+    sink: &mut dyn EmbeddingSink,
+) {
+    enumerate_with_sink(query, prepared.graph(), sink);
 }
 
 /// Streams every embedding of `query` in `data` into `sink` (original query-vertex

@@ -8,10 +8,11 @@
 //! intermediate bindings plays the role that recursion counts play for the
 //! backtracking engines.
 
+use crate::backtracking::BaselineError;
 use crate::{BaselineLimits, BaselineResult};
 use gup_candidate::{CandidateSpace, FilterConfig};
 use gup_graph::sink::{min_limit, CountOnly, EmbeddingSink, SinkControl};
-use gup_graph::{Graph, QueryGraph, VertexId};
+use gup_graph::{Graph, PreparedData, QueryGraph, VertexId};
 use gup_order::OrderingStrategy;
 use std::time::Instant;
 
@@ -30,23 +31,49 @@ pub struct JoinBaseline {
 
 impl JoinBaseline {
     /// Builds the join baseline for `query` against `data`. Returns `None` if the
-    /// query is not usable (empty / disconnected / too large).
+    /// query is not usable (empty / disconnected / too large). Legacy one-shot
+    /// adapter: borrows `data` directly (no clone, no index build) and shares
+    /// everything after the initial filter pass with
+    /// [`JoinBaseline::with_prepared`].
     pub fn new(query: &Graph, data: &Graph, order: OrderingStrategy) -> Option<Self> {
         let validated = QueryGraph::new(query.clone()).ok()?;
         let space = CandidateSpace::build(query, data, &FilterConfig::default());
+        Some(Self::from_parts(query, validated, space, order))
+    }
+
+    /// Builds the join baseline for `query` against a prepared data graph.
+    pub fn with_prepared(
+        query: &Graph,
+        prepared: &PreparedData,
+        order: OrderingStrategy,
+    ) -> Result<Self, BaselineError> {
+        let validated = QueryGraph::new(query.clone()).map_err(BaselineError::InvalidQuery)?;
+        let space = CandidateSpace::build_prepared(query, prepared, &FilterConfig::default());
+        Ok(Self::from_parts(query, validated, space, order))
+    }
+
+    /// Everything after the initial candidate filter, shared by both constructors.
+    fn from_parts(
+        query: &Graph,
+        validated: QueryGraph,
+        space: CandidateSpace,
+        order: OrderingStrategy,
+    ) -> Self {
         let order = gup_order::compute_order(query, &space.candidate_sizes(), order);
-        let ordered = validated.with_order(&order).ok()?;
+        let ordered = validated
+            .with_order(&order)
+            .expect("ordering strategies produce connected orders");
         let space = space.permuted(&order);
         let n = ordered.vertex_count();
         let backward = (0..n)
             .map(|i| ordered.backward_neighbors(i).to_vec())
             .collect();
-        Some(JoinBaseline {
+        JoinBaseline {
             space,
             query_vertices: n,
             backward,
             original_id: order,
-        })
+        }
     }
 
     /// Runs the join and reports embeddings / intermediate-result counts. Thin

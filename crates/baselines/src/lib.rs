@@ -23,7 +23,7 @@ pub mod backtracking;
 pub mod brute_force;
 pub mod join;
 
-pub use backtracking::{BacktrackingBaseline, BaselineKind};
+pub use backtracking::{BacktrackingBaseline, BaselineError, BaselineKind};
 pub use gup_graph::sink::{
     CallbackSink, CollectAll, CountOnly, EmbeddingSink, FirstK, SinkControl,
 };

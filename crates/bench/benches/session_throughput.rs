@@ -1,0 +1,104 @@
+//! Query-set throughput: one shared `PreparedData` session versus cold per-query
+//! construction, on Yeast-analogue query sets — the criterion-grade counterpart of
+//! the batch-mode numbers in EXPERIMENTS.md ("Prepared-session reference numbers").
+//!
+//! * `cold` — the legacy one-shot path (`GupMatcher::new` per query): borrows the
+//!   data graph and re-runs the neighbor-rescan NLF filter for every query, exactly
+//!   as every caller did before the session redesign (minus its per-candidate
+//!   allocation, which is fixed on both paths).
+//! * `prepared` — the session path: the signature index is built once outside the
+//!   measured region; each iteration runs the whole query set through
+//!   `Session::run_batch`.
+//!
+//! Two instances: the plain Yeast analogue (71 labels — filtering is cheap, so the
+//! two paths are close) and a **hard-mode** variant with labels coarsened to 4
+//! (`gup_workloads::coarsen_labels`, same trick as the Figure-10 experiment), where
+//! candidate sets per label are large and the NLF pass dominates — the regime the
+//! signature arena exists for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gup::session::Session;
+use gup::sink::CountOnly;
+use gup::{GupConfig, GupMatcher, SearchLimits};
+use gup_graph::Graph;
+use gup_workloads::{coarsen_labels, generate_query_set, Dataset, QueryClass, QuerySetSpec};
+use std::time::Duration;
+
+fn query_set_config(embedding_limit: u64) -> GupConfig {
+    GupConfig {
+        limits: SearchLimits {
+            // Embedding caps alone bound the work: a time limit would be hoisted
+            // into ONE deadline shared by the whole batch on the prepared arm while
+            // the cold arm restarts its budget per query — unequal budgets would
+            // let truncation masquerade as speedup on a slow machine.
+            max_embeddings: Some(embedding_limit),
+            ..SearchLimits::UNLIMITED
+        },
+        ..GupConfig::default()
+    }
+}
+
+fn bench_instance(
+    c: &mut Criterion,
+    group_name: &str,
+    data: &Graph,
+    queries: &[Graph],
+    embedding_limit: u64,
+) {
+    let config = query_set_config(embedding_limit);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    group.bench_function(BenchmarkId::from_parameter("cold"), |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for query in queries {
+                let mut sink = CountOnly::new();
+                GupMatcher::new(query, data, config.clone())
+                    .unwrap()
+                    .run_with_sink(&mut sink);
+                total += sink.count();
+            }
+            total
+        });
+    });
+
+    let session = Session::new(data.clone()).with_defaults(config.clone());
+    group.bench_function(BenchmarkId::from_parameter("prepared"), |b| {
+        b.iter(|| session.run_batch(queries).total_embeddings());
+    });
+
+    group.finish();
+}
+
+fn bench_session_throughput(c: &mut Criterion) {
+    let data = Dataset::Yeast.generate(0.15).graph;
+    let spec = QuerySetSpec {
+        vertices: 8,
+        class: QueryClass::Sparse,
+    };
+    let queries = generate_query_set(&data, spec, 8, 11);
+    assert!(
+        !queries.is_empty(),
+        "workload generator produced no queries"
+    );
+    bench_instance(c, "query_set_8S", &data, &queries, 100_000);
+
+    // Hard mode: few labels → large per-label candidate sets → the NLF filter is
+    // the hot path. A paper-style answer cap (the "first 1000 matches" serving
+    // shape) keeps enumeration from swamping the per-query preparation the session
+    // amortizes.
+    let coarse_data = coarsen_labels(&data, 4);
+    let coarse_queries: Vec<Graph> = queries.iter().map(|q| coarsen_labels(q, 4)).collect();
+    bench_instance(
+        c,
+        "query_set_8S_coarse4",
+        &coarse_data,
+        &coarse_queries,
+        1000,
+    );
+}
+
+criterion_group!(benches, bench_session_throughput);
+criterion_main!(benches);

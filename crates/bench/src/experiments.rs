@@ -30,14 +30,15 @@ pub struct HeadlineResults {
 pub fn collect_headline(config: &SuiteConfig) -> HeadlineResults {
     let mut rows = Vec::new();
     for dataset in Dataset::ALL {
-        let data = config.data_graph(dataset);
+        // One prepared-data session per dataset, shared by every query set × method.
+        let session = config.session(dataset);
         for spec in QuerySetSpec::PAPER_SETS {
-            let queries = config.query_set(&data, spec);
+            let queries = config.query_set(session.data(), spec);
             if queries.is_empty() {
                 continue;
             }
             for method in Method::HEADLINE {
-                let summary = run_query_set(method, &queries, &data, config);
+                let summary = run_query_set(method, &queries, &session, config);
                 rows.push((dataset, spec.name(), method, summary));
             }
         }
@@ -199,7 +200,7 @@ pub fn fig6(results: &HeadlineResults) -> String {
 /// GQL-style baselines (the paper omits DAF and RM because they do not count
 /// recursions).
 pub fn fig7(config: &SuiteConfig) -> String {
-    let data = config.data_graph(Dataset::Yeast);
+    let session = config.session(Dataset::Yeast);
     let methods = [Method::Gup, Method::GqlG, Method::GqlR];
     let mut out = String::new();
     writeln!(
@@ -209,12 +210,12 @@ pub fn fig7(config: &SuiteConfig) -> String {
     .unwrap();
     writeln!(out, "{:<6} {:<8} {:>14}", "set", "method", "recursions").unwrap();
     for spec in QuerySetSpec::PAPER_SETS {
-        let queries = config.query_set(&data, spec);
+        let queries = config.query_set(session.data(), spec);
         if queries.is_empty() {
             continue;
         }
         for method in methods {
-            let summary = run_query_set(method, &queries, &data, config);
+            let summary = run_query_set(method, &queries, &session, config);
             writeln!(
                 out,
                 "{:<6} {:<8} {:>14}",
@@ -231,7 +232,7 @@ pub fn fig7(config: &SuiteConfig) -> String {
 /// **Figure 8** — effect of the reservation size limit `r` on the number of
 /// recursions (reservation guards only, Yeast analogue).
 pub fn fig8(config: &SuiteConfig) -> String {
-    let data = config.data_graph(Dataset::Yeast);
+    let session = config.session(Dataset::Yeast);
     let limits: [(&str, Option<usize>); 6] = [
         ("r=0", Some(0)),
         ("r=1", Some(1)),
@@ -250,11 +251,11 @@ pub fn fig8(config: &SuiteConfig) -> String {
     for (label, r) in limits {
         let mut total = 0u64;
         for spec in QuerySetSpec::PAPER_SETS {
-            let queries = config.query_set(&data, spec);
+            let queries = config.query_set(session.data(), spec);
             if queries.is_empty() {
                 continue;
             }
-            let summary = run_query_set(Method::GupReservationOnly(r), &queries, &data, config);
+            let summary = run_query_set(Method::GupReservationOnly(r), &queries, &session, config);
             total += summary.total_recursions;
         }
         writeln!(out, "{:<7} {:>14}", label, total).unwrap();
@@ -265,7 +266,7 @@ pub fn fig8(config: &SuiteConfig) -> String {
 /// **Figure 9** — contribution of each pruning technique: futile recursions for
 /// Baseline / R / R+NV / R+NV+NE / All (Yeast analogue).
 pub fn fig9(config: &SuiteConfig) -> String {
-    let data = config.data_graph(Dataset::Yeast);
+    let session = config.session(Dataset::Yeast);
     let variants = [
         PruningFeatures::NONE,
         PruningFeatures::RESERVATION_ONLY,
@@ -286,12 +287,12 @@ pub fn fig9(config: &SuiteConfig) -> String {
     )
     .unwrap();
     for spec in QuerySetSpec::PAPER_SETS {
-        let queries = config.query_set(&data, spec);
+        let queries = config.query_set(session.data(), spec);
         if queries.is_empty() {
             continue;
         }
         for features in variants {
-            let summary = run_query_set(Method::GupWith(features), &queries, &data, config);
+            let summary = run_query_set(Method::GupWith(features), &queries, &session, config);
             writeln!(
                 out,
                 "{:<6} {:<10} {:>14} {:>14}",
@@ -317,8 +318,8 @@ pub fn table3(config: &SuiteConfig) -> String {
     .unwrap();
     writeln!(
         out,
-        "{:<10} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "dataset", "set", "whole[KB]", "resv[KB]", "NV[KB]", "NE[KB]", "guard/whole"
+        "{:<10} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "set", "whole[KB]", "prep[KB]", "resv[KB]", "NV[KB]", "NE[KB]", "guard/whole"
     )
     .unwrap();
     let sets = [
@@ -328,10 +329,10 @@ pub fn table3(config: &SuiteConfig) -> String {
         QuerySetSpec::PAPER_SETS[7], // 32D
     ];
     for dataset in [Dataset::Yeast, Dataset::Patents] {
-        let data = config.data_graph(dataset);
-        let data_bytes = data.heap_bytes();
+        let session = config.session(dataset);
+        let data_bytes = session.data().heap_bytes();
         for spec in sets {
-            let queries = config.query_set(&data, spec);
+            let queries = config.query_set(session.data(), spec);
             let Some(query) = queries.first() else {
                 continue;
             };
@@ -343,18 +344,22 @@ pub fn table3(config: &SuiteConfig) -> String {
                 },
                 ..GupConfig::default()
             };
-            let Ok(matcher) = GupMatcher::new(query, &data, gup_config) else {
+            let Ok(matcher) = GupMatcher::with_prepared(query, session.prepared(), gup_config)
+            else {
                 continue;
             };
             let (_result, report) = matcher.run_with_memory_report();
-            let whole = data_bytes + report.total_bytes();
+            // "Whole" = data graph + the session's shared prepared index (paid once)
+            // + this query's GCS and guard stores.
+            let whole = data_bytes + report.prepared_index_bytes + report.total_bytes();
             let share = 100.0 * report.guard_bytes() as f64 / whole.max(1) as f64;
             writeln!(
                 out,
-                "{:<10} {:>5} {:>12.1} {:>12.2} {:>12.2} {:>12.2} {:>11.2}%",
+                "{:<10} {:>5} {:>12.1} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>11.2}%",
                 dataset.name(),
                 spec.name(),
                 whole as f64 / 1024.0,
+                report.prepared_index_bytes as f64 / 1024.0,
                 report.reservation_bytes as f64 / 1024.0,
                 report.nogood_vertex_bytes as f64 / 1024.0,
                 report.nogood_edge_bytes as f64 / 1024.0,
@@ -428,10 +433,13 @@ pub fn fig10(config: &SuiteConfig, max_threads: usize) -> String {
     // engine needs at least 1 ms (below that, thread startup noise swamps every
     // scheduler) and finishes within the limit (so the averages compare completed
     // runs). The filter is scheduler-neutral — it only looks at the sequential run.
+    // One shared prepared index for every (query, scheduler, thread count) run.
+    let prepared = gup_graph::PreparedData::from_graph(&data);
     let kept: Vec<&gup_graph::Graph> = queries
         .iter()
         .filter(|query| {
-            let Ok(matcher) = GupMatcher::new(query, &data, gup_config.clone()) else {
+            let Ok(matcher) = GupMatcher::with_prepared(query, &prepared, gup_config.clone())
+            else {
                 return false;
             };
             let start = Instant::now();
@@ -464,7 +472,8 @@ pub fn fig10(config: &SuiteConfig, max_threads: usize) -> String {
         let mut static_ms = Vec::new();
         let (mut splits, mut steals) = (0u64, 0u64);
         for query in &kept {
-            let Ok(matcher) = GupMatcher::new(query, &data, gup_config.clone()) else {
+            let Ok(matcher) = GupMatcher::with_prepared(query, &prepared, gup_config.clone())
+            else {
                 continue;
             };
             // Best of two runs per scheduler, to damp scheduling noise evenly.

@@ -1,10 +1,17 @@
 //! Uniform runner for GuP, its ablations, and the baselines.
+//!
+//! Since the session redesign the harness is a thin veneer over
+//! [`gup::session::Session`]: each dataset's data graph is prepared **once** and
+//! every method × query runs through the same shared [`PreparedData`] — exactly how
+//! the paper's query sets are meant to be executed (§4.1), and how a serving
+//! deployment would run them.
+//!
+//! [`PreparedData`]: gup_graph::PreparedData
 
+use gup::session::{Engine, Session};
 use gup::sink::CountOnly;
-use gup::{GupConfig, GupMatcher, PruningFeatures, SearchLimits};
-use gup_baselines::{BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline};
+use gup::{GupConfig, PruningFeatures, SearchLimits};
 use gup_graph::Graph;
-use gup_order::OrderingStrategy;
 use gup_workloads::{generate_query_set, Dataset, QuerySetSpec};
 use std::time::{Duration, Instant};
 
@@ -180,6 +187,12 @@ impl SuiteConfig {
         dataset.generate(scale).graph
     }
 
+    /// Generates the data graph of `dataset` and opens a prepared-data session over
+    /// it — the once-per-dataset step every method of an experiment shares.
+    pub fn session(&self, dataset: Dataset) -> Session {
+        Session::new(self.data_graph(dataset))
+    }
+
     /// Generates a query set for `dataset` (data graph passed in to avoid regenerating
     /// it for every set).
     pub fn query_set(&self, data: &Graph, spec: QuerySetSpec) -> Vec<Graph> {
@@ -187,10 +200,14 @@ impl SuiteConfig {
     }
 }
 
-/// Runs `method` on a single `(query, data)` pair under the suite's per-query limits.
-pub fn run_method(method: Method, query: &Graph, data: &Graph, config: &SuiteConfig) -> RunRecord {
-    let start = Instant::now();
-    let record = match method {
+/// The session-level engine and configuration a harness [`Method`] maps to.
+fn method_request(method: Method, config: &SuiteConfig) -> (Engine, GupConfig) {
+    let limits = SearchLimits {
+        max_embeddings: Some(config.embedding_limit),
+        time_limit: Some(config.per_query_timeout),
+        ..SearchLimits::UNLIMITED
+    };
+    match method {
         Method::Gup | Method::GupWith(_) | Method::GupReservationOnly(_) => {
             let (features, r) = match method {
                 Method::Gup => (PruningFeatures::ALL, Some(3)),
@@ -201,73 +218,68 @@ pub fn run_method(method: Method, query: &Graph, data: &Graph, config: &SuiteCon
             let gup_config = GupConfig {
                 features,
                 reservation_size_limit: r,
-                limits: SearchLimits {
-                    max_embeddings: Some(config.embedding_limit),
-                    time_limit: Some(config.per_query_timeout),
-                    ..SearchLimits::UNLIMITED
-                },
+                limits,
                 ..GupConfig::default()
             };
-            match GupMatcher::new(query, data, gup_config) {
-                Ok(matcher) => {
-                    // The harness only aggregates counts, so it streams through a
-                    // counting sink — nothing is materialized anywhere.
-                    let stats = matcher.run_with_sink(&mut CountOnly::new());
-                    RunRecord {
-                        embeddings: stats.embeddings,
-                        recursions: stats.recursions,
-                        futile_recursions: stats.futile_recursions,
-                        elapsed: Duration::ZERO,
-                        timed_out: stats.hit_time_limit,
-                    }
-                }
-                Err(_) => RunRecord::default(),
-            }
+            (Engine::Gup, gup_config)
         }
-        Method::Daf | Method::GqlG | Method::GqlR => {
-            let kind = match method {
-                Method::Daf => BaselineKind::DafFailingSet,
-                Method::GqlG => BaselineKind::GqlStyle,
-                Method::GqlR => BaselineKind::RiStyle,
-                _ => unreachable!(),
-            };
-            let limits = BaselineLimits {
-                max_embeddings: Some(config.embedding_limit),
-                time_limit: Some(config.per_query_timeout),
-            };
-            match BacktrackingBaseline::new(query, data, kind) {
-                Ok(matcher) => {
-                    let result = matcher.run(limits);
-                    RunRecord {
-                        embeddings: result.embeddings,
-                        recursions: result.recursions,
-                        futile_recursions: result.futile_recursions,
-                        elapsed: Duration::ZERO,
-                        timed_out: result.hit_time_limit,
-                    }
-                }
-                Err(_) => RunRecord::default(),
-            }
-        }
-        Method::RapidMatchLike => {
-            let limits = BaselineLimits {
-                max_embeddings: Some(config.embedding_limit),
-                time_limit: Some(config.per_query_timeout),
-            };
-            match JoinBaseline::new(query, data, OrderingStrategy::GqlStyle) {
-                Some(matcher) => {
-                    let result = matcher.run(limits);
-                    RunRecord {
-                        embeddings: result.embeddings,
-                        recursions: result.recursions,
-                        futile_recursions: result.futile_recursions,
-                        elapsed: Duration::ZERO,
-                        timed_out: result.hit_time_limit,
-                    }
-                }
-                None => RunRecord::default(),
-            }
-        }
+        Method::Daf => (
+            Engine::Daf,
+            GupConfig {
+                limits,
+                ..GupConfig::default()
+            },
+        ),
+        Method::GqlG => (
+            Engine::Gql,
+            GupConfig {
+                limits,
+                ..GupConfig::default()
+            },
+        ),
+        Method::GqlR => (
+            Engine::Ri,
+            GupConfig {
+                limits,
+                ..GupConfig::default()
+            },
+        ),
+        Method::RapidMatchLike => (
+            Engine::Join,
+            GupConfig {
+                limits,
+                ..GupConfig::default()
+            },
+        ),
+    }
+}
+
+/// Runs `method` on a single query through `session`'s shared prepared data, under
+/// the suite's per-query limits.
+pub fn run_method(
+    method: Method,
+    query: &Graph,
+    session: &Session,
+    config: &SuiteConfig,
+) -> RunRecord {
+    let start = Instant::now();
+    let (engine, gup_config) = method_request(method, config);
+    // The harness only aggregates counts, so it streams through a counting sink —
+    // nothing is materialized anywhere.
+    let record = match session
+        .query(query)
+        .method(engine)
+        .config(gup_config)
+        .run_with_sink(&mut CountOnly::new())
+    {
+        Ok(stats) => RunRecord {
+            embeddings: stats.embeddings,
+            recursions: stats.recursions,
+            futile_recursions: stats.futile_recursions,
+            elapsed: Duration::ZERO,
+            timed_out: stats.hit_time_limit,
+        },
+        Err(_) => RunRecord::default(),
     };
     RunRecord {
         elapsed: start.elapsed(),
@@ -275,12 +287,13 @@ pub fn run_method(method: Method, query: &Graph, data: &Graph, config: &SuiteCon
     }
 }
 
-/// Runs `method` over a whole query set, applying the paper-style per-set budget: when
-/// the accumulated time exceeds the budget the set is marked DNF and abandoned.
+/// Runs `method` over a whole query set against `session`'s shared prepared data,
+/// applying the paper-style per-set budget: when the accumulated time exceeds the
+/// budget the set is marked DNF and abandoned.
 pub fn run_query_set(
     method: Method,
     queries: &[Graph],
-    data: &Graph,
+    session: &Session,
     config: &SuiteConfig,
 ) -> SetSummary {
     let mut summary = SetSummary::default();
@@ -289,7 +302,7 @@ pub fn run_query_set(
             summary.dnf = true;
             break;
         }
-        let record = run_method(method, query, data, config);
+        let record = run_method(method, query, session, config);
         summary.queries += 1;
         summary.total_time += record.elapsed;
         summary.total_recursions += record.recursions;
@@ -330,9 +343,10 @@ mod tests {
     fn all_methods_agree_on_the_paper_example() {
         let (q, d) = fixtures::paper_example();
         let config = SuiteConfig::smoke();
+        let session = Session::new(d);
         let mut counts = Vec::new();
         for m in Method::HEADLINE {
-            let r = run_method(m, &q, &d, &config);
+            let r = run_method(m, &q, &session, &config);
             counts.push(r.embeddings);
             assert!(!r.timed_out);
         }
@@ -343,11 +357,11 @@ mod tests {
     #[test]
     fn query_set_runner_aggregates() {
         let config = SuiteConfig::smoke();
-        let data = config.data_graph(Dataset::Yeast);
+        let session = config.session(Dataset::Yeast);
         let spec = QuerySetSpec::PAPER_SETS[0]; // 8S
-        let queries = config.query_set(&data, spec);
+        let queries = config.query_set(session.data(), spec);
         assert!(!queries.is_empty());
-        let summary = run_query_set(Method::Gup, &queries, &data, &config);
+        let summary = run_query_set(Method::Gup, &queries, &session, &config);
         assert_eq!(summary.queries, queries.len());
         assert!(summary.total_recursions > 0);
         assert!(summary.average_ms() >= 0.0);
@@ -356,8 +370,8 @@ mod tests {
     #[test]
     fn empty_query_set_gives_empty_summary() {
         let config = SuiteConfig::smoke();
-        let data = config.data_graph(Dataset::Yeast);
-        let summary = run_query_set(Method::Gup, &[], &data, &config);
+        let session = config.session(Dataset::Yeast);
+        let summary = run_query_set(Method::Gup, &[], &session, &config);
         assert_eq!(summary.queries, 0);
         assert_eq!(summary.average_ms(), 0.0);
         assert!(!summary.dnf);

@@ -5,8 +5,19 @@
 //! * **NLF** (neighborhood label frequency filtering): additionally, for every label
 //!   `l`, `v` must have at least as many label-`l` neighbors as `u` does. The paper's
 //!   running example removes `v13` from `C(u0)` this way (§2.1).
+//!
+//! The NLF test comes in two flavors:
+//!
+//! * the **prepared** path ([`nlf_candidates_prepared`]) compares the query vertex's
+//!   sparse [`NlfProfile`] against the signature arena a [`PreparedData`] built once
+//!   for the data graph — no neighbor rescans, no per-candidate allocation, and a
+//!   per-label max-NLF bound that rejects unsatisfiable query vertices before any
+//!   candidate is scanned;
+//! * the **legacy** path ([`nlf_candidates`]) rescans data-side neighbor lists but
+//!   reuses one scratch buffer across all candidates of a query vertex (it used to
+//!   allocate a fresh `Vec` per candidate).
 
-use gup_graph::{Graph, VertexId};
+use gup_graph::{Graph, Label, PreparedData, VertexId};
 
 /// Computes the LDF candidate set of query vertex `u` (sorted by data-vertex id).
 pub fn ldf_candidates(query: &Graph, data: &Graph, u: VertexId) -> Vec<VertexId> {
@@ -23,23 +34,34 @@ pub fn ldf_candidates(query: &Graph, data: &Graph, u: VertexId) -> Vec<VertexId>
 /// for every label, `v` has at least as many neighbors with that label as `u`.
 pub fn nlf_filter(query: &Graph, data: &Graph, u: VertexId, v: VertexId) -> bool {
     // Query graphs are tiny, so recomputing the query profile per call would be cheap,
-    // but callers that filter many data vertices should use `nlf_candidates`.
+    // but callers that filter many data vertices should use `nlf_candidates` (or the
+    // prepared-path equivalents, which never rescan neighbors at all).
     let q_profile = query.neighborhood_label_frequency(u);
-    nlf_filter_with_profile(&q_profile, data, v)
+    let mut scratch = Vec::with_capacity(q_profile.len());
+    nlf_filter_with_scratch(&q_profile, data, v, &mut scratch)
 }
 
-fn nlf_filter_with_profile(q_profile: &[u32], data: &Graph, v: VertexId) -> bool {
-    // Count data-side neighbor labels lazily, bailing out as soon as a deficit is
-    // certain. For correctness we count fully then compare (labels are dense).
-    let mut remaining: Vec<u32> = q_profile.to_vec();
-    let mut deficit: usize = remaining.iter().map(|&c| c as usize).sum();
+/// The legacy NLF test against a dense query profile. `scratch` is a caller-owned
+/// buffer reused across candidates: after its first use it never reallocates, so
+/// filtering `n` candidates performs zero per-candidate heap allocation.
+fn nlf_filter_with_scratch(
+    q_profile: &[u32],
+    data: &Graph,
+    v: VertexId,
+    scratch: &mut Vec<u32>,
+) -> bool {
+    // Count data-side neighbor labels lazily, bailing out as soon as the query's
+    // requirements are all met (labels are dense).
+    let mut deficit: usize = q_profile.iter().map(|&c| c as usize).sum();
     if deficit == 0 {
         return true;
     }
+    scratch.clear();
+    scratch.extend_from_slice(q_profile);
     for &w in data.neighbors(v) {
         let l = data.label(w) as usize;
-        if l < remaining.len() && remaining[l] > 0 {
-            remaining[l] -= 1;
+        if l < scratch.len() && scratch[l] > 0 {
+            scratch[l] -= 1;
             deficit -= 1;
             if deficit == 0 {
                 return true;
@@ -52,9 +74,93 @@ fn nlf_filter_with_profile(q_profile: &[u32], data: &Graph, v: VertexId) -> bool
 /// Computes the LDF+NLF candidate set of query vertex `u` (sorted by data-vertex id).
 pub fn nlf_candidates(query: &Graph, data: &Graph, u: VertexId) -> Vec<VertexId> {
     let q_profile = query.neighborhood_label_frequency(u);
+    let mut scratch = Vec::with_capacity(q_profile.len());
     ldf_candidates(query, data, u)
         .into_iter()
-        .filter(|&v| nlf_filter_with_profile(&q_profile, data, v))
+        .filter(|&v| nlf_filter_with_scratch(&q_profile, data, v, &mut scratch))
+        .collect()
+}
+
+/// A query vertex's NLF requirements in sparse form: parallel label/count slices,
+/// labels sorted ascending and distinct. Built once per query vertex and compared
+/// against the data graph's precomputed signature arena — the prepared-path
+/// counterpart of the dense profile the legacy filter rescans neighbors for.
+#[derive(Clone, Debug, Default)]
+pub struct NlfProfile {
+    labels: Vec<Label>,
+    counts: Vec<u32>,
+}
+
+impl NlfProfile {
+    /// The sparse neighborhood-label-frequency profile of query vertex `u`.
+    pub fn of(query: &Graph, u: VertexId) -> Self {
+        let dense = query.neighborhood_label_frequency(u);
+        let mut labels = Vec::new();
+        let mut counts = Vec::new();
+        for (l, &c) in dense.iter().enumerate() {
+            if c > 0 {
+                labels.push(l as Label);
+                counts.push(c);
+            }
+        }
+        NlfProfile { labels, counts }
+    }
+
+    /// The required labels (sorted ascending, distinct).
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The required per-label neighbor counts, parallel to [`NlfProfile::labels`].
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// `true` when the query vertex has no neighbors, i.e. no NLF requirement.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// `true` when some requirement exceeds what *any* data vertex offers
+    /// (`PreparedData`'s per-label max-NLF bound): the candidate set is empty and no
+    /// per-candidate work is needed at all.
+    pub fn unsatisfiable_in(&self, prepared: &PreparedData) -> bool {
+        self.labels
+            .iter()
+            .zip(&self.counts)
+            .any(|(&l, &c)| c > prepared.max_nlf(l))
+    }
+}
+
+/// The NLF test on the prepared path: an allocation-free signature comparison
+/// between the query vertex's sparse profile and data vertex `v`'s precomputed
+/// signature.
+#[inline]
+pub fn nlf_filter_prepared(profile: &NlfProfile, prepared: &PreparedData, v: VertexId) -> bool {
+    prepared.signature_covers(v, &profile.labels, &profile.counts)
+}
+
+/// Computes the LDF+NLF candidate set of query vertex `u` against a prepared data
+/// graph (sorted by data-vertex id). Produces exactly the same set as
+/// [`nlf_candidates`] on the underlying graph, but compares precomputed signatures
+/// instead of rescanning neighbor lists, and short-circuits to empty when the
+/// max-NLF bound proves no candidate can exist.
+pub fn nlf_candidates_prepared(
+    query: &Graph,
+    prepared: &PreparedData,
+    u: VertexId,
+) -> Vec<VertexId> {
+    let profile = NlfProfile::of(query, u);
+    if profile.unsatisfiable_in(prepared) {
+        return Vec::new();
+    }
+    let data = prepared.graph();
+    if profile.is_empty() {
+        return ldf_candidates(query, data, u);
+    }
+    ldf_candidates(query, data, u)
+        .into_iter()
+        .filter(|&v| nlf_filter_prepared(&profile, prepared, v))
         .collect()
 }
 
@@ -145,5 +251,56 @@ mod tests {
         let data = graph_from_edges(&[0, 1], &[(0, 1)]);
         assert!(ldf_candidates(&query, &data, 0).is_empty());
         assert!(nlf_candidates(&query, &data, 0).is_empty());
+    }
+
+    #[test]
+    fn prepared_path_agrees_with_legacy_on_every_query_vertex() {
+        let (query, data) = figure1();
+        let prepared = gup_graph::PreparedData::from_graph(&data);
+        for u in query.vertices() {
+            assert_eq!(
+                nlf_candidates(&query, &data, u),
+                nlf_candidates_prepared(&query, &prepared, u),
+                "query vertex {u}"
+            );
+        }
+        // Individual filter agreement too.
+        for u in query.vertices() {
+            let profile = NlfProfile::of(&query, u);
+            for v in data.vertices() {
+                assert_eq!(
+                    nlf_filter(&query, &data, u, v),
+                    nlf_filter_prepared(&profile, &prepared, v),
+                    "u={u} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_max_nlf_bound_short_circuits() {
+        // u0 requires three label-1 neighbors, but no data vertex has more than two:
+        // the bound proves emptiness without scanning any candidate.
+        let query = graph_from_edges(&[0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]);
+        let data = graph_from_edges(&[0, 1, 1, 0, 1], &[(0, 1), (0, 2), (3, 4)]);
+        let prepared = gup_graph::PreparedData::from_graph(&data);
+        let profile = NlfProfile::of(&query, 0);
+        assert!(profile.unsatisfiable_in(&prepared));
+        assert!(nlf_candidates_prepared(&query, &prepared, 0).is_empty());
+        assert_eq!(
+            nlf_candidates(&query, &data, 0),
+            nlf_candidates_prepared(&query, &prepared, 0)
+        );
+    }
+
+    #[test]
+    fn nlf_profile_shape() {
+        let query = graph_from_edges(&[0, 1, 1, 2], &[(0, 1), (0, 2), (0, 3)]);
+        let p = NlfProfile::of(&query, 0);
+        assert_eq!(p.labels(), &[1, 2]);
+        assert_eq!(p.counts(), &[2, 1]);
+        assert!(!p.is_empty());
+        let isolated = graph_from_edges(&[4], &[]);
+        assert!(NlfProfile::of(&isolated, 0).is_empty());
     }
 }

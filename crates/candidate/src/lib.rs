@@ -34,5 +34,8 @@ pub mod filters;
 pub mod space;
 
 pub use dag::QueryDag;
-pub use filters::{ldf_candidates, nlf_candidates, nlf_filter};
+pub use filters::{
+    ldf_candidates, nlf_candidates, nlf_candidates_prepared, nlf_filter, nlf_filter_prepared,
+    NlfProfile,
+};
 pub use space::{CandidateSpace, FilterConfig};

@@ -13,8 +13,8 @@
 //!    hot loop.
 
 use crate::dag::QueryDag;
-use crate::filters::nlf_candidates;
-use gup_graph::{Graph, VertexId};
+use crate::filters::{nlf_candidates, nlf_candidates_prepared};
+use gup_graph::{Graph, PreparedData, VertexId};
 
 /// Configuration of the candidate-space construction.
 #[derive(Clone, Debug)]
@@ -62,10 +62,15 @@ pub struct CandidateSpace {
 
 impl CandidateSpace {
     /// Builds the candidate space for `query` against `data`.
+    ///
+    /// The per-vertex filters rescan data-side neighbor lists (with one reused
+    /// scratch buffer); batched workloads should prepare the data graph once and use
+    /// [`CandidateSpace::build_prepared`], whose NLF pass is a signature comparison
+    /// against the precomputed arena. Both constructors produce identical spaces.
     pub fn build(query: &Graph, data: &Graph, config: &FilterConfig) -> Self {
         let n = query.vertex_count();
-        // Step 1: per-vertex filters.
-        let mut candidates: Vec<Vec<VertexId>> = (0..n as VertexId)
+        // Step 1: per-vertex filters (legacy neighbor-rescan path).
+        let candidates: Vec<Vec<VertexId>> = (0..n as VertexId)
             .map(|u| {
                 if config.use_nlf {
                     nlf_candidates(query, data, u)
@@ -74,7 +79,38 @@ impl CandidateSpace {
                 }
             })
             .collect();
+        Self::finish(query, data, config, candidates)
+    }
 
+    /// Builds the candidate space for `query` against a prepared data graph: the
+    /// initial NLF pass compares precomputed signatures instead of rescanning
+    /// neighbor lists (and rejects unsatisfiable query vertices via the max-NLF
+    /// bound); refinement and candidate-edge materialization are shared with
+    /// [`CandidateSpace::build`].
+    pub fn build_prepared(query: &Graph, prepared: &PreparedData, config: &FilterConfig) -> Self {
+        let n = query.vertex_count();
+        let data = prepared.graph();
+        let candidates: Vec<Vec<VertexId>> = (0..n as VertexId)
+            .map(|u| {
+                if config.use_nlf {
+                    nlf_candidates_prepared(query, prepared, u)
+                } else {
+                    crate::filters::ldf_candidates(query, data, u)
+                }
+            })
+            .collect();
+        Self::finish(query, data, config, candidates)
+    }
+
+    /// Steps 2 and 3, shared by both constructors: DAG-graph-DP refinement of the
+    /// initial candidate sets, then candidate-edge materialization.
+    fn finish(
+        query: &Graph,
+        data: &Graph,
+        config: &FilterConfig,
+        mut candidates: Vec<Vec<VertexId>>,
+    ) -> Self {
+        let n = query.vertex_count();
         // Step 2: DAG-graph-DP refinement.
         if n > 1 && config.refinement_passes > 0 {
             let sizes: Vec<usize> = candidates.iter().map(Vec::len).collect();
@@ -540,6 +576,31 @@ mod tests {
         // total counts unchanged
         assert_eq!(p.total_candidates(), cs.total_candidates());
         assert_eq!(p.total_candidate_edges(), cs.total_candidate_edges());
+    }
+
+    #[test]
+    fn build_prepared_equals_build() {
+        let cases = [
+            (triangle_query(), square_data()),
+            gup_graph::fixtures::paper_example(),
+        ];
+        for (q, d) in &cases {
+            let prepared = gup_graph::PreparedData::from_graph(d);
+            for use_nlf in [false, true] {
+                for passes in [0, 3] {
+                    let cfg = FilterConfig {
+                        use_nlf,
+                        refinement_passes: passes,
+                    };
+                    let a = CandidateSpace::build(q, d, &cfg);
+                    let b = CandidateSpace::build_prepared(q, &prepared, &cfg);
+                    for u in 0..a.query_vertex_count() {
+                        assert_eq!(a.candidates(u), b.candidates(u), "nlf={use_nlf} u={u}");
+                    }
+                    assert_eq!(a.total_candidate_edges(), b.total_candidate_edges());
+                }
+            }
+        }
     }
 
     #[test]

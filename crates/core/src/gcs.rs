@@ -17,7 +17,7 @@ use crate::reservation::{generate_reservation_guards, reservation_heap_bytes};
 use crate::stats::MemoryReport;
 use gup_candidate::CandidateSpace;
 use gup_graph::query::{OrderedQuery, QueryGraphError};
-use gup_graph::{Graph, QueryGraph, VertexId};
+use gup_graph::{Graph, PreparedData, QueryGraph, VertexId};
 
 /// Errors produced while building a GCS.
 #[derive(Debug)]
@@ -52,12 +52,48 @@ pub struct Gcs {
 }
 
 impl Gcs {
-    /// Builds the GCS for `query` against `data` under `config`:
-    /// candidate filtering, matching-order optimization, re-indexing of the candidate
-    /// space into the order, and reservation-guard generation.
+    /// Builds the GCS for `query` against `data` under `config`. Legacy one-shot
+    /// adapter: shares every step with [`Gcs::build_prepared`] except the initial
+    /// filter pass, which runs the borrow-based scratch-buffer variant so that a
+    /// single query never pays a data-graph clone or index build. Batched callers
+    /// should prepare once ([`PreparedData`]) and share it across queries; both
+    /// paths produce identical spaces (pinned by `tests/session.rs`).
     pub fn build(query: &Graph, data: &Graph, config: &GupConfig) -> Result<Self, GupError> {
         let validated = QueryGraph::new(query.clone())?;
         let space = CandidateSpace::build(query, data, &config.filter);
+        Self::assemble(query, validated, data.vertex_count(), space, config)
+    }
+
+    /// Builds the GCS for `query` against a prepared data graph under `config`:
+    /// candidate filtering (against the precomputed signature arena), matching-order
+    /// optimization, re-indexing of the candidate space into the order, and
+    /// reservation-guard generation.
+    pub fn build_prepared(
+        query: &Graph,
+        prepared: &PreparedData,
+        config: &GupConfig,
+    ) -> Result<Self, GupError> {
+        let validated = QueryGraph::new(query.clone())?;
+        let space = CandidateSpace::build_prepared(query, prepared, &config.filter);
+        Self::assemble(
+            query,
+            validated,
+            prepared.graph().vertex_count(),
+            space,
+            config,
+        )
+    }
+
+    /// Everything after query validation and the initial candidate filter, shared by
+    /// both constructors: matching-order optimization, re-indexing into the order,
+    /// and reservation-guard generation.
+    fn assemble(
+        query: &Graph,
+        validated: QueryGraph,
+        data_vertex_count: usize,
+        space: CandidateSpace,
+        config: &GupConfig,
+    ) -> Result<Self, GupError> {
         let order = gup_order::compute_order(query, &space.candidate_sizes(), config.ordering);
         let ordered = validated
             .with_order(&order)
@@ -67,7 +103,7 @@ impl Gcs {
             generate_reservation_guards(
                 &ordered,
                 &space,
-                data.vertex_count(),
+                data_vertex_count,
                 config.reservation_size_limit,
             )
         } else {
@@ -87,7 +123,7 @@ impl Gcs {
             query: ordered,
             space,
             reservations,
-            data_vertex_count: data.vertex_count(),
+            data_vertex_count,
         })
     }
 
@@ -160,6 +196,9 @@ impl Gcs {
             reservation_bytes: reservation_heap_bytes(&self.reservations),
             nogood_vertex_bytes: vertex_guards.map_or(0, VertexGuardStore::heap_bytes),
             nogood_edge_bytes: edge_guards.map_or(0, EdgeGuardStore::heap_bytes),
+            // The GCS does not retain the session-level prepared index; the matcher
+            // (which knows its size) fills this in.
+            prepared_index_bytes: 0,
         }
     }
 

@@ -25,25 +25,33 @@
 //!
 //! ## Quick start
 //!
+//! The front door is the prepared-data session model ([`session`]): the data graph
+//! is indexed **once** and every query — through any engine family — reuses that
+//! index. One-shot helpers remain as thin adapters.
+//!
 //! ```
-//! use gup::{find_embeddings, GupConfig, GupMatcher};
+//! use gup::session::{Engine, Session};
+//! use gup::{find_embeddings, GupConfig};
 //! use gup_graph::fixtures::paper_example;
 //!
 //! // The running example of the paper (Fig. 1).
 //! let (query, data) = paper_example();
 //!
-//! // One-shot: enumerate every embedding.
+//! // Prepare once, query many times (batched, concurrent, any engine).
+//! let session = Session::new(data.clone());
+//! let n = session.query(&query).unlimited().count().unwrap();
+//! assert_eq!(n, 4);
+//! let outcome = session
+//!     .query(&query)
+//!     .method(Engine::Daf)
+//!     .first_k(2)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(outcome.embeddings.len(), 2);
+//!
+//! // One-shot adapter: same machinery, no per-call clone or index build.
 //! let result = find_embeddings(&query, &data).unwrap();
 //! assert!(result.embedding_count() >= 1);
-//!
-//! // Reusable matcher with a custom configuration.
-//! let matcher = GupMatcher::new(&query, &data, GupConfig::default()).unwrap();
-//! let counted = matcher.run();
-//! println!(
-//!     "{} embeddings in {} recursions",
-//!     counted.embedding_count(),
-//!     counted.stats.recursions
-//! );
 //! ```
 
 pub mod config;
@@ -53,6 +61,7 @@ pub mod matcher;
 pub mod parallel;
 pub mod reservation;
 pub mod search;
+pub mod session;
 pub mod stats;
 
 /// Streaming output sinks shared by every engine in the workspace (re-exported from
@@ -64,8 +73,12 @@ pub use gup_graph::sink;
 pub use config::{GupConfig, ParallelConfig, PruningFeatures, SearchLimits};
 pub use gcs::{Gcs, GupError};
 pub use guards::{NogoodRef, ReservationGuard};
+pub use gup_graph::PreparedData;
 pub use matcher::{count_embeddings, find_embeddings, GupMatcher, MatchResult};
 pub use search::{SearchEngine, SearchOutcome, SearchTask, SplitHandle};
+pub use session::{
+    BatchReport, BatchRequest, Engine, QueryOutcome, QueryRequest, Session, SessionError,
+};
 pub use sink::{
     CallbackSink, CollectAll, CountOnly, EmbeddingReservation, EmbeddingSink, FirstK, SinkControl,
 };

@@ -9,7 +9,7 @@ use crate::gcs::{Gcs, GupError};
 use crate::search::{SearchEngine, SearchOutcome};
 use crate::stats::{MemoryReport, SearchStats};
 use gup_graph::sink::{CountOnly, EmbeddingSink, SinkControl};
-use gup_graph::{Graph, VertexId};
+use gup_graph::{Graph, PreparedData, VertexId};
 
 /// Result of a matching run.
 #[derive(Clone, Debug, Default)]
@@ -33,14 +33,41 @@ impl MatchResult {
 pub struct GupMatcher {
     gcs: Gcs,
     config: GupConfig,
+    /// Size of the shared prepared index this matcher was built against, surfaced in
+    /// the memory report (paid once per session, not per query).
+    prepared_index_bytes: usize,
 }
 
 impl GupMatcher {
     /// Builds the matcher (GCS construction + reservation-guard generation) for
-    /// `query` against `data`.
+    /// `query` against `data`. Legacy one-shot adapter: borrows `data` directly (no
+    /// clone, no index build — the filter pass rescans neighbors with a reused
+    /// scratch buffer) and shares everything downstream with
+    /// [`GupMatcher::with_prepared`]. Batched workloads should prepare once — see
+    /// [`crate::session`].
     pub fn new(query: &Graph, data: &Graph, config: GupConfig) -> Result<Self, GupError> {
         let gcs = Gcs::build(query, data, &config)?;
-        Ok(GupMatcher { gcs, config })
+        Ok(GupMatcher {
+            gcs,
+            config,
+            prepared_index_bytes: 0,
+        })
+    }
+
+    /// Builds the matcher for `query` against a prepared data graph: candidate
+    /// filtering runs against the precomputed signature arena, and nothing
+    /// per-data-graph is rebuilt.
+    pub fn with_prepared(
+        query: &Graph,
+        prepared: &PreparedData,
+        config: GupConfig,
+    ) -> Result<Self, GupError> {
+        let gcs = Gcs::build_prepared(query, prepared, &config)?;
+        Ok(GupMatcher {
+            gcs,
+            config,
+            prepared_index_bytes: prepared.index_bytes(),
+        })
     }
 
     /// The underlying guarded candidate space.
@@ -117,7 +144,8 @@ impl GupMatcher {
     /// nogood guards accumulated during the search (Table 3 of the paper).
     pub fn run_with_memory_report(&self) -> (MatchResult, MemoryReport) {
         let (outcome, nv, ne) = SearchEngine::new(&self.gcs, &self.config).run_with_guards();
-        let report = self.gcs.memory_report(Some(&nv), Some(&ne));
+        let mut report = self.gcs.memory_report(Some(&nv), Some(&ne));
+        report.prepared_index_bytes = self.prepared_index_bytes;
         (self.finish_result(outcome), report)
     }
 

@@ -1,0 +1,785 @@
+//! Prepared-data sessions: build per-data-graph state once, run many queries.
+//!
+//! The paper evaluates on *query sets* — hundreds of queries against one data graph
+//! (§4.1) — and a serving deployment looks the same: the data graph is long-lived,
+//! queries arrive in batches and from many threads. This module is the front door for
+//! that shape:
+//!
+//! * [`Session`] owns an [`Arc<PreparedData>`](PreparedData) — the data graph plus
+//!   its label inverted index, the NLF signature arena, and degree/label bounds,
+//!   built **once** — and hands out query requests that reuse it. Sessions are cheap
+//!   to clone and [`Session::from_prepared`] lets many threads share one index.
+//! * [`QueryRequest`] is a builder over one query: pick the engine
+//!   ([`Engine`] covers GuP sequential/parallel, the three backtracking baselines,
+//!   the join baseline, and the brute-force oracle), set limits, then [`run`],
+//!   [`count`], or stream into any [`EmbeddingSink`] via [`run_with_sink`].
+//! * [`Session::run_batch`] executes a whole query set under one shared deadline
+//!   with per-query stats and amortized preparation time in its [`BatchReport`].
+//!
+//! Every engine family runs against the same shared `PreparedData`; the legacy
+//! `(query, data)` constructors elsewhere in the workspace are thin adapters that
+//! share everything downstream of the initial filter pass (which they run against
+//! the borrowed graph, so one-shot callers never pay a clone or an index build).
+//!
+//! [`run`]: QueryRequest::run
+//! [`count`]: QueryRequest::count
+//! [`run_with_sink`]: QueryRequest::run_with_sink
+//!
+//! ```
+//! use gup::session::{Engine, Session};
+//! use gup_graph::fixtures::paper_example;
+//!
+//! let (query, data) = paper_example();
+//! let session = Session::new(data); // prepare once
+//!
+//! // Default engine (GuP), builder-style knobs.
+//! let n = session.query(&query).unlimited().count().unwrap();
+//! assert_eq!(n, 4);
+//!
+//! // The same query through another engine, first two matches only.
+//! let outcome = session
+//!     .query(&query)
+//!     .method(Engine::Daf)
+//!     .first_k(2)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(outcome.embeddings.len(), 2);
+//!
+//! // A query set through one shared index: prep time is reported once.
+//! let report = session.run_batch(&[query.clone(), query]);
+//! assert_eq!(report.total_embeddings(), 8);
+//! ```
+
+use crate::config::GupConfig;
+use crate::gcs::GupError;
+use crate::matcher::GupMatcher;
+use crate::stats::SearchStats;
+use gup_baselines::{
+    brute_force, BacktrackingBaseline, BaselineError, BaselineKind, BaselineLimits, BaselineResult,
+    JoinBaseline,
+};
+use gup_graph::query::QueryGraphError;
+use gup_graph::sink::{min_limit, CollectAll, CountOnly, EmbeddingSink, FirstK, SinkControl};
+use gup_graph::{Graph, PreparedData, QueryGraph, VertexId};
+use gup_order::OrderingStrategy;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The engine families a session can dispatch a query to. All of them run against
+/// the session's shared [`PreparedData`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// GuP with guard-based pruning (the configuration's [`PruningFeatures`] decide
+    /// which guards; `threads > 1` selects the work-stealing parallel driver).
+    ///
+    /// [`PruningFeatures`]: crate::PruningFeatures
+    Gup,
+    /// Plain candidate-space backtracking (no guards, VC-style order).
+    Plain,
+    /// DAF-style failing-set backtracking.
+    Daf,
+    /// GraphQL-style filtering + ordering.
+    Gql,
+    /// RI-style ordering.
+    Ri,
+    /// Edge-at-a-time join enumeration (RapidMatch stand-in).
+    Join,
+    /// The brute-force oracle (small instances only; time limits and the batch
+    /// deadline are enforced only between reported embeddings).
+    BruteForce,
+}
+
+impl Engine {
+    /// Every engine family, for sweeps and differential tests.
+    pub const ALL: [Engine; 7] = [
+        Engine::Gup,
+        Engine::Plain,
+        Engine::Daf,
+        Engine::Gql,
+        Engine::Ri,
+        Engine::Join,
+        Engine::BruteForce,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Gup => "GuP",
+            Engine::Plain => "Plain-BT",
+            Engine::Daf => "DAF-FS",
+            Engine::Gql => "GQL-G",
+            Engine::Ri => "GQL-R",
+            Engine::Join => "RM-join",
+            Engine::BruteForce => "BruteForce",
+        }
+    }
+
+    fn baseline_kind(self) -> Option<BaselineKind> {
+        match self {
+            Engine::Plain => Some(BaselineKind::Plain),
+            Engine::Daf => Some(BaselineKind::DafFailingSet),
+            Engine::Gql => Some(BaselineKind::GqlStyle),
+            Engine::Ri => Some(BaselineKind::RiStyle),
+            _ => None,
+        }
+    }
+}
+
+/// Errors produced when a session cannot run a query.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The query graph is unusable (empty, disconnected, or too large).
+    InvalidQuery(QueryGraphError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::InvalidQuery(e) => write!(f, "invalid query graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<GupError> for SessionError {
+    fn from(e: GupError) -> Self {
+        match e {
+            GupError::InvalidQuery(q) => SessionError::InvalidQuery(q),
+        }
+    }
+}
+
+impl From<BaselineError> for SessionError {
+    fn from(e: BaselineError) -> Self {
+        match e {
+            BaselineError::InvalidQuery(q) => SessionError::InvalidQuery(q),
+        }
+    }
+}
+
+/// A prepared-data session: one shared, immutable data-graph index plus default
+/// query configuration. See the [module docs](self) for the workflow.
+#[derive(Clone)]
+pub struct Session {
+    prepared: Arc<PreparedData>,
+    defaults: GupConfig,
+}
+
+impl Session {
+    /// Prepares `data` (one pass building the signature arena and statistics) and
+    /// opens a session over it with the default [`GupConfig`].
+    pub fn new(data: Graph) -> Self {
+        Session::from_prepared(Arc::new(PreparedData::new(data)))
+    }
+
+    /// Opens a session over an already-prepared index. This is how multiple threads
+    /// (or multiple sessions with different defaults) share one `PreparedData`.
+    pub fn from_prepared(prepared: Arc<PreparedData>) -> Self {
+        Session {
+            prepared,
+            defaults: GupConfig::default(),
+        }
+    }
+
+    /// Replaces the session's default configuration (each request clones it and may
+    /// override knobs per query).
+    pub fn with_defaults(mut self, defaults: GupConfig) -> Self {
+        self.defaults = defaults;
+        self
+    }
+
+    /// The shared prepared index.
+    pub fn prepared(&self) -> &Arc<PreparedData> {
+        &self.prepared
+    }
+
+    /// The underlying data graph.
+    pub fn data(&self) -> &Graph {
+        self.prepared.graph()
+    }
+
+    /// Time spent preparing the index (paid once per session).
+    pub fn prep_time(&self) -> Duration {
+        self.prepared.prep_time()
+    }
+
+    /// Starts a request for one query against this session's prepared data.
+    pub fn query<'s, 'q>(&'s self, query: &'q Graph) -> QueryRequest<'s, 'q> {
+        QueryRequest {
+            session: self,
+            query,
+            engine: Engine::Gup,
+            config: self.defaults.clone(),
+            threads: 1,
+            first_k: None,
+        }
+    }
+
+    /// Starts a batch request (one configuration applied to a whole query set).
+    pub fn batch(&self) -> BatchRequest<'_> {
+        BatchRequest {
+            session: self,
+            engine: Engine::Gup,
+            config: self.defaults.clone(),
+            threads: 1,
+        }
+    }
+
+    /// Runs a query set under the session defaults: every query through the shared
+    /// prepared index, one shared deadline (when a time limit is configured),
+    /// per-query stats and timing. Equivalent to `self.batch().run(queries)`.
+    pub fn run_batch(&self, queries: &[Graph]) -> BatchReport {
+        self.batch().run(queries)
+    }
+}
+
+/// Result of [`QueryRequest::run`]: materialized embeddings (over original
+/// query-vertex ids) plus the search counters.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOutcome {
+    /// The embeddings retained by the request's sink (`first_k` keeps at most `k`).
+    pub embeddings: Vec<Vec<VertexId>>,
+    /// Unified search counters (baseline engines fill the subset they track).
+    pub stats: SearchStats,
+}
+
+impl QueryOutcome {
+    /// Number of embeddings found (whether or not they were materialized).
+    pub fn embedding_count(&self) -> u64 {
+        self.stats.embeddings
+    }
+}
+
+/// Builder for one query against a [`Session`]. Obtained from [`Session::query`];
+/// finished with [`QueryRequest::run`], [`QueryRequest::count`], or
+/// [`QueryRequest::run_with_sink`].
+pub struct QueryRequest<'s, 'q> {
+    session: &'s Session,
+    query: &'q Graph,
+    engine: Engine,
+    config: GupConfig,
+    threads: usize,
+    first_k: Option<u64>,
+}
+
+impl<'s, 'q> QueryRequest<'s, 'q> {
+    /// Selects the engine family (default: [`Engine::Gup`]).
+    pub fn method(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Number of worker threads for [`Engine::Gup`] (the work-stealing driver;
+    /// other engines are sequential and ignore this). Default: 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Stops the search after `n` embeddings.
+    pub fn limit(mut self, n: u64) -> Self {
+        self.config.limits.max_embeddings = Some(n);
+        self
+    }
+
+    /// Removes the embedding and time limits.
+    pub fn unlimited(mut self) -> Self {
+        self.config.limits = crate::config::SearchLimits::UNLIMITED;
+        self
+    }
+
+    /// Per-query wall-clock limit.
+    pub fn timeout(mut self, limit: Duration) -> Self {
+        self.config.limits.time_limit = Some(limit);
+        self
+    }
+
+    /// Retain only the first `k` embeddings; the search stops at the `k`-th match
+    /// ([`QueryRequest::run`] uses a [`FirstK`] sink, the other finishers fold `k`
+    /// into the embedding limit).
+    pub fn first_k(mut self, k: u64) -> Self {
+        self.first_k = Some(k);
+        self
+    }
+
+    /// Selects the pruning features for [`Engine::Gup`] (ablation-style toggles).
+    pub fn features(mut self, features: crate::config::PruningFeatures) -> Self {
+        self.config.features = features;
+        self
+    }
+
+    /// Replaces the whole configuration for this request.
+    pub fn config(mut self, config: GupConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the query, materializing embeddings (all of them, or the first `k` when
+    /// [`QueryRequest::first_k`] was set) over original query-vertex ids.
+    pub fn run(self) -> Result<QueryOutcome, SessionError> {
+        if let Some(k) = self.first_k {
+            let mut sink = FirstK::new(k);
+            let stats = self.run_with_sink(&mut sink)?;
+            Ok(QueryOutcome {
+                embeddings: sink.into_embeddings(),
+                stats,
+            })
+        } else {
+            let mut sink = CollectAll::new();
+            let stats = self.run_with_sink(&mut sink)?;
+            Ok(QueryOutcome {
+                embeddings: sink.into_embeddings(),
+                stats,
+            })
+        }
+    }
+
+    /// Counts embeddings without materializing any (the cheapest finisher).
+    pub fn count(self) -> Result<u64, SessionError> {
+        let mut sink = CountOnly::new();
+        self.run_with_sink(&mut sink)?;
+        Ok(sink.count())
+    }
+
+    /// Runs the query, streaming every embedding into `sink` over original
+    /// query-vertex ids — the same [`EmbeddingSink`] protocol every engine speaks.
+    /// Returns the unified [`SearchStats`].
+    pub fn run_with_sink(
+        mut self,
+        sink: &mut dyn EmbeddingSink,
+    ) -> Result<SearchStats, SessionError> {
+        if let Some(k) = self.first_k {
+            self.config.limits.max_embeddings =
+                min_limit(self.config.limits.max_embeddings, Some(k));
+        }
+        dispatch(
+            self.session,
+            self.query,
+            self.engine,
+            self.config,
+            self.threads,
+            sink,
+        )
+    }
+}
+
+/// Routes one query to its engine family, all against the session's shared
+/// [`PreparedData`].
+fn dispatch(
+    session: &Session,
+    query: &Graph,
+    engine: Engine,
+    config: GupConfig,
+    threads: usize,
+    sink: &mut dyn EmbeddingSink,
+) -> Result<SearchStats, SessionError> {
+    let prepared: &PreparedData = &session.prepared;
+    match engine {
+        Engine::Gup => {
+            let matcher = GupMatcher::with_prepared(query, prepared, config)?;
+            Ok(if threads > 1 {
+                matcher.run_parallel_with_sink(threads, sink)
+            } else {
+                matcher.run_with_sink(sink)
+            })
+        }
+        Engine::Plain | Engine::Daf | Engine::Gql | Engine::Ri => {
+            let kind = engine
+                .baseline_kind()
+                .expect("baseline engines have a kind");
+            let matcher = BacktrackingBaseline::with_prepared(query, prepared, kind)?;
+            let result = matcher.run_with_sink(baseline_limits(&config), sink);
+            Ok(stats_from_baseline(&result))
+        }
+        Engine::Join => {
+            let matcher = JoinBaseline::with_prepared(query, prepared, OrderingStrategy::GqlStyle)?;
+            let result = matcher.run_with_sink(baseline_limits(&config), sink);
+            Ok(stats_from_baseline(&result))
+        }
+        Engine::BruteForce => {
+            // Validate up front so the oracle rejects exactly the queries every
+            // other engine rejects (it could otherwise enumerate disconnected ones).
+            QueryGraph::new(query.clone()).map_err(SessionError::InvalidQuery)?;
+            let configured_limit = config.limits.max_embeddings;
+            let capacity = sink.capacity();
+            let mut limited = LimitSink {
+                inner: sink,
+                reported: 0,
+                max: min_limit(configured_limit, capacity),
+                deadline: config.limits.effective_deadline(),
+                hit_limit: false,
+                hit_deadline: false,
+                inner_stopped: false,
+            };
+            brute_force::enumerate_with_sink_prepared(query, prepared, &mut limited);
+            let mut stats = SearchStats {
+                embeddings: limited.reported,
+                hit_embedding_limit: limited.hit_limit,
+                hit_time_limit: limited.hit_deadline,
+                stopped_by_sink: limited.inner_stopped,
+                ..SearchStats::default()
+            };
+            stats.attribute_capacity_stop(configured_limit, capacity);
+            Ok(stats)
+        }
+    }
+}
+
+/// Translates the session's limits into the baseline engines' record. A hoisted
+/// shared deadline (batch mode) becomes the remaining wall-clock budget.
+fn baseline_limits(config: &GupConfig) -> BaselineLimits {
+    let time_limit = match config.limits.deadline {
+        Some(deadline) => Some(deadline.saturating_duration_since(Instant::now())),
+        None => config.limits.time_limit,
+    };
+    BaselineLimits {
+        max_embeddings: config.limits.max_embeddings,
+        time_limit,
+    }
+}
+
+/// Lifts a [`BaselineResult`] into the unified [`SearchStats`] record (the counters
+/// the baselines do not track stay zero).
+fn stats_from_baseline(result: &BaselineResult) -> SearchStats {
+    SearchStats {
+        embeddings: result.embeddings,
+        recursions: result.recursions,
+        futile_recursions: result.futile_recursions,
+        hit_embedding_limit: result.hit_embedding_limit,
+        hit_time_limit: result.hit_time_limit,
+        stopped_by_sink: result.stopped_by_sink,
+        ..SearchStats::default()
+    }
+}
+
+/// Enforces an embedding limit and a wall-clock deadline around a sink for engines
+/// that do not implement them themselves (the brute-force oracle). The deadline is
+/// only observable **between reported embeddings** — a stretch of search that finds
+/// nothing cannot be interrupted, which is acceptable for the oracle's
+/// small-instances-only contract.
+struct LimitSink<'a> {
+    inner: &'a mut dyn EmbeddingSink,
+    reported: u64,
+    max: Option<u64>,
+    deadline: Option<Instant>,
+    hit_limit: bool,
+    hit_deadline: bool,
+    inner_stopped: bool,
+}
+
+impl EmbeddingSink for LimitSink<'_> {
+    fn report(&mut self, embedding: &[VertexId]) -> SinkControl {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.hit_deadline = true;
+                return SinkControl::Stop;
+            }
+        }
+        if let Some(max) = self.max {
+            if self.reported >= max {
+                self.hit_limit = true;
+                return SinkControl::Stop;
+            }
+        }
+        self.reported += 1;
+        if self.inner.report(embedding) == SinkControl::Stop {
+            self.inner_stopped = true;
+            return SinkControl::Stop;
+        }
+        if self.max.is_some_and(|max| self.reported >= max) {
+            self.hit_limit = true;
+            return SinkControl::Stop;
+        }
+        SinkControl::Continue
+    }
+
+    fn wants_embeddings(&self) -> bool {
+        self.inner.wants_embeddings()
+    }
+}
+
+/// Builder for a batch run: one engine + configuration applied to a whole query
+/// set. Obtained from [`Session::batch`].
+pub struct BatchRequest<'s> {
+    session: &'s Session,
+    engine: Engine,
+    config: GupConfig,
+    threads: usize,
+}
+
+impl<'s> BatchRequest<'s> {
+    /// Selects the engine family (default: [`Engine::Gup`]).
+    pub fn method(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Number of worker threads for [`Engine::Gup`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Per-query embedding cap.
+    pub fn limit(mut self, n: u64) -> Self {
+        self.config.limits.max_embeddings = Some(n);
+        self
+    }
+
+    /// Removes the embedding and time limits.
+    pub fn unlimited(mut self) -> Self {
+        self.config.limits = crate::config::SearchLimits::UNLIMITED;
+        self
+    }
+
+    /// Wall-clock budget for the **whole batch**: hoisted into one absolute
+    /// deadline shared by every query (and every parallel worker).
+    pub fn timeout(mut self, limit: Duration) -> Self {
+        self.config.limits.time_limit = Some(limit);
+        self
+    }
+
+    /// Pruning features for [`Engine::Gup`].
+    pub fn features(mut self, features: crate::config::PruningFeatures) -> Self {
+        self.config.features = features;
+        self
+    }
+
+    /// Runs the whole query set through the shared prepared index, counting each
+    /// query's embeddings through one reused counting sink. Invalid queries are
+    /// reported per entry instead of aborting the batch.
+    pub fn run(&self, queries: &[Graph]) -> BatchReport {
+        let mut config = self.config.clone();
+        // One shared deadline: the batch's time budget starts now and is observed by
+        // every query (and inherited by the baselines as remaining wall-clock time).
+        config.limits.deadline = config.limits.effective_deadline();
+        let prep_time = self.session.prep_time();
+        let prep_amortized = if queries.is_empty() {
+            Duration::ZERO
+        } else {
+            prep_time / queries.len() as u32
+        };
+        let batch_start = Instant::now();
+        let mut sink = CountOnly::new();
+        let mut reports = Vec::with_capacity(queries.len());
+        for (index, query) in queries.iter().enumerate() {
+            let start = Instant::now();
+            let result = dispatch(
+                self.session,
+                query,
+                self.engine,
+                config.clone(),
+                self.threads,
+                &mut sink,
+            );
+            reports.push(QueryReport {
+                index,
+                result,
+                elapsed: start.elapsed(),
+                prep_amortized,
+            });
+        }
+        BatchReport {
+            prep_time,
+            prepared_index_bytes: self.session.prepared.index_bytes(),
+            total_elapsed: batch_start.elapsed(),
+            queries: reports,
+        }
+    }
+}
+
+/// Per-query entry of a [`BatchReport`].
+#[derive(Debug)]
+pub struct QueryReport {
+    /// Position of the query in the batch.
+    pub index: usize,
+    /// The query's unified stats, or why it could not run.
+    pub result: Result<SearchStats, SessionError>,
+    /// Wall-clock time of this query alone (preparation excluded — that is the
+    /// point of the session model).
+    pub elapsed: Duration,
+    /// The session's one-time preparation cost divided by the batch size: add it to
+    /// `elapsed` to compare against a cold `(query, data)` run honestly.
+    pub prep_amortized: Duration,
+}
+
+impl QueryReport {
+    /// Embeddings found (0 for failed queries).
+    pub fn embeddings(&self) -> u64 {
+        self.result.as_ref().map_or(0, |s| s.embeddings)
+    }
+}
+
+/// Result of a batch run: per-query reports plus the once-per-session costs.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Time the session spent preparing the shared index (paid once, **not** per
+    /// query; also available as [`Session::prep_time`]).
+    pub prep_time: Duration,
+    /// Heap bytes of the shared prepared index.
+    pub prepared_index_bytes: usize,
+    /// Wall-clock time of the whole batch (preparation excluded).
+    pub total_elapsed: Duration,
+    /// One report per query, in input order.
+    pub queries: Vec<QueryReport>,
+}
+
+impl BatchReport {
+    /// Total embeddings found across the batch.
+    pub fn total_embeddings(&self) -> u64 {
+        self.queries.iter().map(QueryReport::embeddings).sum()
+    }
+
+    /// Number of queries that ran without error.
+    pub fn succeeded(&self) -> usize {
+        self.queries.iter().filter(|q| q.result.is_ok()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PruningFeatures;
+    use gup_graph::fixtures;
+
+    #[test]
+    fn every_engine_agrees_on_the_paper_example() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data);
+        for engine in Engine::ALL {
+            let n = session.query(&query).method(engine).unlimited().count();
+            assert_eq!(n.unwrap(), 4, "engine {}", engine.name());
+        }
+    }
+
+    #[test]
+    fn builder_knobs_compose() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data);
+        let outcome = session
+            .query(&query)
+            .features(PruningFeatures::NONE)
+            .threads(2)
+            .limit(3)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.embedding_count(), 3);
+        assert_eq!(outcome.embeddings.len(), 3);
+        let first = session.query(&query).first_k(2).run().unwrap();
+        assert_eq!(first.embeddings.len(), 2);
+        assert!(first.stats.terminated_early());
+    }
+
+    #[test]
+    fn invalid_queries_error_uniformly() {
+        let (_q, data) = fixtures::paper_example();
+        let disconnected = gup_graph::builder::graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        let session = Session::new(data);
+        for engine in Engine::ALL {
+            let err = session
+                .query(&disconnected)
+                .method(engine)
+                .count()
+                .unwrap_err();
+            assert!(
+                matches!(err, SessionError::InvalidQuery(_)),
+                "engine {}",
+                engine.name()
+            );
+            assert!(format!("{err}").contains("invalid query"));
+        }
+    }
+
+    #[test]
+    fn batch_reports_prep_once_and_per_query_stats() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data);
+        let queries = vec![query.clone(), fixtures::triangle_query(), query];
+        let report = session.batch().unlimited().run(&queries);
+        assert_eq!(report.queries.len(), 3);
+        assert_eq!(report.succeeded(), 3);
+        // Paper query twice (4 each) + the triangle in the paper data graph (2).
+        assert_eq!(report.total_embeddings(), 10);
+        for q in &report.queries {
+            assert_eq!(q.prep_amortized, report.prep_time / 3);
+        }
+        assert_eq!(
+            report.prepared_index_bytes,
+            session.prepared().index_bytes()
+        );
+    }
+
+    #[test]
+    fn batch_isolates_invalid_queries() {
+        let (query, data) = fixtures::paper_example();
+        let disconnected = gup_graph::builder::graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        let session = Session::new(data);
+        let report = session
+            .batch()
+            .method(Engine::Daf)
+            .unlimited()
+            .run(&[query, disconnected]);
+        assert_eq!(report.succeeded(), 1);
+        assert_eq!(report.total_embeddings(), 4);
+        assert!(report.queries[1].result.is_err());
+    }
+
+    #[test]
+    fn sessions_share_one_prepared_index() {
+        let (query, data) = fixtures::paper_example();
+        let prepared = Arc::new(PreparedData::new(data));
+        let a = Session::from_prepared(Arc::clone(&prepared));
+        let b = Session::from_prepared(Arc::clone(&prepared));
+        assert_eq!(a.query(&query).unlimited().count().unwrap(), 4);
+        assert_eq!(b.query(&query).unlimited().count().unwrap(), 4);
+        assert!(Arc::ptr_eq(a.prepared(), b.prepared()));
+    }
+
+    #[test]
+    fn brute_force_honors_an_expired_deadline() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data);
+        // A deadline already in the past stops the oracle at its first report.
+        let stats = session
+            .query(&query)
+            .method(Engine::BruteForce)
+            .unlimited()
+            .timeout(Duration::ZERO)
+            .run_with_sink(&mut CountOnly::new())
+            .unwrap();
+        assert_eq!(stats.embeddings, 0);
+        assert!(stats.hit_time_limit);
+        // And the same through a batch's shared deadline.
+        let report = session
+            .batch()
+            .method(Engine::BruteForce)
+            .unlimited()
+            .timeout(Duration::ZERO)
+            .run(&[query]);
+        assert!(report.queries[0].result.as_ref().unwrap().hit_time_limit);
+    }
+
+    #[test]
+    fn brute_force_respects_limits_and_sinks() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data);
+        let limited = session
+            .query(&query)
+            .method(Engine::BruteForce)
+            .limit(2)
+            .run()
+            .unwrap();
+        assert_eq!(limited.embedding_count(), 2);
+        assert!(limited.stats.hit_embedding_limit);
+        let first = session
+            .query(&query)
+            .method(Engine::BruteForce)
+            .unlimited()
+            .first_k(1)
+            .run()
+            .unwrap();
+        assert_eq!(first.embeddings.len(), 1);
+        assert!(first.stats.stopped_by_sink);
+    }
+}

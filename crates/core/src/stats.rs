@@ -135,6 +135,12 @@ pub struct MemoryReport {
     pub nogood_vertex_bytes: usize,
     /// Bytes used by nogood guards on edges.
     pub nogood_edge_bytes: usize,
+    /// Bytes used by the prepared data-graph index (the NLF signature arena and
+    /// statistics a session builds once and amortizes over its queries). Zero when
+    /// the matcher was built through a legacy entry point that did not retain the
+    /// index. Accounted separately from [`MemoryReport::total_bytes`], which keeps
+    /// the paper's Table-3 meaning (per-query GCS + guards).
+    pub prepared_index_bytes: usize,
 }
 
 impl MemoryReport {
@@ -143,9 +149,17 @@ impl MemoryReport {
         self.reservation_bytes + self.nogood_vertex_bytes + self.nogood_edge_bytes
     }
 
-    /// Total bytes of the guarded candidate space (candidate space + guards).
+    /// Total bytes of the guarded candidate space (candidate space + guards). The
+    /// shared prepared index is *not* included — see
+    /// [`MemoryReport::total_with_prepared_bytes`].
     pub fn total_bytes(&self) -> usize {
         self.candidate_space_bytes + self.guard_bytes()
+    }
+
+    /// Total bytes including the session's shared prepared index. In a batch, the
+    /// prepared share is paid once while every query pays its own GCS.
+    pub fn total_with_prepared_bytes(&self) -> usize {
+        self.total_bytes() + self.prepared_index_bytes
     }
 
     /// Guard share of the total, in percent (the "Guard/Whole" column of Table 3).
@@ -205,9 +219,11 @@ mod tests {
             reservation_bytes: 40,
             nogood_vertex_bytes: 30,
             nogood_edge_bytes: 30,
+            prepared_index_bytes: 500,
         };
         assert_eq!(m.guard_bytes(), 100);
         assert_eq!(m.total_bytes(), 1000);
+        assert_eq!(m.total_with_prepared_bytes(), 1500);
         assert!((m.guard_share_percent() - 10.0).abs() < 1e-9);
         assert_eq!(MemoryReport::default().guard_share_percent(), 0.0);
     }

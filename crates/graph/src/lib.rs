@@ -12,6 +12,10 @@
 //! * [`QueryGraph`] — a thin wrapper over [`Graph`] that validates the properties the
 //!   matcher relies on (connectivity, ≤ 64 vertices for bitset masks) and exposes
 //!   forward/backward neighbor views under a matching order.
+//! * [`PreparedData`] — an immutable, `Arc`-shareable per-data-graph index (label
+//!   inverted index, a flat arena of per-vertex neighborhood-label-frequency
+//!   signatures, degree/label stats and a max-NLF bound) built once and reused by
+//!   every query of a session.
 //! * [`QVSet`] — a 64-bit query-vertex set used throughout the matcher for conflict
 //!   masks, bounding sets, and nogood domains (O(1) set operations, as assumed by the
 //!   paper's complexity analysis).
@@ -49,6 +53,7 @@ pub mod fixtures;
 pub mod generate;
 pub mod graph;
 pub mod io;
+pub mod prepared;
 pub mod query;
 pub mod sink;
 pub mod stats;
@@ -56,6 +61,7 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use graph::Graph;
+pub use prepared::PreparedData;
 pub use query::{QueryGraph, QueryGraphError};
 pub use sink::{
     CallbackSink, CollectAll, CountOnly, EmbeddingReservation, EmbeddingSink, FirstK, SinkControl,

@@ -4,13 +4,13 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds the 5-vertex query and 14-vertex data graph from the paper, enumerates every
-//! embedding, and prints them together with the search statistics the paper reports
-//! (recursions, futile recursions, guard usage). Also demonstrates the streaming
-//! output sinks: counting without materializing, and stopping after the first `k`.
+//! Opens a prepared-data [`Session`] over the 14-vertex data graph from the paper
+//! (the index is built once), enumerates every embedding of the 5-vertex query, and
+//! prints them together with the search statistics the paper reports (recursions,
+//! futile recursions, guard usage). Also demonstrates the builder-style request
+//! knobs (count-only, first-k, another engine) and a batch run.
 
-use gup::sink::{CountOnly, FirstK};
-use gup::{GupConfig, GupMatcher, SearchLimits};
+use gup::session::{Engine, Session};
 use gup_graph::fixtures::paper_example;
 
 fn main() {
@@ -23,14 +23,19 @@ fn main() {
         data.edge_count()
     );
 
-    let config = GupConfig {
-        collect_embeddings: true,
-        limits: SearchLimits::UNLIMITED,
-        ..GupConfig::default()
-    };
-    let matcher = GupMatcher::new(&query, &data, config).expect("valid query");
-    let result = matcher.run();
+    // Prepare once; every request below reuses the same shared index.
+    let session = Session::new(data);
+    println!(
+        "prepared data graph in {:?} ({} index bytes)",
+        session.prep_time(),
+        session.prepared().index_bytes()
+    );
 
+    let result = session
+        .query(&query)
+        .unlimited()
+        .run()
+        .expect("valid query");
     println!("\nfound {} embedding(s):", result.embedding_count());
     for (i, emb) in result.embeddings.iter().enumerate() {
         let rendered: Vec<String> = emb
@@ -54,18 +59,33 @@ fn main() {
         s.guard_prune_rate() * 100.0
     );
 
-    // Streaming sinks: the output demand drives the work. Counting allocates no
-    // embedding anywhere; FirstK stops the whole search after the k-th match.
-    let mut count = CountOnly::new();
-    matcher.run_with_sink(&mut count);
-    println!("\ncount-only sink        : {} embeddings", count.count());
+    // Builder knobs: the output demand drives the work. Counting materializes
+    // nothing anywhere; first_k stops the whole search after the k-th match; any
+    // engine family runs against the same prepared index.
+    let count = session.query(&query).unlimited().count().unwrap();
+    println!("\ncount-only request     : {count} embeddings");
 
-    let mut first = FirstK::new(2);
-    let stats = matcher.run_with_sink(&mut first);
+    let first = session.query(&query).unlimited().first_k(2).run().unwrap();
     println!(
-        "first-2 sink           : kept {} of {} reported, search stopped early: {}",
-        first.embeddings().len(),
-        stats.embeddings,
-        stats.terminated_early()
+        "first-2 request        : kept {} embedding(s), search stopped early: {}",
+        first.embeddings.len(),
+        first.stats.terminated_early()
+    );
+
+    let daf = session
+        .query(&query)
+        .method(Engine::Daf)
+        .unlimited()
+        .count()
+        .unwrap();
+    println!("DAF-style baseline     : {daf} embeddings (same prepared data)");
+
+    // A query set through the same session: per-query stats, prep paid once.
+    let report = session.run_batch(&[query.clone(), query]);
+    println!(
+        "batch of {}             : {} embeddings total, prep amortized {:?}/query",
+        report.queries.len(),
+        report.total_embeddings(),
+        report.queries[0].prep_amortized
     );
 }

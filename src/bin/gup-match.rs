@@ -2,12 +2,15 @@
 //!
 //! Loads a data graph and one or more query graphs in the community `t/v/e` text
 //! format and runs the selected matcher, printing a per-query summary line (and
-//! optionally the embeddings themselves).
+//! optionally the embeddings themselves). The data graph is **prepared once** — one
+//! shared [`Session`] / `PreparedData` index serves every query, so batch runs pay
+//! the per-data-graph cost a single time (reported once on stderr).
 //!
 //! ```text
 //! gup-match --data data.graph --query query.graph
 //! gup-match --data data.graph --query q1.graph --query q2.graph \
 //!           --method daf --limit 100000 --timeout-ms 60000
+//! gup-match --data data.graph --queries manifest.txt      # newline-separated paths
 //! gup-match --data data.graph --query query.graph --print-embeddings --threads 8
 //! gup-match --data data.graph --query query.graph --count-only
 //! gup-match --data data.graph --query query.graph --first-k 10
@@ -18,14 +21,15 @@
 //! Output modes (all methods): the default prints the per-query summary line;
 //! `--count-only` streams through a counting sink (no embedding is ever
 //! materialized); `--first-k <k>` stops the search after the first `k` embeddings
-//! and prints them; `--print-embeddings` materializes and prints everything.
+//! and prints them; `--print-embeddings` materializes and prints everything. With
+//! more than one query a timing table follows, with the one-time preparation cost
+//! amortized per query.
 
+use gup::session::{Engine, Session};
 use gup::sink::{CountOnly, EmbeddingSink, FirstK};
-use gup::{GupConfig, GupMatcher, PruningFeatures, SearchLimits, SearchStats};
-use gup_baselines::{BacktrackingBaseline, BaselineKind, BaselineLimits, JoinBaseline};
+use gup::{GupConfig, PruningFeatures, SearchLimits, SearchStats};
 use gup_graph::io::load_graph;
-use gup_graph::{Graph, VertexId};
-use gup_order::OrderingStrategy;
+use gup_graph::VertexId;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -58,6 +62,7 @@ fn usage() -> &'static str {
     "usage: gup-match --data <file> --query <file> [--query <file> ...]\n\
      options:\n\
        --method <gup|gup-noguards|daf|gql|ri|join>   matcher to run (default: gup)\n\
+       --queries <manifest>   newline-separated file of query paths (batch mode)\n\
        --limit <n>            stop after n embeddings (default: 100000; 0 = unlimited)\n\
        --timeout-ms <n>       per-query time limit in milliseconds (default: none)\n\
        --threads <n>          worker threads for the GuP methods (default: 1)\n\
@@ -89,6 +94,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 opts.queries
                     .push(args.get(i).cloned().ok_or("--query needs a path")?);
+            }
+            "--queries" => {
+                i += 1;
+                let manifest = args.get(i).cloned().ok_or("--queries needs a path")?;
+                let text = std::fs::read_to_string(&manifest)
+                    .map_err(|e| format!("cannot read query manifest {manifest}: {e}"))?;
+                for line in text.lines() {
+                    let line = line.trim();
+                    if !line.is_empty() && !line.starts_with('#') {
+                        opts.queries.push(line.to_string());
+                    }
+                }
             }
             "--method" => {
                 i += 1;
@@ -148,9 +165,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err("missing --data".to_string());
     }
     if opts.queries.is_empty() {
-        return Err("missing --query".to_string());
+        return Err("missing --query (or a non-empty --queries manifest)".to_string());
     }
     Ok(opts)
+}
+
+fn parse_method(method: &str) -> Result<(Engine, PruningFeatures), String> {
+    match method {
+        "gup" => Ok((Engine::Gup, PruningFeatures::ALL)),
+        "gup-noguards" => Ok((Engine::Gup, PruningFeatures::NONE)),
+        "daf" => Ok((Engine::Daf, PruningFeatures::ALL)),
+        "gql" => Ok((Engine::Gql, PruningFeatures::ALL)),
+        "ri" => Ok((Engine::Ri, PruningFeatures::ALL)),
+        "join" => Ok((Engine::Join, PruningFeatures::ALL)),
+        other => Err(format!(
+            "unknown method '{other}' (expected gup, gup-noguards, daf, gql, ri, join)"
+        )),
+    }
 }
 
 fn print_embeddings(embeddings: &[Vec<VertexId>]) {
@@ -182,37 +213,16 @@ fn run_with_output<R>(output: OutputMode, run: impl FnOnce(&mut dyn EmbeddingSin
     }
 }
 
-/// Runs a GuP matcher through `sink`, sequentially or in parallel.
-fn run_gup_sink(matcher: &GupMatcher, threads: usize, sink: &mut dyn EmbeddingSink) -> SearchStats {
-    if threads > 1 {
-        matcher.run_parallel_with_sink(threads, sink)
+/// Renders the per-query summary line in the per-method-family historic shape.
+fn summary_line(engine: Engine, stats: &SearchStats, threads: usize, elapsed: Duration) -> String {
+    let early = if stats.terminated_early() {
+        " (terminated early)"
     } else {
-        matcher.run_with_sink(sink)
-    }
-}
-
-fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, String> {
-    let start = Instant::now();
-    let line = match opts.method.as_str() {
-        "gup" | "gup-noguards" => {
-            let config = GupConfig {
-                features: if opts.method == "gup" {
-                    PruningFeatures::ALL
-                } else {
-                    PruningFeatures::NONE
-                },
-                limits: SearchLimits {
-                    max_embeddings: opts.limit,
-                    time_limit: opts.timeout,
-                    ..SearchLimits::UNLIMITED
-                },
-                ..GupConfig::default()
-            };
-            let matcher = GupMatcher::new(query, data, config).map_err(|e| e.to_string())?;
-            let stats = run_with_output(opts.output, |sink| {
-                run_gup_sink(&matcher, opts.threads, sink)
-            });
-            let parallel_info = if opts.threads > 1 {
+        ""
+    };
+    match engine {
+        Engine::Gup => {
+            let parallel_info = if threads > 1 {
                 format!(
                     " tasks={} splits={} steals={}",
                     stats.tasks_executed, stats.frames_split, stats.tasks_stolen
@@ -228,63 +238,57 @@ fn run_query(query: &Graph, data: &Graph, opts: &Options) -> Result<String, Stri
                 stats.backjumps,
                 stats.pruned_by_reservation + stats.pruned_by_nogood_vertex,
                 parallel_info,
-                start.elapsed(),
-                if stats.terminated_early() { " (terminated early)" } else { "" }
+                elapsed,
+                early
             )
         }
-        "daf" | "gql" | "ri" => {
-            let kind = match opts.method.as_str() {
-                "daf" => BaselineKind::DafFailingSet,
-                "gql" => BaselineKind::GqlStyle,
-                _ => BaselineKind::RiStyle,
-            };
-            let matcher =
-                BacktrackingBaseline::new(query, data, kind).map_err(|e| e.to_string())?;
-            let limits = BaselineLimits {
-                max_embeddings: opts.limit,
-                time_limit: opts.timeout,
-            };
-            let result = run_with_output(opts.output, |sink| matcher.run_with_sink(limits, sink));
-            format!(
-                "embeddings={} recursions={} futile={} elapsed={:?}{}",
-                result.embeddings,
-                result.recursions,
-                result.futile_recursions,
-                start.elapsed(),
-                if result.terminated_early() {
-                    " (terminated early)"
-                } else {
-                    ""
-                }
-            )
-        }
-        "join" => {
-            let matcher = JoinBaseline::new(query, data, OrderingStrategy::GqlStyle)
-                .ok_or("query rejected (empty, disconnected, or > 64 vertices)")?;
-            let limits = BaselineLimits {
-                max_embeddings: opts.limit,
-                time_limit: opts.timeout,
-            };
-            let result = run_with_output(opts.output, |sink| matcher.run_with_sink(limits, sink));
-            format!(
-                "embeddings={} intermediate_results={} elapsed={:?}{}",
-                result.embeddings,
-                result.recursions,
-                start.elapsed(),
-                if result.terminated_early() {
-                    " (terminated early)"
-                } else {
-                    ""
-                }
-            )
-        }
-        other => {
-            return Err(format!(
-                "unknown method '{other}' (expected gup, gup-noguards, daf, gql, ri, join)"
-            ))
-        }
+        Engine::Join => format!(
+            "embeddings={} intermediate_results={} elapsed={:?}{}",
+            stats.embeddings, stats.recursions, elapsed, early
+        ),
+        _ => format!(
+            "embeddings={} recursions={} futile={} elapsed={:?}{}",
+            stats.embeddings, stats.recursions, stats.futile_recursions, elapsed, early
+        ),
+    }
+}
+
+/// One row of the batch timing table.
+struct TimingRow {
+    path: String,
+    embeddings: u64,
+    elapsed: Duration,
+}
+
+fn run_query(
+    session: &Session,
+    query: &gup_graph::Graph,
+    engine: Engine,
+    features: PruningFeatures,
+    opts: &Options,
+) -> Result<(String, SearchStats, Duration), String> {
+    let start = Instant::now();
+    let config = GupConfig {
+        features,
+        limits: SearchLimits {
+            max_embeddings: opts.limit,
+            time_limit: opts.timeout,
+            ..SearchLimits::UNLIMITED
+        },
+        ..GupConfig::default()
     };
-    Ok(line)
+    let stats = run_with_output(opts.output, |sink| {
+        session
+            .query(query)
+            .method(engine)
+            .config(config)
+            .threads(opts.threads)
+            .run_with_sink(sink)
+    })
+    .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    let line = summary_line(engine, &stats, opts.threads, elapsed);
+    Ok((line, stats, elapsed))
 }
 
 fn main() -> ExitCode {
@@ -303,6 +307,13 @@ fn main() -> ExitCode {
             };
         }
     };
+    let (engine, features) = match parse_method(&opts.method) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
     let data = match load_graph(&opts.data) {
         Ok(g) => g,
         Err(e) => {
@@ -310,17 +321,30 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    // Prepare once: every query below (whatever the method) runs against this
+    // session's shared index; batch runs amortize this cost.
+    let session = Session::new(data);
     eprintln!(
-        "data graph: {} vertices, {} edges, {} labels",
-        data.vertex_count(),
-        data.edge_count(),
-        data.label_count()
+        "data graph: {} vertices, {} edges, {} labels; prepared in {:?} ({} index bytes)",
+        session.data().vertex_count(),
+        session.data().edge_count(),
+        session.data().label_count(),
+        session.prep_time(),
+        session.prepared().index_bytes()
     );
     let mut failures = 0;
+    let mut rows: Vec<TimingRow> = Vec::new();
     for path in &opts.queries {
         match load_graph(path) {
-            Ok(query) => match run_query(&query, &data, &opts) {
-                Ok(line) => println!("{path}\tmethod={}\t{line}", opts.method),
+            Ok(query) => match run_query(&session, &query, engine, features, &opts) {
+                Ok((line, stats, elapsed)) => {
+                    println!("{path}\tmethod={}\t{line}", opts.method);
+                    rows.push(TimingRow {
+                        path: path.clone(),
+                        embeddings: stats.embeddings,
+                        elapsed,
+                    });
+                }
                 Err(e) => {
                     eprintln!("error: query {path}: {e}");
                     failures += 1;
@@ -330,6 +354,24 @@ fn main() -> ExitCode {
                 eprintln!("error: cannot load query {path}: {e}");
                 failures += 1;
             }
+        }
+    }
+    if rows.len() > 1 {
+        let prep = session.prep_time();
+        let amortized = prep / rows.len() as u32;
+        println!(
+            "batch: {} queries, prep {:?} once ({:?} amortized per query, {} index bytes)",
+            rows.len(),
+            prep,
+            amortized,
+            session.prepared().index_bytes()
+        );
+        println!("{:<40} {:>12} {:>14}", "query", "matches", "elapsed");
+        for row in &rows {
+            println!(
+                "{:<40} {:>12} {:>14?}",
+                row.path, row.embeddings, row.elapsed
+            );
         }
     }
     if failures == 0 {

@@ -5,8 +5,10 @@
 //! (`tests/`) have a single import surface:
 //!
 //! * [`gup`] — the GuP matcher itself (guarded candidate space, reservation and nogood
-//!   guards, backtracking with backjumping, parallel search).
-//! * [`gup_graph`] — the labeled-graph substrate (CSR graphs, loaders, generators).
+//!   guards, backtracking with backjumping, parallel search) and the prepared-data
+//!   session front door (`gup::session`) every engine family runs behind.
+//! * [`gup_graph`] — the labeled-graph substrate (CSR graphs, loaders, generators,
+//!   the shared `PreparedData` index).
 //! * [`gup_candidate`] — candidate filtering and the candidate space.
 //! * [`gup_order`] — matching-order optimizers.
 //! * [`gup_baselines`] — the comparator matchers used in the evaluation.

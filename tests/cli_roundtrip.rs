@@ -135,6 +135,56 @@ fn gup_match_binary_reports_oracle_counts() {
         assert_eq!(printed, k, "--first-k {k} --method {method} printed lines");
     }
 
+    // Batch mode: a --queries manifest runs every listed query through one shared
+    // prepared data graph and appends a per-query timing table (prep time is
+    // reported once, on stderr).
+    let manifest_path = dir.join("queries.txt");
+    std::fs::write(
+        &manifest_path,
+        format!(
+            "# comment lines and blanks are skipped\n\n{}\n{}\n",
+            query_path.display(),
+            query_path.display()
+        ),
+    )
+    .unwrap();
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+        .args([
+            "--data",
+            data_path.to_str().unwrap(),
+            "--queries",
+            manifest_path.to_str().unwrap(),
+            "--limit",
+            "0",
+        ])
+        .output()
+        .expect("failed to spawn gup-match");
+    assert!(
+        output.status.success(),
+        "--queries manifest run failed; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let counts: Vec<u64> = stdout
+        .split_whitespace()
+        .filter_map(|tok| tok.strip_prefix("embeddings=").and_then(|v| v.parse().ok()))
+        .collect();
+    assert_eq!(
+        counts,
+        vec![expected, expected],
+        "both manifest queries ran"
+    );
+    assert!(
+        stdout.contains("batch:") && stdout.contains("prep"),
+        "batch timing table missing from: {stdout:?}"
+    );
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert_eq!(
+        stderr.matches("prepared in").count(),
+        1,
+        "prep time must be reported exactly once: {stderr:?}"
+    );
+
     // The output modes are mutually exclusive.
     let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
         .args([

@@ -80,16 +80,19 @@ impl BaselineKind {
     }
 }
 
-/// A baseline matcher instance (candidate space + order, built once per query).
+/// A baseline matcher instance (candidate space + order, built once per query),
+/// generic over the query-vertex bitset width `W` of its failing sets (the session
+/// layer auto-dispatches to the narrowest width that fits the query; `W = 1` is
+/// the ≤64-vertex fast path).
 #[derive(Debug)]
-pub struct BacktrackingBaseline {
+pub struct BacktrackingBaseline<const W: usize = 1> {
     kind: BaselineKind,
     space: CandidateSpace,
     /// Forward neighbors of each (re-ordered) query vertex.
     forward: Vec<Vec<usize>>,
     /// Transitive backward-neighbor closure ("ancestors") of each query vertex, used
     /// by the failing-set rule.
-    ancestors: Vec<QVSet>,
+    ancestors: Vec<QVSet<W>>,
     /// Original query-vertex id at each matching-order position, used to report
     /// embeddings to sinks in the original numbering.
     original_id: Vec<VertexId>,
@@ -113,13 +116,13 @@ impl std::fmt::Display for BaselineError {
 
 impl std::error::Error for BaselineError {}
 
-impl BacktrackingBaseline {
+impl<const W: usize> BacktrackingBaseline<W> {
     /// Builds the baseline matcher for `query` against `data`. Legacy one-shot
     /// adapter: borrows `data` directly (no clone, no index build) and shares
     /// everything after the initial filter pass with
     /// [`BacktrackingBaseline::with_prepared`].
     pub fn new(query: &Graph, data: &Graph, kind: BaselineKind) -> Result<Self, BaselineError> {
-        let validated = QueryGraph::new(query.clone()).map_err(BaselineError::InvalidQuery)?;
+        let validated = Self::validated_for_width(query)?;
         let space = CandidateSpace::build(query, data, &kind.filter_config());
         Ok(Self::from_parts(query, validated, space, kind))
     }
@@ -131,9 +134,20 @@ impl BacktrackingBaseline {
         prepared: &PreparedData,
         kind: BaselineKind,
     ) -> Result<Self, BaselineError> {
-        let validated = QueryGraph::new(query.clone()).map_err(BaselineError::InvalidQuery)?;
+        let validated = Self::validated_for_width(query)?;
         let space = CandidateSpace::build_prepared(query, prepared, &kind.filter_config());
         Ok(Self::from_parts(query, validated, space, kind))
+    }
+
+    /// Global validation plus this width's capacity check
+    /// (`QueryGraph::check_width`, the shared rule): a query wider than `64 * W`
+    /// is a typed `TooLarge` error, never a wrapped bitmask.
+    fn validated_for_width(query: &Graph) -> Result<QueryGraph, BaselineError> {
+        let validated = QueryGraph::new(query.clone()).map_err(BaselineError::InvalidQuery)?;
+        validated
+            .check_width::<W>()
+            .map_err(BaselineError::InvalidQuery)?;
+        Ok(validated)
     }
 
     /// Everything after the initial candidate filter, shared by both constructors.
@@ -143,9 +157,10 @@ impl BacktrackingBaseline {
         space: CandidateSpace,
         kind: BaselineKind,
     ) -> Self {
-        let order = gup_order::compute_order(query, &space.candidate_sizes(), kind.ordering());
+        let order = gup_order::compute_order(query, &space.candidate_sizes(), kind.ordering())
+            .expect("validated queries are connected, so an order always exists");
         let ordered = validated
-            .with_order(&order)
+            .with_order::<W>(&order)
             .expect("ordering strategies produce connected orders");
         let space = space.permuted(&order);
         let n = ordered.vertex_count();
@@ -158,7 +173,7 @@ impl BacktrackingBaseline {
         // Ancestor closure: all query vertices reachable by repeatedly following
         // backward neighbors. This is the "and all their ancestors" part of DAF's
         // failing-set definition that the paper contrasts with GuP's smaller masks.
-        let mut ancestors = vec![QVSet::EMPTY; n];
+        let mut ancestors = vec![QVSet::<W>::EMPTY; n];
         for i in 0..n {
             let mut set = QVSet::singleton(i);
             for &b in &backward[i] {
@@ -228,19 +243,20 @@ impl BacktrackingBaseline {
     }
 }
 
-enum Outcome {
+enum Outcome<const W: usize> {
     FoundSome,
-    Deadend(QVSet),
+    Deadend(QVSet<W>),
     Aborted,
 }
 
-struct RunState<'a, 's> {
-    baseline: &'a BacktrackingBaseline,
+struct RunState<'a, 's, const W: usize> {
+    baseline: &'a BacktrackingBaseline<W>,
     limits: BaselineLimits,
     start: Instant,
     result: BaselineResult,
     assignment: Vec<u32>,
-    owner: Vec<Option<u8>>,
+    /// `u16` (not `u8`): the widest supported queries have up to 256 vertices.
+    owner: Vec<Option<u16>>,
     cand_stack: Vec<Vec<Vec<u32>>>,
     sink: &'s mut dyn EmbeddingSink,
     /// Reused per-embedding buffer for the original-id translation reported to the
@@ -248,8 +264,8 @@ struct RunState<'a, 's> {
     scratch: Vec<VertexId>,
 }
 
-impl<'a, 's> RunState<'a, 's> {
-    fn backtrack(&mut self, k: usize) -> Outcome {
+impl<'a, 's, const W: usize> RunState<'a, 's, W> {
+    fn backtrack(&mut self, k: usize) -> Outcome<W> {
         let n = self.baseline.query_vertices;
         if k == n {
             self.result.embeddings += 1;
@@ -283,8 +299,8 @@ impl<'a, 's> RunState<'a, 's> {
 
         let failing_sets = self.baseline.kind.failing_sets();
         let mut found_any = false;
-        let mut union = QVSet::EMPTY;
-        let mut without_k: Option<QVSet> = None;
+        let mut union = QVSet::<W>::EMPTY;
+        let mut without_k: Option<QVSet<W>> = None;
 
         let level = self.cand_stack[k].len() - 1;
         let len = self.cand_stack[k][level].len();
@@ -300,7 +316,7 @@ impl<'a, 's> RunState<'a, 's> {
                 continue;
             }
             // Refine forward neighbors.
-            self.owner[v as usize] = Some(k as u8);
+            self.owner[v as usize] = Some(k as u16);
             self.assignment[k] = cv;
             let mut emptied: Option<usize> = None;
             let mut pushed: Vec<usize> = Vec::with_capacity(self.baseline.forward[k].len());
@@ -397,7 +413,7 @@ mod tests {
     fn check_against_brute_force(query: &Graph, data: &Graph) {
         let expected = brute_force::count(query, data);
         for kind in BaselineKind::ALL {
-            let m = BacktrackingBaseline::new(query, data, kind).unwrap();
+            let m = BacktrackingBaseline::<1>::new(query, data, kind).unwrap();
             let r = m.run(BaselineLimits::UNLIMITED);
             assert_eq!(
                 r.embeddings, expected,
@@ -440,10 +456,10 @@ mod tests {
     #[test]
     fn failing_sets_never_change_the_count_but_can_reduce_recursions() {
         let (q, d) = fixtures::paper_example();
-        let plain = BacktrackingBaseline::new(&q, &d, BaselineKind::Plain)
+        let plain = BacktrackingBaseline::<1>::new(&q, &d, BaselineKind::Plain)
             .unwrap()
             .run(BaselineLimits::UNLIMITED);
-        let daf = BacktrackingBaseline::new(&q, &d, BaselineKind::DafFailingSet)
+        let daf = BacktrackingBaseline::<1>::new(&q, &d, BaselineKind::DafFailingSet)
             .unwrap()
             .run(BaselineLimits::UNLIMITED);
         assert_eq!(plain.embeddings, daf.embeddings);
@@ -466,7 +482,7 @@ mod tests {
                 (7, 0),
             ],
         );
-        let m = BacktrackingBaseline::new(&q, &d, BaselineKind::Plain).unwrap();
+        let m = BacktrackingBaseline::<1>::new(&q, &d, BaselineKind::Plain).unwrap();
         let r = m.run(BaselineLimits {
             max_embeddings: Some(3),
             time_limit: None,
@@ -480,7 +496,8 @@ mod tests {
     fn invalid_query_rejected() {
         let disconnected = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
         let d = fixtures::square_with_diagonal();
-        let err = BacktrackingBaseline::new(&disconnected, &d, BaselineKind::Plain).unwrap_err();
+        let err =
+            BacktrackingBaseline::<1>::new(&disconnected, &d, BaselineKind::Plain).unwrap_err();
         assert!(format!("{err}").contains("invalid query"));
     }
 
@@ -497,7 +514,7 @@ mod tests {
         let q = fixtures::triangle_query();
         let d = graph_from_edges(&[0, 1, 0, 1, 0], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         for kind in BaselineKind::ALL {
-            let m = BacktrackingBaseline::new(&q, &d, kind).unwrap();
+            let m = BacktrackingBaseline::<1>::new(&q, &d, kind).unwrap();
             assert_eq!(m.run(BaselineLimits::UNLIMITED).embeddings, 0);
         }
     }

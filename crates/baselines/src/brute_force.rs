@@ -4,9 +4,21 @@
 //! only the label constraint and injectivity as filters. Exponential and slow, but its
 //! simplicity makes it easy to audit — every other engine in the workspace is tested
 //! against it on small instances.
+//!
+//! The enumeration is deadline-aware: [`enumerate_with_sink_deadline`] samples the
+//! clock every [`DEADLINE_CHECK_INTERVAL`] recursion steps, so even a zero-match
+//! adversarial query (whose sink is never called) observes a wall-clock budget —
+//! previously the deadline was only enforceable *between reported embeddings*.
 
 use gup_graph::sink::{CollectAll, CountOnly, EmbeddingSink, SinkControl};
 use gup_graph::{Graph, PreparedData, VertexId};
+use std::time::Instant;
+
+/// The deadline is sampled once every this many candidate-examination steps
+/// (checking the clock on every step would dominate the oracle's tiny per-step
+/// work; sampling per *candidate* rather than per recursion keeps the gap between
+/// clock checks independent of the data-graph size).
+pub const DEADLINE_CHECK_INTERVAL: u64 = 1024;
 
 /// Enumerates every embedding of `query` in `data` and returns them sorted (each
 /// embedding is the vector `emb[u] = data vertex assigned to query vertex u`).
@@ -41,53 +53,120 @@ pub fn enumerate_with_sink_prepared(
     enumerate_with_sink(query, prepared.graph(), sink);
 }
 
+/// Deadline-aware prepared-data enumeration: see
+/// [`enumerate_with_sink_deadline`]. Returns `true` when the deadline fired.
+pub fn enumerate_with_sink_prepared_deadline(
+    query: &Graph,
+    prepared: &PreparedData,
+    sink: &mut dyn EmbeddingSink,
+    deadline: Option<Instant>,
+) -> bool {
+    enumerate_with_sink_deadline(query, prepared.graph(), sink, deadline)
+}
+
 /// Streams every embedding of `query` in `data` into `sink` (original query-vertex
 /// numbering, in the oracle's deterministic enumeration order — *not* sorted). A
 /// [`SinkControl::Stop`] terminates the enumeration immediately, which makes
 /// `FirstK` exact against this oracle too.
 pub fn enumerate_with_sink(query: &Graph, data: &Graph, sink: &mut dyn EmbeddingSink) {
-    let n = query.vertex_count();
-    if n == 0 {
-        return;
-    }
-    let mut assignment: Vec<VertexId> = vec![u32::MAX; n];
-    let mut used = vec![false; data.vertex_count()];
-    let _ = recurse(query, data, 0, &mut assignment, &mut used, sink);
+    enumerate_with_sink_deadline(query, data, sink, None);
 }
 
-fn recurse(
+/// Deadline-aware enumeration: like [`enumerate_with_sink`], but additionally stops
+/// as soon as `deadline` has passed, checking the clock every
+/// [`DEADLINE_CHECK_INTERVAL`] candidate examinations **inside** the search — a
+/// stretch that reports nothing (a zero-match query) is interrupted all the same.
+/// Returns `true` when the enumeration was cut short by the deadline.
+pub fn enumerate_with_sink_deadline(
     query: &Graph,
     data: &Graph,
-    u: usize,
-    assignment: &mut Vec<VertexId>,
-    used: &mut Vec<bool>,
     sink: &mut dyn EmbeddingSink,
-) -> SinkControl {
-    if u == query.vertex_count() {
-        return sink.report(assignment);
+    deadline: Option<Instant>,
+) -> bool {
+    let n = query.vertex_count();
+    if n == 0 {
+        return false;
     }
-    for v in data.vertices() {
-        if used[v as usize] || data.label(v) != query.label(u as VertexId) {
-            continue;
-        }
-        // Adjacency with every already-assigned neighbor.
-        let ok = query.neighbors(u as VertexId).iter().all(|&w| {
-            let w = w as usize;
-            w >= u || data.has_edge(assignment[w], v)
-        });
-        if !ok {
-            continue;
-        }
-        assignment[u] = v;
-        used[v as usize] = true;
-        let control = recurse(query, data, u + 1, assignment, used, sink);
-        used[v as usize] = false;
-        assignment[u] = u32::MAX;
-        if control == SinkControl::Stop {
-            return SinkControl::Stop;
-        }
+    let mut search = Search {
+        query,
+        data,
+        assignment: vec![u32::MAX; n],
+        used: vec![false; data.vertex_count()],
+        deadline,
+        steps: 0,
+        expired: false,
+    };
+    // An already-expired deadline stops the enumeration before any work.
+    if search.deadline_hit() {
+        return true;
     }
-    SinkControl::Continue
+    let _ = search.recurse(0, sink);
+    search.expired
+}
+
+struct Search<'a> {
+    query: &'a Graph,
+    data: &'a Graph,
+    assignment: Vec<VertexId>,
+    used: Vec<bool>,
+    deadline: Option<Instant>,
+    steps: u64,
+    expired: bool,
+}
+
+impl Search<'_> {
+    /// Samples the deadline (every [`DEADLINE_CHECK_INTERVAL`] calls, plus on the
+    /// first). Once expired, stays expired. Counted per **candidate examined**,
+    /// not per recursion, so the wall-clock gap between two clock samples is
+    /// bounded by a constant amount of work regardless of the data-graph size (a
+    /// single recursion scans every data vertex).
+    fn deadline_hit(&mut self) -> bool {
+        if self.expired {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.steps % DEADLINE_CHECK_INTERVAL == 0 && Instant::now() >= deadline {
+            self.expired = true;
+        }
+        self.steps += 1;
+        self.expired
+    }
+
+    fn recurse(&mut self, u: usize, sink: &mut dyn EmbeddingSink) -> SinkControl {
+        if u == self.query.vertex_count() {
+            if self.deadline_hit() {
+                return SinkControl::Stop;
+            }
+            return sink.report(&self.assignment);
+        }
+        for v in self.data.vertices() {
+            if self.deadline_hit() {
+                return SinkControl::Stop;
+            }
+            if self.used[v as usize] || self.data.label(v) != self.query.label(u as VertexId) {
+                continue;
+            }
+            // Adjacency with every already-assigned neighbor.
+            let ok = self.query.neighbors(u as VertexId).iter().all(|&w| {
+                let w = w as usize;
+                w >= u || self.data.has_edge(self.assignment[w], v)
+            });
+            if !ok {
+                continue;
+            }
+            self.assignment[u] = v;
+            self.used[v as usize] = true;
+            let control = self.recurse(u + 1, sink);
+            self.used[v as usize] = false;
+            self.assignment[u] = u32::MAX;
+            if control == SinkControl::Stop {
+                return SinkControl::Stop;
+            }
+        }
+        SinkControl::Continue
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +174,7 @@ mod tests {
     use super::*;
     use gup_graph::builder::graph_from_edges;
     use gup_graph::fixtures;
+    use std::time::Duration;
 
     #[test]
     fn triangle_in_square_has_four_embeddings() {
@@ -152,5 +232,65 @@ mod tests {
         let q = gup_graph::GraphBuilder::new().build();
         let d = fixtures::square_with_diagonal();
         assert!(enumerate(&q, &d).is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_any_work() {
+        let (q, d) = fixtures::paper_example();
+        let mut sink = CountOnly::new();
+        let expired = enumerate_with_sink_deadline(
+            &q,
+            &d,
+            &mut sink,
+            Some(Instant::now() - Duration::from_millis(1)),
+        );
+        assert!(expired);
+        assert_eq!(sink.count(), 0);
+    }
+
+    #[test]
+    fn absent_deadline_never_reports_expiry() {
+        let (q, d) = fixtures::paper_example();
+        let mut sink = CountOnly::new();
+        assert!(!enumerate_with_sink_deadline(&q, &d, &mut sink, None));
+        assert_eq!(sink.count(), 4);
+    }
+
+    /// The regression this module exists to pin: a **zero-match** query (the sink is
+    /// never called, so a between-reports check can never fire) over a search space
+    /// big enough to grind for seconds must still observe the deadline from inside
+    /// the recursion and return quickly.
+    #[test]
+    fn zero_match_search_observes_the_deadline_mid_search() {
+        // 26 label-0 vertices in a clique + one label-1 pendant; the query asks for
+        // a path 0-0-0-0-0-0-1 whose label-1 end exists but never adjacent where
+        // needed — actually make it impossible: query needs label 9 at the end.
+        let n = 26u32;
+        let mut labels = vec![0u32; n as usize];
+        labels.push(1);
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        let data = graph_from_edges(&labels, &edges);
+        // Seven label-0 path vertices then an (unmatchable) label-9 tail: the clique
+        // offers ~26^7 prefixes and zero complete matches.
+        let query = graph_from_edges(
+            &[0, 0, 0, 0, 0, 0, 0, 9],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)],
+        );
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let start = Instant::now();
+        let mut sink = CountOnly::new();
+        let expired = enumerate_with_sink_deadline(&query, &data, &mut sink, Some(deadline));
+        let elapsed = start.elapsed();
+        assert!(expired, "deadline must fire inside the zero-match search");
+        assert_eq!(sink.count(), 0);
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "50 ms deadline took {elapsed:?} to honor"
+        );
     }
 }

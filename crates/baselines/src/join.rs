@@ -59,9 +59,13 @@ impl JoinBaseline {
         space: CandidateSpace,
         order: OrderingStrategy,
     ) -> Self {
-        let order = gup_order::compute_order(query, &space.candidate_sizes(), order);
+        let order = gup_order::compute_order(query, &space.candidate_sizes(), order)
+            .expect("validated queries are connected, so an order always exists");
+        // The join enumerator never touches the bitset views, so it always uses the
+        // widest `OrderedQuery` instantiation and thereby accepts every query size
+        // the workspace supports without width dispatch.
         let ordered = validated
-            .with_order(&order)
+            .with_order::<4>(&order)
             .expect("ordering strategies produce connected orders");
         let space = space.permuted(&order);
         let n = ordered.vertex_count();

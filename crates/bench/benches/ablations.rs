@@ -42,7 +42,7 @@ fn bench_feature_ablation(c: &mut Criterion) {
             |b, q| {
                 let cfg = config_with(features, Some(3));
                 b.iter(|| {
-                    GupMatcher::new(q, &data, cfg.clone())
+                    GupMatcher::<1>::new(q, &data, cfg.clone())
                         .unwrap()
                         .run()
                         .embedding_count()
@@ -73,7 +73,7 @@ fn bench_reservation_size(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), query, |b, q| {
             let cfg = config_with(PruningFeatures::RESERVATION_ONLY, r);
             b.iter(|| {
-                GupMatcher::new(q, &data, cfg.clone())
+                GupMatcher::<1>::new(q, &data, cfg.clone())
                     .unwrap()
                     .run()
                     .embedding_count()

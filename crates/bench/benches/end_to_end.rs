@@ -32,7 +32,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("GuP", qi), query, |b, q| {
             b.iter(|| {
-                GupMatcher::new(q, &data, gup_cfg.clone())
+                GupMatcher::<1>::new(q, &data, gup_cfg.clone())
                     .unwrap()
                     .run()
                     .embedding_count()
@@ -44,7 +44,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("GuP-count-sink", qi), query, |b, q| {
             b.iter(|| {
                 let mut sink = CountOnly::new();
-                GupMatcher::new(q, &data, gup_cfg.clone())
+                GupMatcher::<1>::new(q, &data, gup_cfg.clone())
                     .unwrap()
                     .run_with_sink(&mut sink);
                 sink.count()
@@ -53,7 +53,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("GuP-collect-sink", qi), query, |b, q| {
             b.iter(|| {
                 let mut sink = CollectAll::new();
-                GupMatcher::new(q, &data, gup_cfg.clone())
+                GupMatcher::<1>::new(q, &data, gup_cfg.clone())
                     .unwrap()
                     .run_with_sink(&mut sink);
                 sink.len()
@@ -66,7 +66,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         for kind in [BaselineKind::DafFailingSet, BaselineKind::GqlStyle] {
             group.bench_with_input(BenchmarkId::new(kind.name(), qi), query, |b, q| {
                 b.iter(|| {
-                    BacktrackingBaseline::new(q, &data, kind)
+                    BacktrackingBaseline::<1>::new(q, &data, kind)
                         .unwrap()
                         .run(limits)
                         .embeddings

@@ -32,7 +32,7 @@ fn bench_construction(c: &mut Criterion) {
             BenchmarkId::new("gcs_with_reservations", format!("{}S", size)),
             query,
             |b, q| {
-                b.iter(|| Gcs::build(q, &data, &GupConfig::default()).unwrap());
+                b.iter(|| Gcs::<1>::build(q, &data, &GupConfig::default()).unwrap());
             },
         );
     }

@@ -55,7 +55,7 @@ fn bench_instance(
             let mut total = 0u64;
             for query in queries {
                 let mut sink = CountOnly::new();
-                GupMatcher::new(query, data, config.clone())
+                GupMatcher::<1>::new(query, data, config.clone())
                     .unwrap()
                     .run_with_sink(&mut sink);
                 total += sink.count();

@@ -344,7 +344,7 @@ pub fn table3(config: &SuiteConfig) -> String {
                 },
                 ..GupConfig::default()
             };
-            let Ok(matcher) = GupMatcher::with_prepared(query, session.prepared(), gup_config)
+            let Ok(matcher) = GupMatcher::<1>::with_prepared(query, session.prepared(), gup_config)
             else {
                 continue;
             };
@@ -438,7 +438,7 @@ pub fn fig10(config: &SuiteConfig, max_threads: usize) -> String {
     let kept: Vec<&gup_graph::Graph> = queries
         .iter()
         .filter(|query| {
-            let Ok(matcher) = GupMatcher::with_prepared(query, &prepared, gup_config.clone())
+            let Ok(matcher) = GupMatcher::<1>::with_prepared(query, &prepared, gup_config.clone())
             else {
                 return false;
             };
@@ -472,7 +472,7 @@ pub fn fig10(config: &SuiteConfig, max_threads: usize) -> String {
         let mut static_ms = Vec::new();
         let (mut splits, mut steals) = (0u64, 0u64);
         for query in &kept {
-            let Ok(matcher) = GupMatcher::with_prepared(query, &prepared, gup_config.clone())
+            let Ok(matcher) = GupMatcher::<1>::with_prepared(query, &prepared, gup_config.clone())
             else {
                 continue;
             };

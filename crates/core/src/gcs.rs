@@ -42,16 +42,17 @@ impl From<QueryGraphError> for GupError {
     }
 }
 
-/// The guarded candidate space.
+/// The guarded candidate space, generic over the bitset width `W` of its ordered
+/// query (64 query vertices per word; `W = 1` is the default fast path).
 #[derive(Clone, Debug)]
-pub struct Gcs {
-    query: OrderedQuery,
+pub struct Gcs<const W: usize = 1> {
+    query: OrderedQuery<W>,
     space: CandidateSpace,
     reservations: Vec<Vec<ReservationGuard>>,
     data_vertex_count: usize,
 }
 
-impl Gcs {
+impl<const W: usize> Gcs<W> {
     /// Builds the GCS for `query` against `data` under `config`. Legacy one-shot
     /// adapter: shares every step with [`Gcs::build_prepared`] except the initial
     /// filter pass, which runs the borrow-based scratch-buffer variant so that a
@@ -59,7 +60,7 @@ impl Gcs {
     /// should prepare once ([`PreparedData`]) and share it across queries; both
     /// paths produce identical spaces (pinned by `tests/session.rs`).
     pub fn build(query: &Graph, data: &Graph, config: &GupConfig) -> Result<Self, GupError> {
-        let validated = QueryGraph::new(query.clone())?;
+        let validated = Self::validated_for_width(query)?;
         let space = CandidateSpace::build(query, data, &config.filter);
         Self::assemble(query, validated, data.vertex_count(), space, config)
     }
@@ -73,7 +74,7 @@ impl Gcs {
         prepared: &PreparedData,
         config: &GupConfig,
     ) -> Result<Self, GupError> {
-        let validated = QueryGraph::new(query.clone())?;
+        let validated = Self::validated_for_width(query)?;
         let space = CandidateSpace::build_prepared(query, prepared, &config.filter);
         Self::assemble(
             query,
@@ -82,6 +83,18 @@ impl Gcs {
             space,
             config,
         )
+    }
+
+    /// Validates `query` both globally ([`QueryGraph::new`]) and against this
+    /// instantiation's bitset capacity ([`QueryGraph::check_width`]), so a query
+    /// wider than `64 * W` is a typed [`QueryGraphError::TooLarge`] (with the
+    /// width's own limit) rather than a panic deeper in the bitmask arithmetic.
+    /// The session layer dispatches to a sufficient width before ever reaching
+    /// this check.
+    fn validated_for_width(query: &Graph) -> Result<QueryGraph, GupError> {
+        let validated = QueryGraph::new(query.clone())?;
+        validated.check_width::<W>()?;
+        Ok(validated)
     }
 
     /// Everything after query validation and the initial candidate filter, shared by
@@ -94,9 +107,10 @@ impl Gcs {
         space: CandidateSpace,
         config: &GupConfig,
     ) -> Result<Self, GupError> {
-        let order = gup_order::compute_order(query, &space.candidate_sizes(), config.ordering);
+        let order = gup_order::compute_order(query, &space.candidate_sizes(), config.ordering)
+            .expect("validated queries are connected, so an order always exists");
         let ordered = validated
-            .with_order(&order)
+            .with_order::<W>(&order)
             .expect("ordering strategies always produce connected permutations");
         let space = space.permuted(&order);
         let reservations = if config.features.reservation_guards {
@@ -129,7 +143,7 @@ impl Gcs {
 
     /// The query renumbered into the matching order.
     #[inline]
-    pub fn query(&self) -> &OrderedQuery {
+    pub fn query(&self) -> &OrderedQuery<W> {
         &self.query
     }
 
@@ -164,12 +178,12 @@ impl Gcs {
 
     /// Creates an empty nogood-guard store for candidate vertices, shaped after this
     /// GCS. Each (sequential or thread-local) search owns one.
-    pub fn new_vertex_guard_store(&self) -> VertexGuardStore {
+    pub fn new_vertex_guard_store(&self) -> VertexGuardStore<W> {
         VertexGuardStore::new(&self.space.candidate_sizes())
     }
 
     /// Creates an empty nogood-guard store for candidate edges, shaped after this GCS.
-    pub fn new_edge_guard_store(&self) -> EdgeGuardStore {
+    pub fn new_edge_guard_store(&self) -> EdgeGuardStore<W> {
         let shape: Vec<Vec<usize>> = self
             .space
             .edge_list()
@@ -188,8 +202,8 @@ impl Gcs {
     /// stores, mirroring Table 3 of the paper.
     pub fn memory_report(
         &self,
-        vertex_guards: Option<&VertexGuardStore>,
-        edge_guards: Option<&EdgeGuardStore>,
+        vertex_guards: Option<&VertexGuardStore<W>>,
+        edge_guards: Option<&EdgeGuardStore<W>>,
     ) -> MemoryReport {
         MemoryReport {
             candidate_space_bytes: self.space.heap_bytes(),
@@ -224,7 +238,7 @@ mod tests {
 
     fn paper_gcs(config: &GupConfig) -> Gcs {
         let (q, d) = fixtures::paper_example();
-        Gcs::build(&q, &d, config).unwrap()
+        Gcs::<1>::build(&q, &d, config).unwrap()
     }
 
     #[test]
@@ -243,7 +257,7 @@ mod tests {
     fn build_rejects_invalid_queries() {
         let (_q, d) = fixtures::paper_example();
         let disconnected = gup_graph::builder::graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
-        let err = Gcs::build(&disconnected, &d, &GupConfig::default()).unwrap_err();
+        let err = Gcs::<1>::build(&disconnected, &d, &GupConfig::default()).unwrap_err();
         assert!(matches!(
             err,
             GupError::InvalidQuery(QueryGraphError::Disconnected)
@@ -285,7 +299,7 @@ mod tests {
         let (_q, d) = fixtures::paper_example();
         // A query label that the data graph does not contain.
         let q = gup_graph::builder::graph_from_edges(&[9, 9], &[(0, 1)]);
-        let gcs = Gcs::build(&q, &d, &GupConfig::default()).unwrap();
+        let gcs = Gcs::<1>::build(&q, &d, &GupConfig::default()).unwrap();
         assert!(gcs.is_empty());
     }
 

@@ -69,22 +69,23 @@ impl ReservationGuard {
     }
 }
 
-/// A search-node-encoded nogood guard (the triple `(id, len, dom)` of §3.5.1).
+/// A search-node-encoded nogood guard (the triple `(id, len, dom)` of §3.5.1),
+/// generic over the width `W` of its domain bitset.
 ///
 /// `NogoodRef::ABSENT` marks candidate vertices / edges that carry no guard yet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct NogoodRef {
+pub struct NogoodRef<const W: usize = 1> {
     /// Search-node id of the minimum superset embedding of the nogood.
     pub id: NodeId,
     /// Length of that minimum superset embedding. `u32::MAX` encodes "no guard".
     pub len: u32,
     /// Domain of the nogood (the query vertices whose assignments it constrains).
-    pub dom: QVSet,
+    pub dom: QVSet<W>,
 }
 
-impl NogoodRef {
+impl<const W: usize> NogoodRef<W> {
     /// Sentinel for "no guard recorded".
-    pub const ABSENT: NogoodRef = NogoodRef {
+    pub const ABSENT: NogoodRef<W> = NogoodRef {
         id: 0,
         len: u32::MAX,
         dom: QVSet::EMPTY,
@@ -106,7 +107,7 @@ impl NogoodRef {
     }
 }
 
-impl Default for NogoodRef {
+impl<const W: usize> Default for NogoodRef<W> {
     fn default() -> Self {
         NogoodRef::ABSENT
     }
@@ -115,14 +116,14 @@ impl Default for NogoodRef {
 /// Storage of nogood guards on candidate vertices: one slot per `(query vertex,
 /// candidate index)`.
 #[derive(Clone, Debug)]
-pub struct VertexGuardStore {
-    slots: Vec<Vec<NogoodRef>>,
+pub struct VertexGuardStore<const W: usize = 1> {
+    slots: Vec<Vec<NogoodRef<W>>>,
 }
 
-impl VertexGuardStore {
+impl<const W: usize> VertexGuardStore<W> {
     /// Creates an empty store shaped after the candidate-set sizes.
     pub fn new(candidate_sizes: &[usize]) -> Self {
-        VertexGuardStore {
+        VertexGuardStore::<W> {
             slots: candidate_sizes
                 .iter()
                 .map(|&n| vec![NogoodRef::ABSENT; n])
@@ -132,13 +133,13 @@ impl VertexGuardStore {
 
     /// The guard on candidate `cand_index` of query vertex `u`.
     #[inline]
-    pub fn get(&self, u: usize, cand_index: u32) -> NogoodRef {
+    pub fn get(&self, u: usize, cand_index: u32) -> NogoodRef<W> {
         self.slots[u][cand_index as usize]
     }
 
     /// Records (or overwrites) the guard on candidate `cand_index` of query vertex `u`.
     #[inline]
-    pub fn set(&mut self, u: usize, cand_index: u32, guard: NogoodRef) {
+    pub fn set(&mut self, u: usize, cand_index: u32, guard: NogoodRef<W>) {
         self.slots[u][cand_index as usize] = guard;
     }
 
@@ -154,7 +155,7 @@ impl VertexGuardStore {
     pub fn heap_bytes(&self) -> usize {
         self.slots
             .iter()
-            .map(|s| s.capacity() * std::mem::size_of::<NogoodRef>())
+            .map(|s| s.capacity() * std::mem::size_of::<NogoodRef<W>>())
             .sum()
     }
 }
@@ -165,16 +166,16 @@ impl VertexGuardStore {
 /// query edge `(a, b)` with `a < b` and candidate index `ca` of `a`, slot `p` guards
 /// the candidate edge towards the `p`-th entry of `forward_adjacency(eid, ca)`.
 #[derive(Clone, Debug)]
-pub struct EdgeGuardStore {
+pub struct EdgeGuardStore<const W: usize = 1> {
     /// `slots[eid][ca][p]`.
-    slots: Vec<Vec<Vec<NogoodRef>>>,
+    slots: Vec<Vec<Vec<NogoodRef<W>>>>,
 }
 
-impl EdgeGuardStore {
+impl<const W: usize> EdgeGuardStore<W> {
     /// Creates an empty store. `shape[eid][ca]` must give the length of the forward
     /// adjacency list of candidate `ca` on candidate edge `eid`.
     pub fn new(shape: Vec<Vec<usize>>) -> Self {
-        EdgeGuardStore {
+        EdgeGuardStore::<W> {
             slots: shape
                 .into_iter()
                 .map(|per_cand| {
@@ -190,13 +191,13 @@ impl EdgeGuardStore {
     /// The guard on position `p` of the forward adjacency list of candidate `ca` on
     /// candidate edge `eid`.
     #[inline]
-    pub fn get(&self, eid: usize, ca: u32, p: usize) -> NogoodRef {
+    pub fn get(&self, eid: usize, ca: u32, p: usize) -> NogoodRef<W> {
         self.slots[eid][ca as usize][p]
     }
 
     /// Records (or overwrites) a guard.
     #[inline]
-    pub fn set(&mut self, eid: usize, ca: u32, p: usize, guard: NogoodRef) {
+    pub fn set(&mut self, eid: usize, ca: u32, p: usize, guard: NogoodRef<W>) {
         self.slots[eid][ca as usize][p] = guard;
     }
 
@@ -216,9 +217,9 @@ impl EdgeGuardStore {
             .map(|per_cand| {
                 per_cand
                     .iter()
-                    .map(|s| s.capacity() * std::mem::size_of::<NogoodRef>())
+                    .map(|s| s.capacity() * std::mem::size_of::<NogoodRef<W>>())
                     .sum::<usize>()
-                    + per_cand.capacity() * std::mem::size_of::<Vec<NogoodRef>>()
+                    + per_cand.capacity() * std::mem::size_of::<Vec<NogoodRef<W>>>()
             })
             .sum()
     }
@@ -246,31 +247,31 @@ mod tests {
     fn nogood_ref_matching() {
         // Ancestor array of a depth-3 partial embedding.
         let anc = vec![0u64, 11, 12, 13];
-        let guard = NogoodRef {
+        let guard: NogoodRef = NogoodRef {
             id: 12,
             len: 2,
             dom: QVSet::from_iter([0, 1]),
         };
         assert!(guard.matches(&anc));
         // Different node at the same depth -> no match.
-        let other = NogoodRef {
+        let other: NogoodRef = NogoodRef {
             id: 99,
             len: 2,
             dom: QVSet::EMPTY,
         };
         assert!(!other.matches(&anc));
         // Guard longer than the current embedding -> no match.
-        let deep = NogoodRef {
+        let deep: NogoodRef = NogoodRef {
             id: 13,
             len: 9,
             dom: QVSet::EMPTY,
         };
         assert!(!deep.matches(&anc));
         // Absent guard never matches.
-        assert!(!NogoodRef::ABSENT.matches(&anc));
-        assert!(!NogoodRef::ABSENT.is_present());
+        assert!(!NogoodRef::<1>::ABSENT.matches(&anc));
+        assert!(!NogoodRef::<1>::ABSENT.is_present());
         // An empty-domain guard rooted at the imaginary root matches every embedding.
-        let always = NogoodRef {
+        let always: NogoodRef = NogoodRef {
             id: 0,
             len: 0,
             dom: QVSet::EMPTY,
@@ -281,10 +282,10 @@ mod tests {
 
     #[test]
     fn vertex_guard_store_roundtrip() {
-        let mut store = VertexGuardStore::new(&[2, 3]);
+        let mut store = VertexGuardStore::<1>::new(&[2, 3]);
         assert_eq!(store.present_count(), 0);
         assert!(!store.get(1, 2).is_present());
-        let g = NogoodRef {
+        let g: NogoodRef = NogoodRef {
             id: 4,
             len: 1,
             dom: QVSet::singleton(0),
@@ -308,9 +309,9 @@ mod tests {
 
     #[test]
     fn edge_guard_store_roundtrip() {
-        let mut store = EdgeGuardStore::new(vec![vec![2, 0], vec![1]]);
+        let mut store = EdgeGuardStore::<1>::new(vec![vec![2, 0], vec![1]]);
         assert_eq!(store.present_count(), 0);
-        let g = NogoodRef {
+        let g: NogoodRef = NogoodRef {
             id: 3,
             len: 2,
             dom: QVSet::singleton(1),

@@ -54,6 +54,39 @@
 //! assert!(result.embedding_count() >= 1);
 //! ```
 
+/// Monomorphized width dispatch: binds `$W` to the narrowest supported bitset
+/// width (1, 2, or 4 words — [`Qv64`]/[`Qv128`]/[`Qv256`]) that fits a query of
+/// `$n` vertices and evaluates `$body` once with that constant. Queries of at most
+/// 64 vertices therefore compile to exactly the one-word engine that existed
+/// before the width generalization; queries beyond 256 vertices fall through to
+/// the widest instantiation, whose validation rejects them with a typed
+/// `TooLarge` error.
+///
+/// [`Qv64`]: gup_graph::Qv64
+/// [`Qv128`]: gup_graph::Qv128
+/// [`Qv256`]: gup_graph::Qv256
+macro_rules! with_qv_width {
+    ($n:expr, $W:ident, $body:expr) => {{
+        // `words_for` is the single source of the vertex-count → word-count rule;
+        // 3 words round up to the 4-word instantiation (only 1/2/4 are compiled).
+        match gup_graph::words_for($n) {
+            1 => {
+                const $W: usize = 1;
+                $body
+            }
+            2 => {
+                const $W: usize = 2;
+                $body
+            }
+            _ => {
+                const $W: usize = 4;
+                $body
+            }
+        }
+    }};
+}
+pub(crate) use with_qv_width;
+
 pub mod config;
 pub mod gcs;
 pub mod guards;
@@ -73,7 +106,7 @@ pub use gup_graph::sink;
 pub use config::{GupConfig, ParallelConfig, PruningFeatures, SearchLimits};
 pub use gcs::{Gcs, GupError};
 pub use guards::{NogoodRef, ReservationGuard};
-pub use gup_graph::PreparedData;
+pub use gup_graph::{PreparedData, QVSet, Qv128, Qv256, Qv64, MAX_QUERY_VERTICES};
 pub use matcher::{count_embeddings, find_embeddings, GupMatcher, MatchResult};
 pub use search::{SearchEngine, SearchOutcome, SearchTask, SplitHandle};
 pub use session::{

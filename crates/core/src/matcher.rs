@@ -29,16 +29,19 @@ impl MatchResult {
     }
 }
 
-/// A GuP matcher instance: a guarded candidate space plus its configuration.
-pub struct GupMatcher {
-    gcs: Gcs,
+/// A GuP matcher instance: a guarded candidate space plus its configuration,
+/// generic over the query-vertex bitset width `W` (`W = 1`, queries of at most 64
+/// vertices, is the default fast path; the session layer auto-dispatches to the
+/// narrowest sufficient width).
+pub struct GupMatcher<const W: usize = 1> {
+    gcs: Gcs<W>,
     config: GupConfig,
     /// Size of the shared prepared index this matcher was built against, surfaced in
     /// the memory report (paid once per session, not per query).
     prepared_index_bytes: usize,
 }
 
-impl GupMatcher {
+impl<const W: usize> GupMatcher<W> {
     /// Builds the matcher (GCS construction + reservation-guard generation) for
     /// `query` against `data`. Legacy one-shot adapter: borrows `data` directly (no
     /// clone, no index build — the filter pass rescans neighbors with a reused
@@ -71,7 +74,7 @@ impl GupMatcher {
     }
 
     /// The underlying guarded candidate space.
-    pub fn gcs(&self) -> &Gcs {
+    pub fn gcs(&self) -> &Gcs<W> {
         &self.gcs
     }
 
@@ -99,7 +102,7 @@ impl GupMatcher {
     /// use gup_graph::fixtures::paper_example;
     ///
     /// let (query, data) = paper_example();
-    /// let matcher = GupMatcher::new(&query, &data, GupConfig::default()).unwrap();
+    /// let matcher = GupMatcher::<1>::new(&query, &data, GupConfig::default()).unwrap();
     ///
     /// let mut count = CountOnly::new();
     /// let stats = matcher.run_with_sink(&mut count);
@@ -182,14 +185,14 @@ impl GupMatcher {
 /// arrive at the user sink in original query-vertex numbering. The translation
 /// reuses one scratch buffer across reports (no per-embedding allocation) and is
 /// skipped entirely for sinks that never look at embedding contents.
-struct OriginalIdSink<'g, 's> {
-    gcs: &'g Gcs,
+struct OriginalIdSink<'g, 's, const W: usize> {
+    gcs: &'g Gcs<W>,
     inner: &'s mut dyn EmbeddingSink,
     scratch: Vec<VertexId>,
 }
 
-impl<'g, 's> OriginalIdSink<'g, 's> {
-    fn new(gcs: &'g Gcs, inner: &'s mut dyn EmbeddingSink) -> Self {
+impl<'g, 's, const W: usize> OriginalIdSink<'g, 's, W> {
+    fn new(gcs: &'g Gcs<W>, inner: &'s mut dyn EmbeddingSink) -> Self {
         OriginalIdSink {
             gcs,
             inner,
@@ -198,7 +201,7 @@ impl<'g, 's> OriginalIdSink<'g, 's> {
     }
 }
 
-impl EmbeddingSink for OriginalIdSink<'_, '_> {
+impl<const W: usize> EmbeddingSink for OriginalIdSink<'_, '_, W> {
     fn report(&mut self, embedding: &[VertexId]) -> SinkControl {
         if self.inner.wants_embeddings() {
             self.gcs
@@ -227,25 +230,32 @@ impl EmbeddingSink for OriginalIdSink<'_, '_> {
 }
 
 /// One-shot convenience: finds (and materializes) all embeddings of `query` in `data`
-/// under the default configuration, with no embedding cap.
+/// under the default configuration, with no embedding cap. Auto-dispatches to the
+/// narrowest bitset width that fits the query (≤64-vertex queries run the one-word
+/// fast path).
 pub fn find_embeddings(query: &Graph, data: &Graph) -> Result<MatchResult, GupError> {
     let config = GupConfig {
         collect_embeddings: true,
         limits: crate::config::SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    Ok(GupMatcher::new(query, data, config)?.run())
+    crate::with_qv_width!(query.vertex_count(), W, {
+        Ok(GupMatcher::<W>::new(query, data, config)?.run())
+    })
 }
 
 /// One-shot convenience: counts all embeddings of `query` in `data` (no cap, nothing
-/// materialized — the count streams through a [`CountOnly`] sink).
+/// materialized — the count streams through a [`CountOnly`] sink). Auto-dispatches
+/// on query width like [`find_embeddings`].
 pub fn count_embeddings(query: &Graph, data: &Graph) -> Result<u64, GupError> {
     let config = GupConfig {
         collect_embeddings: false,
         limits: crate::config::SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    Ok(GupMatcher::new(query, data, config)?.count())
+    crate::with_qv_width!(query.vertex_count(), W, {
+        Ok(GupMatcher::<W>::new(query, data, config)?.count())
+    })
 }
 
 #[cfg(test)]
@@ -284,7 +294,7 @@ mod tests {
     #[test]
     fn matcher_reuse_is_deterministic() {
         let (q, d) = fixtures::paper_example();
-        let matcher = GupMatcher::new(&q, &d, GupConfig::default()).unwrap();
+        let matcher = GupMatcher::<1>::new(&q, &d, GupConfig::default()).unwrap();
         let a = matcher.run();
         let b = matcher.run();
         assert_eq!(a.stats.embeddings, b.stats.embeddings);
@@ -298,7 +308,7 @@ mod tests {
             limits: SearchLimits::UNLIMITED,
             ..GupConfig::default()
         };
-        let matcher = GupMatcher::new(&q, &d, cfg).unwrap();
+        let matcher = GupMatcher::<1>::new(&q, &d, cfg).unwrap();
         let (result, report) = matcher.run_with_memory_report();
         assert!(result.embedding_count() >= 1);
         assert!(report.candidate_space_bytes > 0);
@@ -311,7 +321,7 @@ mod tests {
     fn invalid_query_is_reported() {
         let (_q, d) = fixtures::paper_example();
         let disconnected = gup_graph::builder::graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
-        assert!(GupMatcher::new(&disconnected, &d, GupConfig::default()).is_err());
+        assert!(GupMatcher::<1>::new(&disconnected, &d, GupConfig::default()).is_err());
     }
 
     #[test]
@@ -321,7 +331,7 @@ mod tests {
             limits: SearchLimits::UNLIMITED,
             ..GupConfig::default()
         };
-        let matcher = GupMatcher::new(&q, &d, cfg).unwrap();
+        let matcher = GupMatcher::<1>::new(&q, &d, cfg).unwrap();
         assert_eq!(
             matcher.run().embedding_count(),
             matcher.run_parallel(1).embedding_count()

@@ -112,7 +112,11 @@ impl Coordinator {
 /// sequential engine (the golden fixtures and the determinism suite pin this). Thin
 /// adapter over [`run_parallel_with_sink`]; embeddings are collected or discarded
 /// according to `GupConfig::collect_embeddings`.
-pub fn run_parallel(gcs: &Gcs, config: &GupConfig, threads: usize) -> SearchOutcome {
+pub fn run_parallel<const W: usize>(
+    gcs: &Gcs<W>,
+    config: &GupConfig,
+    threads: usize,
+) -> SearchOutcome {
     if config.collect_embeddings {
         let mut sink = CollectAll::new();
         let stats = run_parallel_with_sink(gcs, config, threads, &mut sink);
@@ -148,8 +152,8 @@ pub fn run_parallel(gcs: &Gcs, config: &GupConfig, threads: usize) -> SearchOutc
 /// arbitrary live stop requires serializing every report through the caller's sink
 /// anyway, and the sequential path does that with the exact Stop-is-immediate,
 /// nothing-buffered contract.
-pub fn run_parallel_with_sink(
-    gcs: &Gcs,
+pub fn run_parallel_with_sink<const W: usize>(
+    gcs: &Gcs<W>,
     config: &GupConfig,
     threads: usize,
     sink: &mut dyn EmbeddingSink,
@@ -267,9 +271,9 @@ fn seed_tasks(root_candidates: usize, workers: usize, config: &GupConfig) -> Vec
 /// the run is globally out of work or a limit fired. Reserved embeddings go into a
 /// worker-local buffer sink (or are merely counted when `buffer_embeddings` is
 /// false); the driver merges the buffers deterministically afterwards.
-fn worker_loop(
+fn worker_loop<const W: usize>(
     me: usize,
-    gcs: &Gcs,
+    gcs: &Gcs<W>,
     config: &GupConfig,
     coordinator: &Coordinator,
     shared_embeddings: Option<Arc<AtomicU64>>,
@@ -361,7 +365,7 @@ mod tests {
     use gup_graph::generate::{power_law_graph, PowerLawConfig};
 
     fn build(query: &gup_graph::Graph, data: &gup_graph::Graph, cfg: &GupConfig) -> Gcs {
-        Gcs::build(query, data, cfg).unwrap()
+        Gcs::<1>::build(query, data, cfg).unwrap()
     }
 
     #[test]

@@ -25,11 +25,11 @@ use gup_graph::{QVSet, VertexId};
 
 /// Inverse candidate index: for each data vertex, the set of query vertices that have
 /// it as a candidate (`C⁻¹(v)` in the paper).
-pub(crate) struct InverseCandidates {
-    sets: Vec<QVSet>,
+pub(crate) struct InverseCandidates<const W: usize> {
+    sets: Vec<QVSet<W>>,
 }
 
-impl InverseCandidates {
+impl<const W: usize> InverseCandidates<W> {
     /// Builds the inverse index from a candidate space. `data_vertex_count` bounds the
     /// data-vertex id range.
     pub(crate) fn build(space: &CandidateSpace, data_vertex_count: usize) -> Self {
@@ -44,7 +44,7 @@ impl InverseCandidates {
 
     /// `C⁻¹(v)[: i]`: query vertices earlier than `u_i` that have `v` as a candidate.
     #[inline]
-    fn before(&self, v: VertexId, i: usize) -> QVSet {
+    fn before(&self, v: VertexId, i: usize) -> QVSet<W> {
         self.sets[v as usize].below(i)
     }
 }
@@ -58,9 +58,13 @@ impl InverseCandidates {
 /// exhaustively up to 12 members; for larger sets only the full set and singletons are
 /// checked (an over-approximation of matchability, which can only cost pruning power,
 /// never correctness).
-pub(crate) fn is_matchable(set: &[VertexId], i: usize, inverse: &InverseCandidates) -> bool {
+pub(crate) fn is_matchable<const W: usize>(
+    set: &[VertexId],
+    i: usize,
+    inverse: &InverseCandidates<W>,
+) -> bool {
     // Condition (i).
-    let per_vertex: Vec<QVSet> = set.iter().map(|&v| inverse.before(v, i)).collect();
+    let per_vertex: Vec<QVSet<W>> = set.iter().map(|&v| inverse.before(v, i)).collect();
     if per_vertex.iter().any(|s| s.is_empty()) {
         return false;
     }
@@ -93,11 +97,11 @@ pub(crate) fn is_matchable(set: &[VertexId], i: usize, inverse: &InverseCandidat
 /// contain at most `limit` vertices. Follows the 2-approximation of CLRS (add both
 /// endpoints of an uncovered edge), falling back to a single endpoint when adding both
 /// would violate a constraint. Returns `None` when no constrained cover is found.
-pub(crate) fn constrained_vertex_cover(
+pub(crate) fn constrained_vertex_cover<const W: usize>(
     edges: &[(VertexId, VertexId)],
     limit: Option<usize>,
     i: usize,
-    inverse: &InverseCandidates,
+    inverse: &InverseCandidates<W>,
 ) -> Option<Vec<VertexId>> {
     let fits = |s: &[VertexId]| limit.map_or(true, |r| s.len() <= r);
     let mut cover: Vec<VertexId> = Vec::new();
@@ -137,14 +141,14 @@ pub(crate) fn constrained_vertex_cover(
 /// Generates the reservation guards of every candidate vertex (Algorithm 1).
 ///
 /// `size_limit` is the paper's `r` (`None` = unbounded, the "r = ∞" setting of Fig. 8).
-pub fn generate_reservation_guards(
-    query: &OrderedQuery,
+pub fn generate_reservation_guards<const W: usize>(
+    query: &OrderedQuery<W>,
     space: &CandidateSpace,
     data_vertex_count: usize,
     size_limit: Option<usize>,
 ) -> Vec<Vec<ReservationGuard>> {
     let n = query.vertex_count();
-    let inverse = InverseCandidates::build(space, data_vertex_count);
+    let inverse = InverseCandidates::<W>::build(space, data_vertex_count);
     let mut guards: Vec<Vec<ReservationGuard>> = (0..n)
         .map(|u| vec![ReservationGuard::default(); space.candidates(u).len()])
         .collect();
@@ -225,7 +229,7 @@ mod tests {
     #[test]
     fn inverse_candidates_reflect_membership() {
         let (_oq, cs, n) = paper_setup();
-        let inv = InverseCandidates::build(&cs, n);
+        let inv = InverseCandidates::<1>::build(&cs, n);
         // v0 (label A) is a candidate of u0 and u4 only.
         assert_eq!(inv.sets[0], QVSet::from_iter([0, 4]));
         // Restriction below u1 keeps only u0.
@@ -236,7 +240,7 @@ mod tests {
     #[test]
     fn matchability_conditions() {
         let (_oq, cs, n) = paper_setup();
-        let inv = InverseCandidates::build(&cs, n);
+        let inv = InverseCandidates::<1>::build(&cs, n);
         // Example 3.8 of the paper: {v0, v1} is NOT matchable as a reservation guard of
         // a u1 candidate because both can only be assigned from u0 before u1.
         assert!(!is_matchable(&[0, 1], 1, &inv));
@@ -253,7 +257,7 @@ mod tests {
     #[test]
     fn constrained_cover_respects_limit_and_matchability() {
         let (_oq, cs, n) = paper_setup();
-        let inv = InverseCandidates::build(&cs, n);
+        let inv = InverseCandidates::<1>::build(&cs, n);
         // Edges that force {v0} as a cover at i = 4 (v0 is assignable from u0 before u4).
         let edges = vec![(0u32, 0u32)];
         let cover = constrained_vertex_cover(&edges, Some(3), 4, &inv).unwrap();

@@ -84,11 +84,11 @@ pub struct SplitHandle {
 
 /// Result of exploring one extension / partial embedding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum StepResult {
+enum StepResult<const W: usize> {
     /// The subtree produced at least one embedding.
     NotDeadend,
     /// The partial embedding is a deadend; the payload is its deadend mask.
-    Deadend(QVSet),
+    Deadend(QVSet<W>),
     /// A termination limit fired; unwind without recording further guards.
     Aborted,
 }
@@ -136,8 +136,8 @@ impl EmbeddingSink for DefaultSink {
 /// The sequential guarded backtracking engine. One instance per (GCS, search): it owns
 /// the mutable per-search state, including the nogood-guard stores (which the parallel
 /// engine keeps thread-local, §3.5.2).
-pub struct SearchEngine<'a> {
-    gcs: &'a Gcs,
+pub struct SearchEngine<'a, const W: usize = 1> {
+    gcs: &'a Gcs<W>,
     features: PruningFeatures,
     limits: SearchLimits,
 
@@ -147,7 +147,9 @@ pub struct SearchEngine<'a> {
     /// Data vertex assigned to each query vertex.
     assignment_data: Vec<VertexId>,
     /// For each data vertex: 0 if unassigned, otherwise (query vertex index + 1).
-    owner: Vec<u8>,
+    /// `u16` so the widest supported queries (up to 256 vertices, owner values up
+    /// to 257) can never wrap — a `u8` would silently alias query vertices ≥ 255.
+    owner: Vec<u16>,
     /// Ancestor array of the current search node (`anc[d]` = node id of the length-`d`
     /// prefix; `anc[0]` is the imaginary root).
     anc: Vec<NodeId>,
@@ -156,11 +158,11 @@ pub struct SearchEngine<'a> {
     /// local candidate set.
     cand_stack: Vec<Vec<Vec<u32>>>,
     /// Stack of bounding sets per query vertex, parallel to `cand_stack`.
-    bound_stack: Vec<Vec<QVSet>>,
+    bound_stack: Vec<Vec<QVSet<W>>>,
     /// Nogood guards on candidate vertices (populated during the search).
-    nv: VertexGuardStore,
+    nv: VertexGuardStore<W>,
     /// Nogood guards on candidate edges (populated during the search).
-    ne: EdgeGuardStore,
+    ne: EdgeGuardStore<W>,
 
     stats: SearchStats,
     /// Backs the legacy `Vec`-returning entry points; the sink-based entry points
@@ -196,9 +198,9 @@ pub struct SearchEngine<'a> {
     split: Option<SplitHandle>,
 }
 
-impl<'a> SearchEngine<'a> {
+impl<'a, const W: usize> SearchEngine<'a, W> {
     /// Creates an engine for one search over `gcs` under `config`.
-    pub fn new(gcs: &'a Gcs, config: &GupConfig) -> Self {
+    pub fn new(gcs: &'a Gcs<W>, config: &GupConfig) -> Self {
         let n = gcs.query().vertex_count();
         let cand_stack = (0..n)
             .map(|u| {
@@ -320,7 +322,7 @@ impl<'a> SearchEngine<'a> {
 
     /// Runs the search and additionally returns the populated guard stores (used by
     /// the memory-consumption experiment, Table 3).
-    pub fn run_with_guards(mut self) -> (SearchOutcome, VertexGuardStore, EdgeGuardStore) {
+    pub fn run_with_guards(mut self) -> (SearchOutcome, VertexGuardStore<W>, EdgeGuardStore<W>) {
         if !self.gcs.is_empty() {
             let task = self.root_task();
             self.run_task(task);
@@ -369,7 +371,7 @@ impl<'a> SearchEngine<'a> {
                 alive = false;
                 break;
             }
-            self.owner[v as usize] = k as u8 + 1;
+            self.owner[v as usize] = k as u16 + 1;
             self.assignment[k] = cv;
             self.assignment_data[k] = v;
             let node = self.next_node_id;
@@ -412,7 +414,7 @@ impl<'a> SearchEngine<'a> {
     // Core recursion
     // ------------------------------------------------------------------------------
 
-    fn backtrack(&mut self, k: usize, sink: &mut dyn EmbeddingSink) -> StepResult {
+    fn backtrack(&mut self, k: usize, sink: &mut dyn EmbeddingSink) -> StepResult<W> {
         let n = self.gcs.query().vertex_count();
         if k == n {
             return if self.try_record_embedding(sink) {
@@ -428,10 +430,10 @@ impl<'a> SearchEngine<'a> {
         self.maybe_donate(k);
 
         let mut found_any = false;
-        let mut mask_union = QVSet::EMPTY;
-        let mut mask_without_k: Option<QVSet> = None;
+        let mut mask_union = QVSet::<W>::EMPTY;
+        let mut mask_without_k: Option<QVSet<W>> = None;
         let mut aborted = false;
-        let mut backjump_mask: Option<QVSet> = None;
+        let mut backjump_mask: Option<QVSet<W>> = None;
 
         let at_base = k == self.task_base;
         let level = self.cand_stack[k].len() - 1;
@@ -455,11 +457,11 @@ impl<'a> SearchEngine<'a> {
 
             // --- Conflict checks before extension (Algorithm 2, lines 4–5) ----------
             let conflict = self.pre_extension_conflict(k, cv, v);
-            let child_mask: Option<QVSet> = if let Some(mask) = conflict {
+            let child_mask: Option<QVSet<W>> = if let Some(mask) = conflict {
                 Some(mask)
             } else {
                 // --- Extend and refine local candidates (lines 6–8) ------------------
-                self.owner[v as usize] = k as u8 + 1;
+                self.owner[v as usize] = k as u16 + 1;
                 self.assignment[k] = cv;
                 self.assignment_data[k] = v;
                 let node = self.next_node_id;
@@ -590,7 +592,7 @@ impl<'a> SearchEngine<'a> {
     /// Conflict checks performed before extending with candidate `cv` / data vertex
     /// `v` of query vertex `u_k` (Definition 3.22 cases 1–3). Returns the conflict mask
     /// when a conflict is found.
-    fn pre_extension_conflict(&mut self, k: usize, cv: u32, v: VertexId) -> Option<QVSet> {
+    fn pre_extension_conflict(&mut self, k: usize, cv: u32, v: VertexId) -> Option<QVSet<W>> {
         // (1) Injectivity conflict.
         let owner = self.owner[v as usize];
         if owner != 0 {
@@ -633,7 +635,7 @@ impl<'a> SearchEngine<'a> {
     /// neighbor. On success returns the list of pushed query vertices; on a
     /// no-candidate conflict returns the bounding set of the emptied vertex
     /// (Definition 3.23 case 4), having already undone its own pushes.
-    fn refine_forward(&mut self, k: usize, cv: u32, v: VertexId) -> Result<Vec<usize>, QVSet> {
+    fn refine_forward(&mut self, k: usize, cv: u32, v: VertexId) -> Result<Vec<usize>, QVSet<W>> {
         let _ = v;
         let forward_count = self.gcs.query().forward_neighbors(k).len();
         let mut pushed: Vec<usize> = Vec::with_capacity(forward_count);
@@ -724,7 +726,7 @@ impl<'a> SearchEngine<'a> {
     /// Records the nogood `(M ⊕ v)[mask]` as a nogood guard on a candidate vertex and,
     /// when possible, on a candidate edge (§3.3.2–3.3.3 plus the search-node encoding
     /// of §3.5.1).
-    fn record_nogood(&mut self, k: usize, cv: u32, v: VertexId, mask: QVSet) {
+    fn record_nogood(&mut self, k: usize, cv: u32, v: VertexId, mask: QVSet<W>) {
         let _ = v;
         let Some(last) = mask.max() else {
             // The empty nogood: no embedding exists anywhere; nothing to attach it to.
@@ -765,7 +767,7 @@ impl<'a> SearchEngine<'a> {
 
     /// Search-node encoding of the assignment set `M[dom]` (Definition 3.36): round the
     /// set up to its minimum superset embedding and store `(node id, length, domain)`.
-    fn encode(&self, dom: QVSet) -> NogoodRef {
+    fn encode(&self, dom: QVSet<W>) -> NogoodRef<W> {
         match dom.max() {
             None => NogoodRef {
                 id: self.anc[0],
@@ -833,7 +835,7 @@ mod tests {
     use gup_graph::fixtures;
 
     fn run(query: &gup_graph::Graph, data: &gup_graph::Graph, config: &GupConfig) -> SearchOutcome {
-        let gcs = Gcs::build(query, data, config).unwrap();
+        let gcs = Gcs::<1>::build(query, data, config).unwrap();
         SearchEngine::new(&gcs, config).run()
     }
 
@@ -842,7 +844,7 @@ mod tests {
         let (q, d) = fixtures::paper_example();
         let mut cfg = GupConfig::collecting();
         cfg.limits = SearchLimits::UNLIMITED;
-        let gcs = Gcs::build(&q, &d, &cfg).unwrap();
+        let gcs = Gcs::<1>::build(&q, &d, &cfg).unwrap();
         let outcome = SearchEngine::new(&gcs, &cfg).run();
         assert!(outcome.stats.embeddings >= 1);
         // Every reported embedding must satisfy all three isomorphism constraints.
@@ -1061,7 +1063,7 @@ mod tests {
             collect_embeddings: true,
             ..GupConfig::default()
         };
-        let gcs = Gcs::build(&q, &d, &cfg).unwrap();
+        let gcs = Gcs::<1>::build(&q, &d, &cfg).unwrap();
         let root_candidates = gcs.space().candidates(0).len();
         let mut total = 0u64;
         for i in 0..root_candidates {

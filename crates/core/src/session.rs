@@ -21,6 +21,15 @@
 //! share everything downstream of the initial filter pass (which they run against
 //! the borrowed graph, so one-shot callers never pay a clone or an index build).
 //!
+//! Queries of up to 256 vertices are accepted: each request is dispatched to the
+//! narrowest monomorphized query-vertex bitset width that fits
+//! ([`Qv64`]/[`Qv128`]/[`Qv256`]), so ≤64-vertex queries compile to exactly the
+//! one-word engine while larger template queries run on two or four words.
+//!
+//! [`Qv64`]: gup_graph::Qv64
+//! [`Qv128`]: gup_graph::Qv128
+//! [`Qv256`]: gup_graph::Qv256
+//!
 //! [`run`]: QueryRequest::run
 //! [`count`]: QueryRequest::count
 //! [`run_with_sink`]: QueryRequest::run_with_sink
@@ -84,8 +93,9 @@ pub enum Engine {
     Ri,
     /// Edge-at-a-time join enumeration (RapidMatch stand-in).
     Join,
-    /// The brute-force oracle (small instances only; time limits and the batch
-    /// deadline are enforced only between reported embeddings).
+    /// The brute-force oracle (small instances only). Time limits and the batch
+    /// deadline are sampled periodically *inside* the enumeration, so even a
+    /// zero-match query observes them.
     BruteForce,
 }
 
@@ -365,32 +375,50 @@ impl<'s, 'q> QueryRequest<'s, 'q> {
 }
 
 /// Routes one query to its engine family, all against the session's shared
-/// [`PreparedData`].
+/// [`PreparedData`]. The engine is monomorphized over the narrowest query-vertex
+/// bitset width that fits the query (≤64 vertices compile to exactly the one-word
+/// fast path), and the time budget is hoisted into one absolute deadline up front:
+/// a budget that is already exhausted — e.g. by an earlier query of a batch —
+/// fails fast with `hit_time_limit` before any filter pass runs.
 fn dispatch(
     session: &Session,
     query: &Graph,
     engine: Engine,
-    config: GupConfig,
+    mut config: GupConfig,
     threads: usize,
     sink: &mut dyn EmbeddingSink,
 ) -> Result<SearchStats, SessionError> {
     let prepared: &PreparedData = &session.prepared;
+    // Hoist the budget once so every engine (and every parallel worker) shares the
+    // same clock, then fail fast when nothing of it remains: an expired deadline
+    // must not buy a candidate-space build, a filter pass, or an unlimited run.
+    config.limits.deadline = config.limits.effective_deadline();
+    if let Some(deadline) = config.limits.deadline {
+        if Instant::now() >= deadline {
+            return Ok(SearchStats {
+                hit_time_limit: true,
+                ..SearchStats::default()
+            });
+        }
+    }
     match engine {
-        Engine::Gup => {
-            let matcher = GupMatcher::with_prepared(query, prepared, config)?;
+        Engine::Gup => crate::with_qv_width!(query.vertex_count(), W, {
+            let matcher = GupMatcher::<W>::with_prepared(query, prepared, config)?;
             Ok(if threads > 1 {
                 matcher.run_parallel_with_sink(threads, sink)
             } else {
                 matcher.run_with_sink(sink)
             })
-        }
+        }),
         Engine::Plain | Engine::Daf | Engine::Gql | Engine::Ri => {
             let kind = engine
                 .baseline_kind()
                 .expect("baseline engines have a kind");
-            let matcher = BacktrackingBaseline::with_prepared(query, prepared, kind)?;
-            let result = matcher.run_with_sink(baseline_limits(&config), sink);
-            Ok(stats_from_baseline(&result))
+            crate::with_qv_width!(query.vertex_count(), W, {
+                let matcher = BacktrackingBaseline::<W>::with_prepared(query, prepared, kind)?;
+                let result = matcher.run_with_sink(baseline_limits(&config), sink);
+                Ok(stats_from_baseline(&result))
+            })
         }
         Engine::Join => {
             let matcher = JoinBaseline::with_prepared(query, prepared, OrderingStrategy::GqlStyle)?;
@@ -403,20 +431,29 @@ fn dispatch(
             QueryGraph::new(query.clone()).map_err(SessionError::InvalidQuery)?;
             let configured_limit = config.limits.max_embeddings;
             let capacity = sink.capacity();
+            let deadline = config.limits.deadline;
             let mut limited = LimitSink {
                 inner: sink,
                 reported: 0,
                 max: min_limit(configured_limit, capacity),
-                deadline: config.limits.effective_deadline(),
+                deadline,
                 hit_limit: false,
                 hit_deadline: false,
                 inner_stopped: false,
             };
-            brute_force::enumerate_with_sink_prepared(query, prepared, &mut limited);
+            // The deadline is threaded into the enumeration itself (sampled every
+            // `brute_force::DEADLINE_CHECK_INTERVAL` steps), so a zero-match query
+            // — whose sink is never called — still observes the budget.
+            let expired = brute_force::enumerate_with_sink_prepared_deadline(
+                query,
+                prepared,
+                &mut limited,
+                deadline,
+            );
             let mut stats = SearchStats {
                 embeddings: limited.reported,
                 hit_embedding_limit: limited.hit_limit,
-                hit_time_limit: limited.hit_deadline,
+                hit_time_limit: limited.hit_deadline || expired,
                 stopped_by_sink: limited.inner_stopped,
                 ..SearchStats::default()
             };
@@ -427,7 +464,10 @@ fn dispatch(
 }
 
 /// Translates the session's limits into the baseline engines' record. A hoisted
-/// shared deadline (batch mode) becomes the remaining wall-clock budget.
+/// shared deadline (batch mode) becomes the remaining wall-clock budget. An
+/// already-expired deadline never reaches this point — [`dispatch`] fails fast
+/// before constructing an engine — so the saturation to `Duration::ZERO` can only
+/// shave the final scheduling jitter, not silently grant an unlimited run.
 fn baseline_limits(config: &GupConfig) -> BaselineLimits {
     let time_limit = match config.limits.deadline {
         Some(deadline) => Some(deadline.saturating_duration_since(Instant::now())),
@@ -454,10 +494,10 @@ fn stats_from_baseline(result: &BaselineResult) -> SearchStats {
 }
 
 /// Enforces an embedding limit and a wall-clock deadline around a sink for engines
-/// that do not implement them themselves (the brute-force oracle). The deadline is
-/// only observable **between reported embeddings** — a stretch of search that finds
-/// nothing cannot be interrupted, which is acceptable for the oracle's
-/// small-instances-only contract.
+/// that do not implement the limit themselves (the brute-force oracle). The
+/// deadline here fires between reported embeddings; the stretch-of-search-finding-
+/// nothing case is covered by the deadline threaded into the enumeration itself
+/// ([`brute_force::enumerate_with_sink_prepared_deadline`]).
 struct LimitSink<'a> {
     inner: &'a mut dyn EmbeddingSink,
     reported: u64,

@@ -10,15 +10,17 @@
 //! * [`GraphBuilder`] — incremental construction with de-duplication of parallel edges
 //!   and removal of self loops (the paper assumes simple graphs).
 //! * [`QueryGraph`] — a thin wrapper over [`Graph`] that validates the properties the
-//!   matcher relies on (connectivity, ≤ 64 vertices for bitset masks) and exposes
-//!   forward/backward neighbor views under a matching order.
+//!   matcher relies on (connectivity, ≤ [`MAX_QUERY_VERTICES`] vertices for bitset
+//!   masks) and exposes forward/backward neighbor views under a matching order.
 //! * [`PreparedData`] — an immutable, `Arc`-shareable per-data-graph index (label
 //!   inverted index, a flat arena of per-vertex neighborhood-label-frequency
 //!   signatures, degree/label stats and a max-NLF bound) built once and reused by
 //!   every query of a session.
-//! * [`QVSet`] — a 64-bit query-vertex set used throughout the matcher for conflict
-//!   masks, bounding sets, and nogood domains (O(1) set operations, as assumed by the
-//!   paper's complexity analysis).
+//! * [`QVSet`] — a width-generic query-vertex bitset (`W` 64-bit words, `W = 1` by
+//!   default) used throughout the matcher for conflict masks, bounding sets, and
+//!   nogood domains (O(1) set operations for any fixed width, as assumed by the
+//!   paper's complexity analysis). [`Qv64`]/[`Qv128`]/[`Qv256`] name the supported
+//!   instantiations.
 //! * Text I/O ([`io`]) in the common `t/v/e` format used by the subgraph-matching
 //!   community, random generators ([`generate`]) used by the workload crate, and the
 //!   small graph algorithms the matcher needs ([`algo`]: 2-core, connected components,
@@ -42,7 +44,7 @@
 //! assert_eq!(g.edge_count(), 3);
 //! assert!(g.has_edge(a, d));
 //!
-//! // Any connected graph with at most 64 vertices can be used as a query.
+//! // Any connected graph with at most 256 vertices can be used as a query.
 //! let q = QueryGraph::new(g.clone()).unwrap();
 //! assert_eq!(q.vertex_count(), 3);
 //! ```
@@ -66,4 +68,4 @@ pub use query::{QueryGraph, QueryGraphError};
 pub use sink::{
     CallbackSink, CollectAll, CountOnly, EmbeddingReservation, EmbeddingSink, FirstK, SinkControl,
 };
-pub use types::{Label, QVSet, VertexId, MAX_QUERY_VERTICES};
+pub use types::{words_for, Label, QVSet, Qv128, Qv256, Qv64, VertexId, MAX_QUERY_VERTICES};

@@ -3,9 +3,14 @@
 //! The matcher assumes (paper §2.2) that query-vertex ids are numbered in the matching
 //! order and that the order is *connected*: every query vertex except `u_0` has a
 //! neighbor with a smaller id. [`QueryGraph`] validates the structural requirements
-//! (connectivity, size ≤ 64) and [`OrderedQuery`] pre-computes backward/forward
-//! neighbor sets `N−(u_i)` / `N+(u_i)` once vertices are renumbered into the matching
-//! order.
+//! (connectivity, size ≤ [`MAX_QUERY_VERTICES`]) and [`OrderedQuery`] pre-computes
+//! backward/forward neighbor sets `N−(u_i)` / `N+(u_i)` once vertices are renumbered
+//! into the matching order.
+//!
+//! [`OrderedQuery`] is generic over the bitset width `W` of its neighbor sets
+//! (`QVSet<W>`, 64 vertices per word): the engine instantiates the narrowest width
+//! that fits the query, so ≤64-vertex queries keep the one-word fast path while
+//! 65–256-vertex queries run with two or four words.
 
 use crate::algo::{is_connected, two_core};
 use crate::graph::Graph;
@@ -20,18 +25,33 @@ pub enum QueryGraphError {
     TooLarge {
         /// Number of vertices in the rejected query.
         vertices: usize,
+        /// The ceiling that was exceeded: [`MAX_QUERY_VERTICES`] at the
+        /// [`QueryGraph`] boundary, or the instantiated width's capacity when a
+        /// width-specific engine rejects a query its bitsets cannot hold.
+        limit: usize,
     },
     /// The query is not connected; a connected matching order cannot exist.
     Disconnected,
+}
+
+impl QueryGraphError {
+    /// The `TooLarge` error for a query of `vertices` vertices at the global
+    /// [`MAX_QUERY_VERTICES`] ceiling.
+    pub fn too_large(vertices: usize) -> Self {
+        QueryGraphError::TooLarge {
+            vertices,
+            limit: MAX_QUERY_VERTICES,
+        }
+    }
 }
 
 impl std::fmt::Display for QueryGraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryGraphError::Empty => write!(f, "query graph has no vertices"),
-            QueryGraphError::TooLarge { vertices } => write!(
+            QueryGraphError::TooLarge { vertices, limit } => write!(
                 f,
-                "query graph has {vertices} vertices; at most {MAX_QUERY_VERTICES} are supported"
+                "query graph has {vertices} vertices; at most {limit} are supported"
             ),
             QueryGraphError::Disconnected => write!(f, "query graph is not connected"),
         }
@@ -54,9 +74,7 @@ impl QueryGraph {
             return Err(QueryGraphError::Empty);
         }
         if graph.vertex_count() > MAX_QUERY_VERTICES {
-            return Err(QueryGraphError::TooLarge {
-                vertices: graph.vertex_count(),
-            });
+            return Err(QueryGraphError::too_large(graph.vertex_count()));
         }
         if !is_connected(&graph) {
             return Err(QueryGraphError::Disconnected);
@@ -93,11 +111,31 @@ impl QueryGraph {
         self.average_degree() >= 3.0
     }
 
+    /// Checks that this query fits a width-`W` bitset engine (`64 * W` vertices).
+    /// The single source of the per-width `TooLarge` rule: every width-specific
+    /// engine constructor (`Gcs::<W>`, `BacktrackingBaseline::<W>`) delegates
+    /// here, so the capacity policy cannot diverge between engines.
+    pub fn check_width<const W: usize>(&self) -> Result<(), QueryGraphError> {
+        let capacity = crate::types::QVSet::<W>::CAPACITY;
+        if self.vertex_count() > capacity {
+            return Err(QueryGraphError::TooLarge {
+                vertices: self.vertex_count(),
+                limit: capacity,
+            });
+        }
+        Ok(())
+    }
+
     /// Renumbers the query vertices so that `order[i]` becomes vertex `u_i` and returns
-    /// the precomputed [`OrderedQuery`]. `order` must be a permutation of the query's
-    /// vertex ids and must be connected (each prefix induces a connected subgraph);
-    /// connectivity of the order is validated.
-    pub fn with_order(&self, order: &[VertexId]) -> Result<OrderedQuery, OrderError> {
+    /// the precomputed [`OrderedQuery`] at bitset width `W`. `order` must be a
+    /// permutation of the query's vertex ids and must be connected (each prefix
+    /// induces a connected subgraph); connectivity of the order is validated, and a
+    /// query with more vertices than `64 * W` is rejected with
+    /// [`OrderError::WidthExceeded`].
+    pub fn with_order<const W: usize>(
+        &self,
+        order: &[VertexId],
+    ) -> Result<OrderedQuery<W>, OrderError> {
         OrderedQuery::new(self, order)
     }
 }
@@ -112,6 +150,14 @@ pub enum OrderError {
         /// Position in the order at which connectivity fails.
         position: usize,
     },
+    /// The query does not fit the instantiated bitset width (the engine's width
+    /// dispatch picks a sufficient `W` before reaching this constructor).
+    WidthExceeded {
+        /// Number of vertices in the query.
+        vertices: usize,
+        /// Capacity of the requested width (`64 * W`).
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for OrderError {
@@ -124,6 +170,10 @@ impl std::fmt::Display for OrderError {
                 f,
                 "matching order is not connected: vertex at position {position} has no earlier neighbor"
             ),
+            OrderError::WidthExceeded { vertices, capacity } => write!(
+                f,
+                "query has {vertices} vertices but the instantiated bitset width holds only {capacity}"
+            ),
         }
     }
 }
@@ -131,27 +181,34 @@ impl std::fmt::Display for OrderError {
 impl std::error::Error for OrderError {}
 
 /// A query graph whose vertices have been renumbered into the matching order, with the
-/// neighbor views the backtracking engine needs.
+/// neighbor views the backtracking engine needs. `W` is the bitset width of the
+/// neighbor sets (64 query vertices per word).
 #[derive(Clone, Debug)]
-pub struct OrderedQuery {
+pub struct OrderedQuery<const W: usize = 1> {
     graph: Graph,
     /// For each `u_i`, its backward neighbors `N−(u_i) = {u_j ∈ N(u_i) | j < i}`.
     backward: Vec<Vec<usize>>,
     /// For each `u_i`, its forward neighbors `N+(u_i) = {u_j ∈ N(u_i) | j > i}`.
     forward: Vec<Vec<usize>>,
     /// Backward neighbors as bitsets.
-    backward_set: Vec<QVSet>,
+    backward_set: Vec<QVSet<W>>,
     /// Forward neighbors as bitsets.
-    forward_set: Vec<QVSet>,
+    forward_set: Vec<QVSet<W>>,
     /// Membership of each (renumbered) query vertex in the query's 2-core.
     in_two_core: Vec<bool>,
     /// Map from the renumbered vertex id back to the id in the original query graph.
     original_id: Vec<VertexId>,
 }
 
-impl OrderedQuery {
+impl<const W: usize> OrderedQuery<W> {
     fn new(query: &QueryGraph, order: &[VertexId]) -> Result<Self, OrderError> {
         let n = query.vertex_count();
+        if n > QVSet::<W>::CAPACITY {
+            return Err(OrderError::WidthExceeded {
+                vertices: n,
+                capacity: QVSet::<W>::CAPACITY,
+            });
+        }
         if order.len() != n {
             return Err(OrderError::NotAPermutation);
         }
@@ -227,13 +284,13 @@ impl OrderedQuery {
 
     /// Backward neighbors of `u_i` as a bitset.
     #[inline]
-    pub fn backward_set(&self, i: usize) -> QVSet {
+    pub fn backward_set(&self, i: usize) -> QVSet<W> {
         self.backward_set[i]
     }
 
     /// Forward neighbors of `u_i` as a bitset.
     #[inline]
-    pub fn forward_set(&self, i: usize) -> QVSet {
+    pub fn forward_set(&self, i: usize) -> QVSet<W> {
         self.forward_set[i]
     }
 
@@ -301,14 +358,55 @@ mod tests {
     }
 
     #[test]
-    fn rejects_oversized_query() {
+    fn accepts_queries_up_to_the_widest_bitset() {
+        // 65 vertices — beyond the one-word fast path, accepted since the engine
+        // went width-generic.
         let mut b = crate::GraphBuilder::new();
         b.add_vertices(65, 0);
         for i in 0..64u32 {
             b.add_edge(i, i + 1);
         }
+        let q = QueryGraph::new(b.build()).unwrap();
+        assert_eq!(q.vertex_count(), 65);
+    }
+
+    #[test]
+    fn rejects_oversized_query_at_the_global_ceiling() {
+        let mut b = crate::GraphBuilder::new();
+        b.add_vertices(MAX_QUERY_VERTICES + 1, 0);
+        for i in 0..MAX_QUERY_VERTICES as u32 {
+            b.add_edge(i, i + 1);
+        }
         let err = QueryGraph::new(b.build()).unwrap_err();
-        assert!(matches!(err, QueryGraphError::TooLarge { vertices: 65 }));
+        assert_eq!(
+            err,
+            QueryGraphError::TooLarge {
+                vertices: MAX_QUERY_VERTICES + 1,
+                limit: MAX_QUERY_VERTICES,
+            }
+        );
+        assert!(format!("{err}").contains("at most 256"));
+    }
+
+    #[test]
+    fn ordered_query_rejects_insufficient_width() {
+        let mut b = crate::GraphBuilder::new();
+        b.add_vertices(65, 0);
+        for i in 0..64u32 {
+            b.add_edge(i, i + 1);
+        }
+        let q = QueryGraph::new(b.build()).unwrap();
+        let order: Vec<VertexId> = (0..65).collect();
+        let err = q.with_order::<1>(&order).unwrap_err();
+        assert_eq!(
+            err,
+            OrderError::WidthExceeded {
+                vertices: 65,
+                capacity: 64,
+            }
+        );
+        // Two words fit.
+        assert!(q.with_order::<2>(&order).is_ok());
     }
 
     #[test]
@@ -326,7 +424,7 @@ mod tests {
     #[test]
     fn ordered_query_neighbor_views() {
         let q = paper_query();
-        let oq = q.with_order(&[0, 1, 2, 3, 4]).unwrap();
+        let oq = q.with_order::<1>(&[0, 1, 2, 3, 4]).unwrap();
         assert_eq!(oq.backward_neighbors(0), &[] as &[usize]);
         assert_eq!(oq.backward_neighbors(1), &[0]);
         assert_eq!(oq.backward_neighbors(4), &[0, 3]);
@@ -340,12 +438,12 @@ mod tests {
     fn ordered_query_validates_connected_order() {
         let q = paper_query();
         // 0,2 is not connected: u1=2 has no neighbor among {0}.
-        let err = q.with_order(&[0, 2, 1, 3, 4]).unwrap_err();
+        let err = q.with_order::<1>(&[0, 2, 1, 3, 4]).unwrap_err();
         assert!(matches!(err, OrderError::NotConnected { position: 1 }));
         // Not a permutation.
-        let err = q.with_order(&[0, 0, 1, 2, 3]).unwrap_err();
+        let err = q.with_order::<1>(&[0, 0, 1, 2, 3]).unwrap_err();
         assert_eq!(err, OrderError::NotAPermutation);
-        let err = q.with_order(&[0, 1, 2]).unwrap_err();
+        let err = q.with_order::<1>(&[0, 1, 2]).unwrap_err();
         assert_eq!(err, OrderError::NotAPermutation);
     }
 
@@ -357,19 +455,19 @@ mod tests {
             &[(0, 1), (1, 2), (2, 0), (2, 3)],
         ))
         .unwrap();
-        let oq = q.with_order(&[0, 1, 2, 3]).unwrap();
+        let oq = q.with_order::<1>(&[0, 1, 2, 3]).unwrap();
         assert!(oq.in_two_core(0));
         assert!(oq.in_two_core(2));
         assert!(!oq.in_two_core(3));
         // The whole 5-cycle is its own 2-core.
-        let cyc = paper_query().with_order(&[0, 1, 2, 3, 4]).unwrap();
+        let cyc = paper_query().with_order::<1>(&[0, 1, 2, 3, 4]).unwrap();
         assert!((0..5).all(|i| cyc.in_two_core(i)));
     }
 
     #[test]
     fn reordering_preserves_labels_and_original_ids() {
         let q = paper_query();
-        let oq = q.with_order(&[2, 1, 0, 4, 3]).unwrap();
+        let oq = q.with_order::<1>(&[2, 1, 0, 4, 3]).unwrap();
         assert_eq!(oq.original_id(0), 2);
         assert_eq!(oq.graph().label(0), 2); // label C moved with original vertex 2
         assert_eq!(oq.original_id(4), 3);
@@ -380,7 +478,7 @@ mod tests {
     #[test]
     fn embedding_translation_back_to_original_ids() {
         let q = paper_query();
-        let oq = q.with_order(&[4, 3, 2, 1, 0]).unwrap();
+        let oq = q.with_order::<1>(&[4, 3, 2, 1, 0]).unwrap();
         // Renumbered embedding assigns u_i -> 100+i.
         let emb: Vec<u32> = (0..5).map(|i| 100 + i).collect();
         let back = oq.embedding_in_original_ids(&emb);

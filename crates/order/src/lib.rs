@@ -17,7 +17,7 @@
 //!
 //! let (query, _data) = paper_example();
 //! // Pretend every query vertex has 3 candidates.
-//! let order = compute_order(&query, &[3, 3, 3, 3, 3], OrderingStrategy::VcStyle);
+//! let order = compute_order(&query, &[3, 3, 3, 3, 3], OrderingStrategy::VcStyle).unwrap();
 //! assert_eq!(order.len(), query.vertex_count());
 //! ```
 
@@ -62,6 +62,30 @@ impl OrderingStrategy {
     }
 }
 
+/// Error returned when no connected matching order exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderingError {
+    /// The query graph is disconnected: some vertex can never gain an earlier
+    /// neighbor, so no connected order exists for any strategy.
+    Disconnected {
+        /// A vertex outside the component the order started in.
+        vertex: VertexId,
+    },
+}
+
+impl std::fmt::Display for OrderingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderingError::Disconnected { vertex } => write!(
+                f,
+                "query graph is disconnected (vertex {vertex} is unreachable); no connected matching order exists"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OrderingError {}
+
 /// Computes a connected matching order over `query`.
 ///
 /// `candidate_sizes[u]` is the size of the candidate set `|C(u)|` of query vertex `u`
@@ -69,17 +93,19 @@ impl OrderingStrategy {
 /// ignore it. The result is a permutation of the query vertices: `order[i]` is the
 /// query vertex that becomes `u_i`.
 ///
+/// A disconnected query returns [`OrderingError::Disconnected`] — no strategy can
+/// produce a connected order for it, and silently padding the order with unreachable
+/// vertices would hand a non-connected order to any caller that bypasses
+/// `QueryGraph::new` validation.
+///
 /// # Panics
 ///
 /// Panics if `candidate_sizes.len() != query.vertex_count()` or the query is empty.
-/// If the query is disconnected the returned order is connected within each component
-/// (later components start fresh), which the caller's validation will reject — query
-/// validation is `QueryGraph::new`'s job.
 pub fn compute_order(
     query: &Graph,
     candidate_sizes: &[usize],
     strategy: OrderingStrategy,
-) -> Vec<VertexId> {
+) -> Result<Vec<VertexId>, OrderingError> {
     assert_eq!(
         candidate_sizes.len(),
         query.vertex_count(),
@@ -116,7 +142,10 @@ pub fn is_connected_order(query: &Graph, order: &[VertexId]) -> bool {
     true
 }
 
-fn connected_bfs_order(query: &Graph, candidate_sizes: &[usize]) -> Vec<VertexId> {
+fn connected_bfs_order(
+    query: &Graph,
+    candidate_sizes: &[usize],
+) -> Result<Vec<VertexId>, OrderingError> {
     let n = query.vertex_count();
     let root = (0..n as VertexId)
         .min_by_key(|&v| (candidate_sizes[v as usize], v))
@@ -135,13 +164,10 @@ fn connected_bfs_order(query: &Graph, candidate_sizes: &[usize]) -> Vec<VertexId
             }
         }
     }
-    // Disconnected remainder (rejected later by query validation, but keep total).
-    for v in 0..n as VertexId {
-        if !visited[v as usize] {
-            order.push(v);
-        }
+    if let Some(v) = (0..n as VertexId).find(|&v| !visited[v as usize]) {
+        return Err(OrderingError::Disconnected { vertex: v });
     }
-    order
+    Ok(order)
 }
 
 #[derive(Clone, Copy)]
@@ -153,7 +179,11 @@ enum Heuristic {
 
 /// Greedy frontier-based ordering shared by the GQL / RI / VC styles; only the scoring
 /// of frontier vertices differs.
-fn greedy_order(query: &Graph, candidate_sizes: &[usize], heuristic: Heuristic) -> Vec<VertexId> {
+fn greedy_order(
+    query: &Graph,
+    candidate_sizes: &[usize],
+    heuristic: Heuristic,
+) -> Result<Vec<VertexId>, OrderingError> {
     let n = query.vertex_count();
     let core = two_core(query);
     let mut ordered = vec![false; n];
@@ -203,8 +233,10 @@ fn greedy_order(query: &Graph, candidate_sizes: &[usize], heuristic: Heuristic) 
             .filter(|&v| !ordered[v as usize] && back_links[v as usize] > 0)
             .collect();
         let next = if frontier.is_empty() {
-            // Disconnected query: start a new component (validation rejects it later).
-            (0..n as VertexId).find(|&v| !ordered[v as usize]).unwrap()
+            // No unordered vertex touches the ordered prefix: the query is
+            // disconnected and no connected order exists.
+            let v = (0..n as VertexId).find(|&v| !ordered[v as usize]).unwrap();
+            return Err(OrderingError::Disconnected { vertex: v });
         } else {
             match heuristic {
                 Heuristic::Gql => frontier
@@ -243,7 +275,7 @@ fn greedy_order(query: &Graph, candidate_sizes: &[usize], heuristic: Heuristic) 
         select(next, &mut ordered, &mut back_links);
         order.push(next);
     }
-    order
+    Ok(order)
 }
 
 #[cfg(test)]
@@ -260,7 +292,7 @@ mod tests {
     fn all_strategies_produce_connected_permutations() {
         let (q, _d) = fixtures::paper_example();
         for &s in &OrderingStrategy::ALL {
-            let order = compute_order(&q, &sizes(5, 4), s);
+            let order = compute_order(&q, &sizes(5, 4), s).unwrap();
             assert!(is_connected_order(&q, &order), "strategy {:?}", s);
         }
     }
@@ -279,7 +311,7 @@ mod tests {
         for q in &shapes {
             let cand = sizes(q.vertex_count(), 10);
             for &s in &OrderingStrategy::ALL {
-                let order = compute_order(q, &cand, s);
+                let order = compute_order(q, &cand, s).unwrap();
                 assert!(is_connected_order(q, &order), "strategy {:?} on {:?}", s, q);
             }
         }
@@ -289,7 +321,7 @@ mod tests {
     fn gql_prefers_small_candidate_sets_first() {
         let (q, _d) = fixtures::paper_example();
         let cand = vec![50, 40, 1, 30, 20];
-        let order = compute_order(&q, &cand, OrderingStrategy::GqlStyle);
+        let order = compute_order(&q, &cand, OrderingStrategy::GqlStyle).unwrap();
         assert_eq!(order[0], 2);
     }
 
@@ -298,7 +330,7 @@ mod tests {
         // Star center has huge degree; with equal candidate counts it should be picked
         // first by the VC heuristic (lowest candidates/degree ratio).
         let star = graph_from_edges(&[0, 1, 1, 1, 1], &[(0, 1), (0, 2), (0, 3), (0, 4)]);
-        let order = compute_order(&star, &sizes(5, 10), OrderingStrategy::VcStyle);
+        let order = compute_order(&star, &sizes(5, 10), OrderingStrategy::VcStyle).unwrap();
         assert_eq!(order[0], 0);
     }
 
@@ -307,7 +339,7 @@ mod tests {
         // Square with one diagonal: 0-1-2-3-0 plus 0-2. RI should order the triangle
         // vertices (0,1,2 or 0,2,x) before the degree-2 corner 3 whenever possible.
         let q = graph_from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
-        let order = compute_order(&q, &sizes(4, 10), OrderingStrategy::RiStyle);
+        let order = compute_order(&q, &sizes(4, 10), OrderingStrategy::RiStyle).unwrap();
         assert!(is_connected_order(&q, &order));
         let pos3 = order.iter().position(|&v| v == 3).unwrap();
         assert_eq!(pos3, 3, "the lowest-connectivity vertex should come last");
@@ -317,7 +349,7 @@ mod tests {
     fn single_vertex_query_order() {
         let q = graph_from_edges(&[5], &[]);
         for &s in &OrderingStrategy::ALL {
-            assert_eq!(compute_order(&q, &[1], s), vec![0]);
+            assert_eq!(compute_order(&q, &[1], s).unwrap(), vec![0]);
         }
     }
 
@@ -347,5 +379,26 @@ mod tests {
     fn mismatched_candidate_sizes_panic() {
         let q = fixtures::triangle_query();
         let _ = compute_order(&q, &[1, 2], OrderingStrategy::GqlStyle);
+    }
+
+    /// A disconnected query must be a typed error from every strategy — never a
+    /// silently padded, non-connected "order" a validation-bypassing caller could
+    /// hand to the backtracking engine.
+    #[test]
+    fn disconnected_queries_are_rejected_by_every_strategy() {
+        let q = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        for &s in &OrderingStrategy::ALL {
+            let err = compute_order(&q, &sizes(4, 3), s).unwrap_err();
+            let OrderingError::Disconnected { vertex } = err;
+            assert!(vertex == 2 || vertex == 3, "strategy {s:?}: {vertex}");
+        }
+        // An isolated vertex (no edges at all) is equally rejected.
+        let isolated = graph_from_edges(&[0, 0], &[]);
+        for &s in &OrderingStrategy::ALL {
+            assert!(
+                compute_order(&isolated, &sizes(2, 1), s).is_err(),
+                "strategy {s:?}"
+            );
+        }
     }
 }

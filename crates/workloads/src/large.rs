@@ -1,0 +1,239 @@
+//! Large template-query generation (the 65–256-vertex scenario family).
+//!
+//! The paper's query sets stop at 32 vertices, which fit the one-word bitset engine.
+//! Production workloads do not: motif batteries, generated template queries, and
+//! label-coarsened real queries routinely exceed 64 vertices. This module generates
+//! deterministic **connected** queries of 65–200+ vertices plus matched *host* data
+//! graphs in which the query provably embeds, sized so the brute-force oracle stays
+//! feasible — which is what lets the large-query golden tests validate every engine
+//! end-to-end at widths 2 and 4 ([`Qv128`]/[`Qv256`]).
+//!
+//! Host construction: the host contains the query verbatim (so at least the identity
+//! embedding exists), plus `decoys` extra vertices wearing labels the query never
+//! uses, wired randomly into the query part. Decoys can therefore never extend a
+//! partial match, and the label diversity of the query part keeps per-level
+//! candidate lists short — the oracle's cost stays near the actual embedding count
+//! instead of `O(|V_G|^{|V_Q|})`.
+//!
+//! [`Qv128`]: gup_graph::Qv128
+//! [`Qv256`]: gup_graph::Qv256
+
+use gup_graph::algo::is_connected;
+use gup_graph::{Graph, GraphBuilder, Label, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of one generated large query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LargeQuerySpec {
+    /// Number of query vertices (65–256 is the interesting range; smaller values
+    /// are legal and exercise the one-word path).
+    pub vertices: usize,
+    /// Number of distinct labels, cycled with a random offset. More labels make the
+    /// brute-force oracle cheaper (shorter per-level candidate lists) and
+    /// automorphism counts smaller.
+    pub labels: u32,
+    /// Extra non-tree edges layered over the random spanning tree.
+    pub extra_edges: usize,
+    /// RNG seed; generation is fully deterministic per spec.
+    pub seed: u64,
+}
+
+/// Generates a connected labeled query: a random spanning tree over `vertices`
+/// vertices (each vertex `i > 0` attaches to a uniformly random earlier vertex)
+/// plus `extra_edges` random chords. Connectivity holds by construction; labels are
+/// drawn uniformly from `0..labels`.
+pub fn large_connected_query(spec: &LargeQuerySpec) -> Graph {
+    assert!(spec.vertices >= 1, "query must have at least one vertex");
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let labels = spec.labels.max(1);
+    let mut builder = GraphBuilder::with_capacity(spec.vertices, spec.vertices + spec.extra_edges);
+    for _ in 0..spec.vertices {
+        builder.add_vertex(rng.gen_range(0..labels) as Label);
+    }
+    for i in 1..spec.vertices {
+        let parent = rng.gen_range(0..i) as VertexId;
+        builder.add_edge(parent, i as VertexId);
+    }
+    for _ in 0..spec.extra_edges {
+        let a = rng.gen_range(0..spec.vertices) as VertexId;
+        let b = rng.gen_range(0..spec.vertices) as VertexId;
+        if a != b {
+            builder.add_edge(a, b);
+        }
+    }
+    let graph = builder.build();
+    debug_assert!(is_connected(&graph));
+    graph
+}
+
+/// Builds a host data graph for `query`: the query itself (vertices `0..n` with
+/// identical labels and edges, so the identity mapping is always an embedding) plus
+/// `decoys` extra vertices whose labels start *above* every query label — they can
+/// never be assigned to a query vertex, but they enlarge the graph and the
+/// candidate-filtering surface like real background vertices do. Each decoy gains
+/// 1–3 random edges into the earlier vertices.
+pub fn embed_in_host(query: &Graph, decoys: usize, seed: u64) -> Graph {
+    let n = query.vertex_count();
+    let max_label = (0..n as VertexId)
+        .map(|v| query.label(v))
+        .max()
+        .unwrap_or(0);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+    let mut builder = GraphBuilder::with_capacity(n + decoys, query.edge_count() + decoys * 3);
+    for v in 0..n as VertexId {
+        builder.add_vertex(query.label(v));
+    }
+    for (a, b) in query.edges() {
+        builder.add_edge(a, b);
+    }
+    for d in 0..decoys {
+        let label = max_label + 1 + (d % 4) as Label;
+        let id = builder.add_vertex(label);
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let target = rng.gen_range(0..id) as VertexId;
+            builder.add_edge(id, target);
+        }
+    }
+    builder.build()
+}
+
+/// One named large-query fixture: the query, a host data graph it embeds in, and
+/// the spec it was generated from.
+pub struct LargeQueryFixture {
+    /// Stable name used in test output ("large-96" etc.).
+    pub name: &'static str,
+    /// The generated connected query.
+    pub query: Graph,
+    /// A host graph containing the query (identity embedding) plus decoys.
+    pub host: Graph,
+}
+
+/// The pinned large-query fixture family used by the golden tests and the docs:
+/// 65 (just past the one-word boundary), 96 and 128 (two-word widths), and 130
+/// (four-word width). Label counts are high enough that the brute-force oracle
+/// finishes in milliseconds on every host.
+pub fn large_query_fixtures() -> Vec<LargeQueryFixture> {
+    let specs: [(&'static str, LargeQuerySpec, usize); 4] = [
+        (
+            "large-65",
+            LargeQuerySpec {
+                vertices: 65,
+                labels: 12,
+                extra_edges: 24,
+                seed: 65,
+            },
+            40,
+        ),
+        (
+            "large-96",
+            LargeQuerySpec {
+                vertices: 96,
+                labels: 16,
+                extra_edges: 40,
+                seed: 96,
+            },
+            60,
+        ),
+        (
+            "large-128",
+            LargeQuerySpec {
+                vertices: 128,
+                labels: 20,
+                extra_edges: 50,
+                seed: 128,
+            },
+            64,
+        ),
+        (
+            "large-130",
+            LargeQuerySpec {
+                vertices: 130,
+                labels: 20,
+                extra_edges: 52,
+                seed: 130,
+            },
+            64,
+        ),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, spec, decoys)| {
+            let query = large_connected_query(&spec);
+            let host = embed_in_host(&query, decoys, spec.seed.wrapping_mul(31));
+            LargeQueryFixture { name, query, host }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_queries_are_connected_and_sized() {
+        for vertices in [65usize, 96, 130, 200] {
+            let q = large_connected_query(&LargeQuerySpec {
+                vertices,
+                labels: 10,
+                extra_edges: vertices / 2,
+                seed: 7,
+            });
+            assert_eq!(q.vertex_count(), vertices);
+            assert!(is_connected(&q), "{vertices}-vertex query disconnected");
+            // Spanning tree + chords: at least n-1 edges.
+            assert!(q.edge_count() >= vertices - 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = LargeQuerySpec {
+            vertices: 80,
+            labels: 8,
+            extra_edges: 30,
+            seed: 42,
+        };
+        assert_eq!(large_connected_query(&spec), large_connected_query(&spec));
+        let other = LargeQuerySpec { seed: 43, ..spec };
+        assert_ne!(large_connected_query(&spec), large_connected_query(&other));
+    }
+
+    #[test]
+    fn host_contains_the_query_identically() {
+        let q = large_connected_query(&LargeQuerySpec {
+            vertices: 70,
+            labels: 9,
+            extra_edges: 20,
+            seed: 3,
+        });
+        let host = embed_in_host(&q, 30, 99);
+        assert_eq!(host.vertex_count(), 100);
+        for v in 0..q.vertex_count() as VertexId {
+            assert_eq!(host.label(v), q.label(v));
+        }
+        for (a, b) in q.edges() {
+            assert!(host.has_edge(a, b));
+        }
+        // Decoy labels never collide with query labels.
+        let max_query_label = (0..q.vertex_count() as VertexId)
+            .map(|v| q.label(v))
+            .max()
+            .unwrap();
+        for v in q.vertex_count()..host.vertex_count() {
+            assert!(host.label(v as VertexId) > max_query_label);
+        }
+    }
+
+    #[test]
+    fn fixture_family_covers_both_wide_widths() {
+        let fixtures = large_query_fixtures();
+        assert_eq!(fixtures.len(), 4);
+        let sizes: Vec<usize> = fixtures.iter().map(|f| f.query.vertex_count()).collect();
+        assert_eq!(sizes, vec![65, 96, 128, 130]);
+        for f in &fixtures {
+            assert!(is_connected(&f.query), "{}", f.name);
+            assert!(f.host.vertex_count() > f.query.vertex_count(), "{}", f.name);
+        }
+    }
+}

@@ -14,11 +14,16 @@
 //!   laptop).
 //! * [`queries`] — the query-set generator: random-walk extraction, sparse/dense
 //!   classification (average degree below / at-least 3), fixed sizes 8–32.
+//! * [`large`] — the large template-query scenario family (65–256 vertices, beyond
+//!   the paper's sizes): deterministic connected query generation plus host graphs
+//!   the queries provably embed in, small enough for brute-force validation.
 //!
 //! Everything is seeded and reproducible; see DESIGN.md for the substitution rationale.
 
 pub mod datasets;
+pub mod large;
 pub mod queries;
 
 pub use datasets::{coarsen_labels, Dataset, DatasetSpec, ScaledDataset};
+pub use large::{embed_in_host, large_connected_query, large_query_fixtures, LargeQuerySpec};
 pub use queries::{generate_query_set, QueryClass, QuerySetSpec};

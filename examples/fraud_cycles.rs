@@ -78,7 +78,7 @@ fn run(query: &Graph, data: &Graph, features: PruningFeatures) -> gup::MatchResu
         },
         ..GupConfig::default()
     };
-    GupMatcher::new(query, data, cfg)
+    GupMatcher::<1>::new(query, data, cfg)
         .expect("valid ring query")
         .run()
 }

@@ -63,7 +63,7 @@ fn main() {
             ..GupConfig::default()
         };
         let start = Instant::now();
-        match GupMatcher::new(query, &data, cfg) {
+        match GupMatcher::<1>::new(query, &data, cfg) {
             Ok(matcher) => {
                 let result = matcher.run();
                 println!(
@@ -77,7 +77,7 @@ fn main() {
             Err(e) => println!("  GuP     : query rejected ({e})"),
         }
         let start = Instant::now();
-        match BacktrackingBaseline::new(query, &data, BaselineKind::DafFailingSet) {
+        match BacktrackingBaseline::<1>::new(query, &data, BaselineKind::DafFailingSet) {
             Ok(matcher) => {
                 let r = matcher.run(BaselineLimits {
                     max_embeddings: Some(100_000),

@@ -46,7 +46,7 @@ fn main() {
         let mut pruned = 0u64;
         for q in &queries {
             let start = Instant::now();
-            if let Ok(matcher) = GupMatcher::new(q, &data, cfg.clone()) {
+            if let Ok(matcher) = GupMatcher::<1>::new(q, &data, cfg.clone()) {
                 // Only aggregates are reported, so stream through a counting sink —
                 // the cheapest output mode.
                 let stats = matcher.run_with_sink(&mut CountOnly::new());

@@ -245,7 +245,7 @@ fn matchers_work_on_graphs_loaded_from_disk() {
 
         let expected = brute_force::count(&loaded_query, &loaded_data);
 
-        let gup_count = GupMatcher::new(
+        let gup_count = GupMatcher::<1>::new(
             &loaded_query,
             &loaded_data,
             GupConfig {
@@ -258,11 +258,14 @@ fn matchers_work_on_graphs_loaded_from_disk() {
         .embedding_count();
         assert_eq!(gup_count, expected);
 
-        let daf =
-            BacktrackingBaseline::new(&loaded_query, &loaded_data, BaselineKind::DafFailingSet)
-                .unwrap()
-                .run(BaselineLimits::UNLIMITED)
-                .embeddings;
+        let daf = BacktrackingBaseline::<1>::new(
+            &loaded_query,
+            &loaded_data,
+            BaselineKind::DafFailingSet,
+        )
+        .unwrap()
+        .run(BaselineLimits::UNLIMITED)
+        .embeddings;
         assert_eq!(daf, expected);
 
         let join = JoinBaseline::new(&loaded_query, &loaded_data, OrderingStrategy::GqlStyle)

@@ -22,7 +22,7 @@ fn gup_count(query: &Graph, data: &Graph, features: PruningFeatures) -> u64 {
         limits: SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    GupMatcher::new(query, data, cfg)
+    GupMatcher::<1>::new(query, data, cfg)
         .expect("query accepted")
         .run()
         .embedding_count()
@@ -45,7 +45,7 @@ fn check_all_engines(query: &Graph, data: &Graph) {
         );
     }
     for kind in BaselineKind::ALL {
-        let count = BacktrackingBaseline::new(query, data, kind)
+        let count = BacktrackingBaseline::<1>::new(query, data, kind)
             .expect("query accepted")
             .run(BaselineLimits::UNLIMITED)
             .embeddings;
@@ -185,7 +185,7 @@ fn parallel_run_agrees_with_sequential_on_random_graphs() {
             limits: SearchLimits::UNLIMITED,
             ..GupConfig::default()
         };
-        let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+        let matcher = GupMatcher::<1>::new(&query, &data, cfg).unwrap();
         let sequential = matcher.run().embedding_count();
         let parallel = matcher.run_parallel(4).embedding_count();
         assert_eq!(sequential, parallel);

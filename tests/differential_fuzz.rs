@@ -44,7 +44,7 @@ fn matcher(query: &Graph, data: &Graph) -> GupMatcher {
         limits: SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    GupMatcher::new(query, data, cfg).expect("valid query")
+    GupMatcher::<1>::new(query, data, cfg).expect("valid query")
 }
 
 /// Drives one engine family's sink surface and cross-checks it against `expected`.
@@ -132,7 +132,7 @@ fn check_gup_sinks(name: &str, query: &Graph, data: &Graph, expected: u64) {
 
 fn check_baseline_sinks(name: &str, query: &Graph, data: &Graph, expected: u64) {
     for kind in BaselineKind::ALL {
-        let engine = BacktrackingBaseline::new(query, data, kind).expect("valid query");
+        let engine = BacktrackingBaseline::<1>::new(query, data, kind).expect("valid query");
 
         let mut count = CountOnly::new();
         engine.run_with_sink(BaselineLimits::UNLIMITED, &mut count);

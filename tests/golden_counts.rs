@@ -85,7 +85,7 @@ fn brute_force_oracle_matches_goldens() {
 fn gup_matches_goldens_under_every_feature_combination() {
     for (name, query, data, expected) in golden_instances() {
         for features in all_feature_combinations() {
-            let count = GupMatcher::new(&query, &data, gup_config(features))
+            let count = GupMatcher::<1>::new(&query, &data, gup_config(features))
                 .unwrap()
                 .run()
                 .embedding_count();
@@ -104,7 +104,7 @@ fn parallel_gup_matches_goldens() {
     for (name, query, data, expected) in golden_instances() {
         for threads in [2, 4, 8] {
             for features in [PruningFeatures::ALL, PruningFeatures::NONE] {
-                let count = GupMatcher::new(&query, &data, gup_config(features))
+                let count = GupMatcher::<1>::new(&query, &data, gup_config(features))
                     .unwrap()
                     .run_parallel(threads)
                     .embedding_count();
@@ -127,7 +127,7 @@ fn backtracking_baselines_match_goldens() {
             BaselineKind::GqlStyle,
             BaselineKind::RiStyle,
         ] {
-            let count = BacktrackingBaseline::new(&query, &data, kind)
+            let count = BacktrackingBaseline::<1>::new(&query, &data, kind)
                 .unwrap()
                 .run(BaselineLimits::UNLIMITED)
                 .embeddings;
@@ -154,7 +154,7 @@ fn collected_embeddings_agree_with_counts() {
             limits: SearchLimits::UNLIMITED,
             ..GupConfig::default()
         };
-        let result = GupMatcher::new(&query, &data, cfg).unwrap().run();
+        let result = GupMatcher::<1>::new(&query, &data, cfg).unwrap().run();
         assert_eq!(
             result.embeddings.len() as u64,
             expected,

@@ -81,7 +81,7 @@ fn engine_counts(query: &Graph, data: &Graph) -> Vec<(String, u64)> {
             limits: SearchLimits::UNLIMITED,
             ..GupConfig::default()
         };
-        let matcher = GupMatcher::new(query, data, cfg).expect("valid query");
+        let matcher = GupMatcher::<1>::new(query, data, cfg).expect("valid query");
         let mut sink = CountOnly::new();
         matcher.run_with_sink(&mut sink);
         counts.push((format!("GuP[bits={:?}]", features), sink.count()));
@@ -91,13 +91,13 @@ fn engine_counts(query: &Graph, data: &Graph) -> Vec<(String, u64)> {
         limits: SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    let matcher = GupMatcher::new(query, data, cfg).expect("valid query");
+    let matcher = GupMatcher::<1>::new(query, data, cfg).expect("valid query");
     let mut sink = CountOnly::new();
     matcher.run_parallel_with_sink(4, &mut sink);
     counts.push(("GuP-parallel(4)".to_string(), sink.count()));
     for kind in BaselineKind::ALL {
         let mut sink = CountOnly::new();
-        let result = BacktrackingBaseline::new(query, data, kind)
+        let result = BacktrackingBaseline::<1>::new(query, data, kind)
             .expect("valid query")
             .run_with_sink(BaselineLimits::UNLIMITED, &mut sink);
         assert_eq!(

@@ -44,7 +44,7 @@ fn count(query: &Graph, data: &Graph, limits: SearchLimits, threads: usize) -> u
         limits,
         ..GupConfig::default()
     };
-    let matcher = GupMatcher::new(query, data, cfg).unwrap();
+    let matcher = GupMatcher::<1>::new(query, data, cfg).unwrap();
     if threads == 1 {
         matcher.run().embedding_count()
     } else {
@@ -124,7 +124,7 @@ fn yeast_analogue_stress_is_schedule_independent() {
                 limits: SearchLimits::UNLIMITED,
                 ..GupConfig::default()
             };
-            let result = GupMatcher::new(query, &data, cfg)
+            let result = GupMatcher::<1>::new(query, &data, cfg)
                 .unwrap()
                 .run_parallel(threads);
             assert_eq!(
@@ -164,7 +164,7 @@ fn counting_sinks_agree_across_thread_counts() {
                     limits: SearchLimits::UNLIMITED,
                     ..GupConfig::default()
                 };
-                let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+                let matcher = GupMatcher::<1>::new(&query, &data, cfg).unwrap();
                 let mut sink = CountOnly::new();
                 let stats = matcher.run_parallel_with_sink(threads, &mut sink);
                 assert_eq!(
@@ -197,7 +197,7 @@ fn first_k_is_exact_under_every_thread_count() {
                         limits: SearchLimits::UNLIMITED,
                         ..GupConfig::default()
                     };
-                    let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+                    let matcher = GupMatcher::<1>::new(&query, &data, cfg).unwrap();
                     let mut sink = FirstK::new(k);
                     let stats = matcher.run_parallel_with_sink(threads, &mut sink);
                     let expected = k.min(total);
@@ -249,7 +249,7 @@ fn capacity_equal_to_limit_attributes_to_the_sink_on_every_thread_count() {
                 },
                 ..GupConfig::default()
             };
-            let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+            let matcher = GupMatcher::<1>::new(&query, &data, cfg).unwrap();
             let mut sink = FirstK::new(2);
             let stats = matcher.run_parallel_with_sink(threads, &mut sink);
             assert_eq!(
@@ -295,7 +295,7 @@ fn first_k_is_exact_on_yeast_analogue_stress() {
                 limits: SearchLimits::UNLIMITED,
                 ..GupConfig::default()
             };
-            let matcher = GupMatcher::new(query, &data, cfg).unwrap();
+            let matcher = GupMatcher::<1>::new(query, &data, cfg).unwrap();
             let mut sink = FirstK::new(k);
             matcher.run_parallel_with_sink(threads, &mut sink);
             assert_eq!(
@@ -307,9 +307,12 @@ fn first_k_is_exact_on_yeast_analogue_stress() {
     }
 }
 
-/// Release-mode regression: a query exceeding the 64-vertex bitset bound must be
-/// rejected with a typed error from every entry point — never reach the bitmask
-/// arithmetic where a wrapped shift could silently corrupt masks with `--release`.
+/// Release-mode regression: a query exceeding a bitset bound must be rejected with
+/// a typed error from every entry point — never reach the bitmask arithmetic where
+/// a wrapped shift could silently corrupt masks with `--release`. Since the engine
+/// went width-generic, a 65-vertex query is *accepted* globally (it dispatches to a
+/// two-word bitset) but still rejected by an explicitly width-1 instantiation; the
+/// global ceiling moved to 256 vertices.
 #[test]
 fn oversized_query_is_a_typed_error_in_every_profile() {
     let mut b = GraphBuilder::new();
@@ -317,15 +320,33 @@ fn oversized_query_is_a_typed_error_in_every_profile() {
     for i in 0..64u32 {
         b.add_edge(i, i + 1);
     }
-    let oversized = b.build();
+    let beyond_one_word = b.build();
 
-    let err = QueryGraph::new(oversized.clone()).unwrap_err();
-    assert!(matches!(err, QueryGraphError::TooLarge { vertices: 65 }));
-    assert!(format!("{err}").contains("65"));
-
+    // 65 vertices: fine globally, a typed error for the one-word engine.
+    assert!(QueryGraph::new(beyond_one_word.clone()).is_ok());
     let (_q, data) = paper_example();
-    let Err(err) = GupMatcher::new(&oversized, &data, GupConfig::default()) else {
-        panic!("oversized query must be rejected by the matcher front door");
+    let Err(err) = GupMatcher::<1>::new(&beyond_one_word, &data, GupConfig::default()) else {
+        panic!("65-vertex query must be rejected by an explicitly one-word matcher");
     };
     assert!(format!("{err}").contains("at most 64"));
+
+    // 257 vertices: beyond the widest supported bitset, rejected everywhere.
+    let mut b = GraphBuilder::new();
+    b.add_vertices(257, 0);
+    for i in 0..256u32 {
+        b.add_edge(i, i + 1);
+    }
+    let oversized = b.build();
+    let err = QueryGraph::new(oversized.clone()).unwrap_err();
+    assert!(matches!(
+        err,
+        QueryGraphError::TooLarge {
+            vertices: 257,
+            limit: 256
+        }
+    ));
+    let Err(err) = GupMatcher::<4>::new(&oversized, &data, GupConfig::default()) else {
+        panic!("257-vertex query must be rejected by the widest matcher too");
+    };
+    assert!(format!("{err}").contains("at most 256"));
 }

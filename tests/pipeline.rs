@@ -40,7 +40,7 @@ fn yeast_analogue_query_sets_run_under_gup() {
                 limits: limits(),
                 ..GupConfig::default()
             };
-            let matcher = GupMatcher::new(q, &data, cfg).expect("generated queries are valid");
+            let matcher = GupMatcher::<1>::new(q, &data, cfg).expect("generated queries are valid");
             let result = matcher.run();
             // The query was extracted from the data graph, so at least one embedding
             // must exist (the extraction site itself) unless the search was cut short.
@@ -114,7 +114,7 @@ fn guard_statistics_reported_on_workload_queries() {
             limits: limits(),
             ..GupConfig::default()
         };
-        let matcher = GupMatcher::new(q, &data, cfg).unwrap();
+        let matcher = GupMatcher::<1>::new(q, &data, cfg).unwrap();
         let (result, memory) = matcher.run_with_memory_report();
         assert!(result.stats.recursions > 0);
         assert!(memory.candidate_space_bytes > 0);
@@ -145,7 +145,11 @@ fn dataset_catalog_supports_all_query_classes() {
                 limits: limits(),
                 ..GupConfig::default()
             };
-            assert!(GupMatcher::new(q, &data, cfg).is_ok(), "{}", dataset.name());
+            assert!(
+                GupMatcher::<1>::new(q, &data, cfg).is_ok(),
+                "{}",
+                dataset.name()
+            );
         }
     }
 }

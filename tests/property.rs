@@ -53,7 +53,7 @@ fn gup_count(query: &Graph, data: &Graph, features: PruningFeatures) -> u64 {
         limits: SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    GupMatcher::new(query, data, cfg)
+    GupMatcher::<1>::new(query, data, cfg)
         .unwrap()
         .run()
         .embedding_count()
@@ -128,22 +128,72 @@ proptest! {
     }
 
     #[test]
-    fn qvset_operations_behave_like_sets(
+    fn qvset_operations_behave_like_sets_at_64(
         a in proptest::collection::btree_set(0usize..64, 0..20),
         b in proptest::collection::btree_set(0usize..64, 0..20),
     ) {
-        use gup_graph::QVSet;
-        let sa = QVSet::from_iter(a.iter().copied());
-        let sb = QVSet::from_iter(b.iter().copied());
-        let union: std::collections::BTreeSet<_> = a.union(&b).copied().collect();
-        let inter: std::collections::BTreeSet<_> = a.intersection(&b).copied().collect();
-        let diff: std::collections::BTreeSet<_> = a.difference(&b).copied().collect();
-        prop_assert_eq!(sa.union(sb).iter().collect::<Vec<_>>(), union.into_iter().collect::<Vec<_>>());
-        prop_assert_eq!(sa.intersection(sb).iter().collect::<Vec<_>>(), inter.into_iter().collect::<Vec<_>>());
-        prop_assert_eq!(sa.difference(sb).iter().collect::<Vec<_>>(), diff.into_iter().collect::<Vec<_>>());
-        prop_assert_eq!(sa.len(), a.len());
-        prop_assert_eq!(sa.is_subset_of(sb), a.is_subset(&b));
-        prop_assert_eq!(sa.max(), a.iter().next_back().copied());
-        prop_assert_eq!(sa.min(), a.iter().next().copied());
+        qvset_model_check::<1>(&a, &b)?;
     }
+
+    #[test]
+    fn qvset_operations_behave_like_sets_at_128(
+        a in proptest::collection::btree_set(0usize..128, 0..30),
+        b in proptest::collection::btree_set(0usize..128, 0..30),
+    ) {
+        qvset_model_check::<2>(&a, &b)?;
+    }
+
+    #[test]
+    fn qvset_operations_behave_like_sets_at_256(
+        a in proptest::collection::btree_set(0usize..256, 0..40),
+        b in proptest::collection::btree_set(0usize..256, 0..40),
+    ) {
+        qvset_model_check::<4>(&a, &b)?;
+    }
+}
+
+/// Checks every `QVSet<W>` operation against a `BTreeSet` model — shared by the
+/// width-64/128/256 property instances above.
+fn qvset_model_check<const W: usize>(
+    a: &std::collections::BTreeSet<usize>,
+    b: &std::collections::BTreeSet<usize>,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    use gup_graph::QVSet;
+    let sa = QVSet::<W>::from_iter(a.iter().copied());
+    let sb = QVSet::<W>::from_iter(b.iter().copied());
+    let union: std::collections::BTreeSet<_> = a.union(b).copied().collect();
+    let inter: std::collections::BTreeSet<_> = a.intersection(b).copied().collect();
+    let diff: std::collections::BTreeSet<_> = a.difference(b).copied().collect();
+    prop_assert_eq!(
+        sa.union(sb).iter().collect::<Vec<_>>(),
+        union.into_iter().collect::<Vec<_>>()
+    );
+    prop_assert_eq!(
+        sa.intersection(sb).iter().collect::<Vec<_>>(),
+        inter.into_iter().collect::<Vec<_>>()
+    );
+    prop_assert_eq!(
+        sa.difference(sb).iter().collect::<Vec<_>>(),
+        diff.iter().copied().collect::<Vec<_>>()
+    );
+    prop_assert_eq!(sa.len(), a.len());
+    prop_assert_eq!(sa.is_subset_of(sb), a.is_subset(b));
+    prop_assert_eq!(sa.max(), a.iter().next_back().copied());
+    prop_assert_eq!(sa.min(), a.iter().next().copied());
+    // Insert/remove round-trip through the model.
+    let mut roundtrip = QVSet::<W>::new();
+    for &i in a {
+        roundtrip.insert(i);
+    }
+    for &i in b {
+        roundtrip.remove(i);
+    }
+    prop_assert_eq!(
+        roundtrip.iter().collect::<Vec<_>>(),
+        diff.iter().copied().collect::<Vec<_>>()
+    );
+    for i in 0..QVSet::<W>::CAPACITY {
+        prop_assert_eq!(sa.contains(i), a.contains(&i));
+    }
+    Ok(())
 }

@@ -65,7 +65,7 @@ fn session_engines_match_cold_runs_on_goldens() {
             );
             // Cold path: the legacy per-engine entry point on the raw graphs.
             let cold_count = match engine {
-                Engine::Gup => GupMatcher::new(
+                Engine::Gup => GupMatcher::<1>::new(
                     &query,
                     &data,
                     GupConfig {
@@ -82,7 +82,7 @@ fn session_engines_match_cold_runs_on_goldens() {
                         Engine::Gql => BaselineKind::GqlStyle,
                         _ => BaselineKind::RiStyle,
                     };
-                    BacktrackingBaseline::new(&query, &data, kind)
+                    BacktrackingBaseline::<1>::new(&query, &data, kind)
                         .unwrap()
                         .run(BaselineLimits::UNLIMITED)
                         .embeddings
@@ -280,7 +280,7 @@ fn session_sinks_and_deadlines() {
 fn memory_report_accounts_for_prepared_index() {
     let (query, data) = paper_example();
     let session = Session::new(data);
-    let matcher = GupMatcher::with_prepared(
+    let matcher = GupMatcher::<1>::with_prepared(
         &query,
         session.prepared(),
         GupConfig {

@@ -65,7 +65,7 @@ fn count_run_allocations(n: usize) -> (u64, u64) {
         limits: SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+    let matcher = GupMatcher::<1>::new(&query, &data, cfg).unwrap();
     let mut sink = CountOnly::new();
     let before = allocations();
     matcher.run_with_sink(&mut sink);
@@ -98,6 +98,37 @@ fn count_only_run_allocations_do_not_scale_with_embeddings() {
     );
 }
 
+/// Same pinning through the width-dispatching session front door: a ≤64-vertex
+/// query must take the monomorphized `Qv64` path, whose count-only hot loop makes
+/// zero per-embedding (and zero per-node) allocations — the width generalization
+/// must not have put an allocation or a branch on the narrow path.
+#[test]
+fn session_qv64_count_allocations_do_not_scale_with_embeddings() {
+    use gup::session::Session;
+
+    // One fixed instance (2000 embeddings available); only the embedding limit
+    // varies, so engine construction is identical across runs and any allocation
+    // difference would be per-embedding cost on the dispatched Qv64 path.
+    let (query, data) = all_match_instance(2000);
+    let session = Session::new(data);
+    let run = |limit: u64| {
+        let before = allocations();
+        let count = session.query(&query).limit(limit).count().unwrap();
+        (allocations() - before, count)
+    };
+    // Warm up lazily-initialized runtime state.
+    let _ = run(8);
+
+    let (small_allocs, small_count) = run(200);
+    let (large_allocs, large_count) = run(2000);
+    assert_eq!(small_count, 200);
+    assert_eq!(large_count, 2000);
+    assert_eq!(
+        small_allocs, large_allocs,
+        "session count-only allocations scaled with the embedding count"
+    );
+}
+
 #[test]
 fn collecting_sinks_pay_exactly_for_what_they_keep() {
     let (query, data) = all_match_instance(1000);
@@ -105,7 +136,7 @@ fn collecting_sinks_pay_exactly_for_what_they_keep() {
         limits: SearchLimits::UNLIMITED,
         ..GupConfig::default()
     };
-    let matcher = GupMatcher::new(&query, &data, cfg).unwrap();
+    let matcher = GupMatcher::<1>::new(&query, &data, cfg).unwrap();
 
     // CollectAll clones each of the 1000 embeddings: at least one allocation each.
     let mut all = CollectAll::new();

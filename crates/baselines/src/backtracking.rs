@@ -104,12 +104,18 @@ pub struct BacktrackingBaseline<const W: usize = 1> {
 pub enum BaselineError {
     /// The query graph is unusable (empty, disconnected, or too large).
     InvalidQuery(gup_graph::QueryGraphError),
+    /// The deadline expired during the candidate filter pass, before any search
+    /// ran. The session layer reports this as `hit_time_limit`.
+    FilterTimeout,
 }
 
 impl std::fmt::Display for BaselineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BaselineError::InvalidQuery(e) => write!(f, "invalid query graph: {e}"),
+            BaselineError::FilterTimeout => {
+                write!(f, "time budget expired during the candidate filter pass")
+            }
         }
     }
 }
@@ -134,8 +140,27 @@ impl<const W: usize> BacktrackingBaseline<W> {
         prepared: &PreparedData,
         kind: BaselineKind,
     ) -> Result<Self, BaselineError> {
+        Self::with_prepared_deadline(query, prepared, kind, None)
+    }
+
+    /// Like [`BacktrackingBaseline::with_prepared`], but the candidate filter pass
+    /// honors `deadline`: once it expires, construction aborts with
+    /// [`BaselineError::FilterTimeout`] instead of grinding through the remaining
+    /// filter work.
+    pub fn with_prepared_deadline(
+        query: &Graph,
+        prepared: &PreparedData,
+        kind: BaselineKind,
+        deadline: Option<Instant>,
+    ) -> Result<Self, BaselineError> {
         let validated = Self::validated_for_width(query)?;
-        let space = CandidateSpace::build_prepared(query, prepared, &kind.filter_config());
+        let space = CandidateSpace::build_prepared_deadline(
+            query,
+            prepared,
+            &kind.filter_config(),
+            deadline,
+        )
+        .map_err(|_| BaselineError::FilterTimeout)?;
         Ok(Self::from_parts(query, validated, space, kind))
     }
 

@@ -47,8 +47,26 @@ impl JoinBaseline {
         prepared: &PreparedData,
         order: OrderingStrategy,
     ) -> Result<Self, BaselineError> {
+        Self::with_prepared_deadline(query, prepared, order, None)
+    }
+
+    /// Like [`JoinBaseline::with_prepared`], but the candidate filter pass honors
+    /// `deadline`: once it expires, construction aborts with
+    /// [`BaselineError::FilterTimeout`].
+    pub fn with_prepared_deadline(
+        query: &Graph,
+        prepared: &PreparedData,
+        order: OrderingStrategy,
+        deadline: Option<Instant>,
+    ) -> Result<Self, BaselineError> {
         let validated = QueryGraph::new(query.clone()).map_err(BaselineError::InvalidQuery)?;
-        let space = CandidateSpace::build_prepared(query, prepared, &FilterConfig::default());
+        let space = CandidateSpace::build_prepared_deadline(
+            query,
+            prepared,
+            &FilterConfig::default(),
+            deadline,
+        )
+        .map_err(|_| BaselineError::FilterTimeout)?;
         Ok(Self::from_parts(query, validated, space, order))
     }
 

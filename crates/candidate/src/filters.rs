@@ -17,17 +17,35 @@
 //!   reuses one scratch buffer across all candidates of a query vertex (it used to
 //!   allocate a fresh `Vec` per candidate).
 
+use gup_graph::deadline::{DeadlineExceeded, DeadlineSampler};
 use gup_graph::{Graph, Label, PreparedData, VertexId};
 
 /// Computes the LDF candidate set of query vertex `u` (sorted by data-vertex id).
 pub fn ldf_candidates(query: &Graph, data: &Graph, u: VertexId) -> Vec<VertexId> {
+    ldf_candidates_sampled(query, data, u, &mut DeadlineSampler::new(None))
+        .expect("a sampler without a deadline never expires")
+}
+
+/// Deadline-aware [`ldf_candidates`]: `sampler` ticks once per label-bucket vertex
+/// examined, so a tight time budget is observed even when the bucket spans most of
+/// the data graph.
+pub fn ldf_candidates_sampled(
+    query: &Graph,
+    data: &Graph,
+    u: VertexId,
+    sampler: &mut DeadlineSampler,
+) -> Result<Vec<VertexId>, DeadlineExceeded> {
     let label = query.label(u);
     let min_degree = query.degree(u);
-    data.vertices_with_label(label)
-        .iter()
-        .copied()
-        .filter(|&v| data.degree(v) >= min_degree)
-        .collect()
+    let bucket = data.vertices_with_label(label);
+    let mut out = Vec::new();
+    for &v in bucket {
+        sampler.tick()?;
+        if data.degree(v) >= min_degree {
+            out.push(v);
+        }
+    }
+    Ok(out)
 }
 
 /// Returns `true` if data vertex `v` passes the NLF test against query vertex `u`:
@@ -73,12 +91,29 @@ fn nlf_filter_with_scratch(
 
 /// Computes the LDF+NLF candidate set of query vertex `u` (sorted by data-vertex id).
 pub fn nlf_candidates(query: &Graph, data: &Graph, u: VertexId) -> Vec<VertexId> {
+    nlf_candidates_sampled(query, data, u, &mut DeadlineSampler::new(None))
+        .expect("a sampler without a deadline never expires")
+}
+
+/// Deadline-aware [`nlf_candidates`]: `sampler` ticks once per candidate examined
+/// (each examination scans one neighbor list), keeping the overshoot past a tight
+/// budget bounded by a constant amount of work.
+pub fn nlf_candidates_sampled(
+    query: &Graph,
+    data: &Graph,
+    u: VertexId,
+    sampler: &mut DeadlineSampler,
+) -> Result<Vec<VertexId>, DeadlineExceeded> {
     let q_profile = query.neighborhood_label_frequency(u);
     let mut scratch = Vec::with_capacity(q_profile.len());
-    ldf_candidates(query, data, u)
-        .into_iter()
-        .filter(|&v| nlf_filter_with_scratch(&q_profile, data, v, &mut scratch))
-        .collect()
+    let mut out = Vec::new();
+    for v in ldf_candidates_sampled(query, data, u, sampler)? {
+        sampler.tick()?;
+        if nlf_filter_with_scratch(&q_profile, data, v, &mut scratch) {
+            out.push(v);
+        }
+    }
+    Ok(out)
 }
 
 /// A query vertex's NLF requirements in sparse form: parallel label/count slices,
@@ -150,18 +185,34 @@ pub fn nlf_candidates_prepared(
     prepared: &PreparedData,
     u: VertexId,
 ) -> Vec<VertexId> {
+    nlf_candidates_prepared_sampled(query, prepared, u, &mut DeadlineSampler::new(None))
+        .expect("a sampler without a deadline never expires")
+}
+
+/// Deadline-aware [`nlf_candidates_prepared`]: `sampler` ticks once per candidate
+/// examined (each examination is one signature comparison).
+pub fn nlf_candidates_prepared_sampled(
+    query: &Graph,
+    prepared: &PreparedData,
+    u: VertexId,
+    sampler: &mut DeadlineSampler,
+) -> Result<Vec<VertexId>, DeadlineExceeded> {
     let profile = NlfProfile::of(query, u);
     if profile.unsatisfiable_in(prepared) {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let data = prepared.graph();
     if profile.is_empty() {
-        return ldf_candidates(query, data, u);
+        return ldf_candidates_sampled(query, data, u, sampler);
     }
-    ldf_candidates(query, data, u)
-        .into_iter()
-        .filter(|&v| nlf_filter_prepared(&profile, prepared, v))
-        .collect()
+    let mut out = Vec::new();
+    for v in ldf_candidates_sampled(query, data, u, sampler)? {
+        sampler.tick()?;
+        if nlf_filter_prepared(&profile, prepared, v) {
+            out.push(v);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

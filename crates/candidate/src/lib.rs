@@ -35,7 +35,9 @@ pub mod space;
 
 pub use dag::QueryDag;
 pub use filters::{
-    ldf_candidates, nlf_candidates, nlf_candidates_prepared, nlf_filter, nlf_filter_prepared,
+    ldf_candidates, ldf_candidates_sampled, nlf_candidates, nlf_candidates_prepared,
+    nlf_candidates_prepared_sampled, nlf_candidates_sampled, nlf_filter, nlf_filter_prepared,
     NlfProfile,
 };
+pub use gup_graph::deadline::{DeadlineExceeded, DeadlineSampler};
 pub use space::{CandidateSpace, FilterConfig};

@@ -13,8 +13,12 @@
 //!    hot loop.
 
 use crate::dag::QueryDag;
-use crate::filters::{nlf_candidates, nlf_candidates_prepared};
+use crate::filters::{
+    ldf_candidates_sampled, nlf_candidates_prepared_sampled, nlf_candidates_sampled,
+};
+use gup_graph::deadline::{DeadlineExceeded, DeadlineSampler};
 use gup_graph::{Graph, PreparedData, VertexId};
+use std::time::Instant;
 
 /// Configuration of the candidate-space construction.
 #[derive(Clone, Debug)]
@@ -68,18 +72,35 @@ impl CandidateSpace {
     /// [`CandidateSpace::build_prepared`], whose NLF pass is a signature comparison
     /// against the precomputed arena. Both constructors produce identical spaces.
     pub fn build(query: &Graph, data: &Graph, config: &FilterConfig) -> Self {
+        Self::build_deadline(query, data, config, None)
+            .expect("construction without a deadline cannot time out")
+    }
+
+    /// Deadline-aware [`CandidateSpace::build`]: the whole construction — initial
+    /// per-vertex filters, DAG-DP refinement, and candidate-edge materialization —
+    /// samples `deadline` at a work-bounded cadence
+    /// ([`gup_graph::deadline::DEADLINE_CHECK_INTERVAL`] small work units per clock
+    /// read) and returns the typed [`DeadlineExceeded`] instead of overrunning a
+    /// tight budget before the search even starts.
+    pub fn build_deadline(
+        query: &Graph,
+        data: &Graph,
+        config: &FilterConfig,
+        deadline: Option<Instant>,
+    ) -> Result<Self, DeadlineExceeded> {
         let n = query.vertex_count();
+        let mut sampler = DeadlineSampler::new(deadline);
+        sampler.check()?;
         // Step 1: per-vertex filters (legacy neighbor-rescan path).
-        let candidates: Vec<Vec<VertexId>> = (0..n as VertexId)
-            .map(|u| {
-                if config.use_nlf {
-                    nlf_candidates(query, data, u)
-                } else {
-                    crate::filters::ldf_candidates(query, data, u)
-                }
-            })
-            .collect();
-        Self::finish(query, data, config, candidates)
+        let mut candidates: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+        for u in 0..n as VertexId {
+            candidates.push(if config.use_nlf {
+                nlf_candidates_sampled(query, data, u, &mut sampler)?
+            } else {
+                ldf_candidates_sampled(query, data, u, &mut sampler)?
+            });
+        }
+        Self::finish(query, data, config, candidates, sampler)
     }
 
     /// Builds the candidate space for `query` against a prepared data graph: the
@@ -88,28 +109,43 @@ impl CandidateSpace {
     /// bound); refinement and candidate-edge materialization are shared with
     /// [`CandidateSpace::build`].
     pub fn build_prepared(query: &Graph, prepared: &PreparedData, config: &FilterConfig) -> Self {
+        Self::build_prepared_deadline(query, prepared, config, None)
+            .expect("construction without a deadline cannot time out")
+    }
+
+    /// Deadline-aware [`CandidateSpace::build_prepared`]; see
+    /// [`CandidateSpace::build_deadline`] for the sampling contract.
+    pub fn build_prepared_deadline(
+        query: &Graph,
+        prepared: &PreparedData,
+        config: &FilterConfig,
+        deadline: Option<Instant>,
+    ) -> Result<Self, DeadlineExceeded> {
         let n = query.vertex_count();
         let data = prepared.graph();
-        let candidates: Vec<Vec<VertexId>> = (0..n as VertexId)
-            .map(|u| {
-                if config.use_nlf {
-                    nlf_candidates_prepared(query, prepared, u)
-                } else {
-                    crate::filters::ldf_candidates(query, data, u)
-                }
-            })
-            .collect();
-        Self::finish(query, data, config, candidates)
+        let mut sampler = DeadlineSampler::new(deadline);
+        sampler.check()?;
+        let mut candidates: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+        for u in 0..n as VertexId {
+            candidates.push(if config.use_nlf {
+                nlf_candidates_prepared_sampled(query, prepared, u, &mut sampler)?
+            } else {
+                ldf_candidates_sampled(query, data, u, &mut sampler)?
+            });
+        }
+        Self::finish(query, data, config, candidates, sampler)
     }
 
     /// Steps 2 and 3, shared by both constructors: DAG-graph-DP refinement of the
-    /// initial candidate sets, then candidate-edge materialization.
+    /// initial candidate sets, then candidate-edge materialization. Continues the
+    /// constructor's deadline sampling through both phases.
     fn finish(
         query: &Graph,
         data: &Graph,
         config: &FilterConfig,
         mut candidates: Vec<Vec<VertexId>>,
-    ) -> Self {
+        mut sampler: DeadlineSampler,
+    ) -> Result<Self, DeadlineExceeded> {
         let n = query.vertex_count();
         // Step 2: DAG-graph-DP refinement.
         if n > 1 && config.refinement_passes > 0 {
@@ -124,7 +160,8 @@ impl CandidateSpace {
                     &mut candidates,
                     &mut membership,
                     Direction::BottomUp,
-                );
+                    &mut sampler,
+                )?;
                 let changed_down = refine_pass(
                     query,
                     data,
@@ -132,7 +169,8 @@ impl CandidateSpace {
                     &mut candidates,
                     &mut membership,
                     Direction::TopDown,
-                );
+                    &mut sampler,
+                )?;
                 if !changed_up && !changed_down {
                     break;
                 }
@@ -140,6 +178,7 @@ impl CandidateSpace {
         }
 
         // Step 3: candidate edges.
+        sampler.check()?;
         let edges: Vec<(usize, usize)> = query
             .edges()
             .map(|(a, b)| (a as usize, b as usize))
@@ -155,6 +194,7 @@ impl CandidateSpace {
             let mut forward: Vec<Vec<u32>> = vec![Vec::new(); candidates[a].len()];
             let mut backward: Vec<Vec<u32>> = vec![Vec::new(); candidates[b].len()];
             for (ia, &va) in candidates[a].iter().enumerate() {
+                sampler.tick()?;
                 for &w in data.neighbors(va) {
                     if let Some(ib) = index_b[w as usize] {
                         forward[ia].push(ib);
@@ -168,13 +208,13 @@ impl CandidateSpace {
             }
             adjacency.push((forward, backward));
         }
-        CandidateSpace {
+        Ok(CandidateSpace {
             query_vertex_count: n,
             candidates,
             edges,
             adjacency,
             edge_lookup,
-        }
+        })
     }
 
     /// Number of query vertices this space was built for.
@@ -374,7 +414,9 @@ impl Membership {
 /// One refinement sweep. In a bottom-up sweep, vertices are processed in reverse
 /// topological order and each candidate must have a neighbor among the candidates of
 /// every DAG *child*; a top-down sweep is symmetric with parents. Returns whether any
-/// candidate was removed.
+/// candidate was removed. `sampler` ticks once per (candidate, constraint) pair —
+/// each pair scans one neighbor list — so a refinement pass over a large candidate
+/// set observes a tight deadline mid-sweep.
 fn refine_pass(
     _query: &Graph,
     data: &Graph,
@@ -382,7 +424,8 @@ fn refine_pass(
     candidates: &mut [Vec<VertexId>],
     membership: &mut Membership,
     direction: Direction,
-) -> bool {
+    sampler: &mut DeadlineSampler,
+) -> Result<bool, DeadlineExceeded> {
     let mut changed = false;
     let order: Vec<VertexId> = match direction {
         Direction::BottomUp => dag.topological_order().iter().rev().copied().collect(),
@@ -401,6 +444,7 @@ fn refine_pass(
         let mut kept = Vec::with_capacity(before);
         'cand: for &v in &candidates[u] {
             for &c in constraining {
+                sampler.tick()?;
                 let c = c as usize;
                 let ok = data.neighbors(v).iter().any(|&w| membership.contains(c, w));
                 if !ok {
@@ -415,7 +459,7 @@ fn refine_pass(
             candidates[u] = kept;
         }
     }
-    changed
+    Ok(changed)
 }
 
 #[cfg(test)]
@@ -601,6 +645,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_construction() {
+        let q = triangle_query();
+        let d = square_data();
+        let cfg = FilterConfig::default();
+        let past = Some(Instant::now() - std::time::Duration::from_millis(1));
+        assert!(CandidateSpace::build_deadline(&q, &d, &cfg, past).is_err());
+        let prepared = gup_graph::PreparedData::from_graph(&d);
+        assert!(CandidateSpace::build_prepared_deadline(&q, &prepared, &cfg, past).is_err());
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let q = triangle_query();
+        let d = square_data();
+        let cfg = FilterConfig::default();
+        let future = Some(Instant::now() + std::time::Duration::from_secs(3600));
+        let a = CandidateSpace::build(&q, &d, &cfg);
+        let b = CandidateSpace::build_deadline(&q, &d, &cfg, future).unwrap();
+        for u in 0..a.query_vertex_count() {
+            assert_eq!(a.candidates(u), b.candidates(u));
+        }
+        assert_eq!(a.total_candidate_edges(), b.total_candidate_edges());
     }
 
     #[test]

@@ -24,12 +24,22 @@ use gup_graph::{Graph, PreparedData, QueryGraph, VertexId};
 pub enum GupError {
     /// The query graph is not usable (empty, too large, or disconnected).
     InvalidQuery(QueryGraphError),
+    /// The configured absolute deadline ([`SearchLimits::deadline`]) expired during
+    /// the candidate filter pass: the candidate space was abandoned instead of being
+    /// silently truncated. The session layer reports this as
+    /// `SearchStats::hit_time_limit`, exactly like a deadline that fires in-search.
+    ///
+    /// [`SearchLimits::deadline`]: crate::config::SearchLimits::deadline
+    FilterTimeout,
 }
 
 impl std::fmt::Display for GupError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GupError::InvalidQuery(e) => write!(f, "invalid query graph: {e}"),
+            GupError::FilterTimeout => {
+                write!(f, "time budget expired during the candidate filter pass")
+            }
         }
     }
 }
@@ -61,7 +71,14 @@ impl<const W: usize> Gcs<W> {
     /// paths produce identical spaces (pinned by `tests/session.rs`).
     pub fn build(query: &Graph, data: &Graph, config: &GupConfig) -> Result<Self, GupError> {
         let validated = Self::validated_for_width(query)?;
-        let space = CandidateSpace::build(query, data, &config.filter);
+        // The filter pass honors the hoisted absolute deadline (when one is set) at
+        // a work-bounded cadence, so a tight budget cannot be blown before the
+        // search starts. `time_limit` alone is not hoisted here: its clock has
+        // always started at the search, and the session layer (which owns the
+        // end-to-end budget) hoists it into `deadline` before building.
+        let space =
+            CandidateSpace::build_deadline(query, data, &config.filter, config.limits.deadline)
+                .map_err(|_| GupError::FilterTimeout)?;
         Self::assemble(query, validated, data.vertex_count(), space, config)
     }
 
@@ -75,7 +92,13 @@ impl<const W: usize> Gcs<W> {
         config: &GupConfig,
     ) -> Result<Self, GupError> {
         let validated = Self::validated_for_width(query)?;
-        let space = CandidateSpace::build_prepared(query, prepared, &config.filter);
+        let space = CandidateSpace::build_prepared_deadline(
+            query,
+            prepared,
+            &config.filter,
+            config.limits.deadline,
+        )
+        .map_err(|_| GupError::FilterTimeout)?;
         Self::assemble(
             query,
             validated,

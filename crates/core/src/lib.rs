@@ -110,7 +110,8 @@ pub use gup_graph::{PreparedData, QVSet, Qv128, Qv256, Qv64, MAX_QUERY_VERTICES}
 pub use matcher::{count_embeddings, find_embeddings, GupMatcher, MatchResult};
 pub use search::{SearchEngine, SearchOutcome, SearchTask, SplitHandle};
 pub use session::{
-    BatchReport, BatchRequest, Engine, QueryOutcome, QueryRequest, Session, SessionError,
+    BatchReport, BatchRequest, CounterSnapshot, Engine, QueryOutcome, QueryRequest, Session,
+    SessionCounters, SessionError,
 };
 pub use sink::{
     CallbackSink, CollectAll, CountOnly, EmbeddingReservation, EmbeddingSink, FirstK, SinkControl,

@@ -71,6 +71,7 @@ use gup_graph::query::QueryGraphError;
 use gup_graph::sink::{min_limit, CollectAll, CountOnly, EmbeddingSink, FirstK, SinkControl};
 use gup_graph::{Graph, PreparedData, QueryGraph, VertexId};
 use gup_order::OrderingStrategy;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -140,12 +141,21 @@ impl Engine {
 pub enum SessionError {
     /// The query graph is unusable (empty, disconnected, or too large).
     InvalidQuery(QueryGraphError),
+    /// The time budget expired during the candidate filter pass. Session finishers
+    /// intercept this and report it as `hit_time_limit` in [`SearchStats`], so it
+    /// never escapes [`QueryRequest::run`] and friends; the variant exists so the
+    /// conversions from the lower-level engine errors stay total for callers that
+    /// construct engines directly.
+    FilterTimeout,
 }
 
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::InvalidQuery(e) => write!(f, "invalid query graph: {e}"),
+            SessionError::FilterTimeout => {
+                write!(f, "time budget expired during the candidate filter pass")
+            }
         }
     }
 }
@@ -156,6 +166,7 @@ impl From<GupError> for SessionError {
     fn from(e: GupError) -> Self {
         match e {
             GupError::InvalidQuery(q) => SessionError::InvalidQuery(q),
+            GupError::FilterTimeout => SessionError::FilterTimeout,
         }
     }
 }
@@ -164,8 +175,73 @@ impl From<BaselineError> for SessionError {
     fn from(e: BaselineError) -> Self {
         match e {
             BaselineError::InvalidQuery(q) => SessionError::InvalidQuery(q),
+            BaselineError::FilterTimeout => SessionError::FilterTimeout,
         }
     }
+}
+
+/// Monotonic counters a session keeps about the queries it has dispatched.
+/// Shared by every clone of the session (clones share one `Arc`), so a serving
+/// front-end can observe one set of totals across all of its worker threads —
+/// and, via [`Session::with_counters`], across data-graph reloads.
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    queries_started: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_failed: AtomicU64,
+    queries_timed_out: AtomicU64,
+    embeddings_reported: AtomicU64,
+}
+
+impl SessionCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        SessionCounters::default()
+    }
+
+    /// A consistent-enough snapshot for reporting (each counter is read atomically;
+    /// the set is not a transaction, which is fine for monitoring).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            queries_started: self.queries_started.load(Ordering::Relaxed),
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            queries_failed: self.queries_failed.load(Ordering::Relaxed),
+            queries_timed_out: self.queries_timed_out.load(Ordering::Relaxed),
+            embeddings_reported: self.embeddings_reported.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record(&self, result: &Result<SearchStats, SessionError>) {
+        self.queries_started.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(stats) => {
+                self.queries_ok.fetch_add(1, Ordering::Relaxed);
+                self.embeddings_reported
+                    .fetch_add(stats.embeddings, Ordering::Relaxed);
+                if stats.hit_time_limit {
+                    self.queries_timed_out.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                self.queries_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A point-in-time copy of a session's [`SessionCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Queries dispatched (valid or not).
+    pub queries_started: u64,
+    /// Queries that ran to a result (including early-terminated ones).
+    pub queries_ok: u64,
+    /// Queries rejected with a [`SessionError`].
+    pub queries_failed: u64,
+    /// Successful queries that reported `hit_time_limit`.
+    pub queries_timed_out: u64,
+    /// Total embeddings reported across all successful queries.
+    pub embeddings_reported: u64,
 }
 
 /// A prepared-data session: one shared, immutable data-graph index plus default
@@ -174,6 +250,7 @@ impl From<BaselineError> for SessionError {
 pub struct Session {
     prepared: Arc<PreparedData>,
     defaults: GupConfig,
+    counters: Arc<SessionCounters>,
 }
 
 impl Session {
@@ -189,6 +266,7 @@ impl Session {
         Session {
             prepared,
             defaults: GupConfig::default(),
+            counters: Arc::new(SessionCounters::new()),
         }
     }
 
@@ -197,6 +275,19 @@ impl Session {
     pub fn with_defaults(mut self, defaults: GupConfig) -> Self {
         self.defaults = defaults;
         self
+    }
+
+    /// Shares an existing counter set instead of this session's own — how a serving
+    /// front-end keeps one running total across data-graph reloads (each reload
+    /// builds a new session over the new graph but threads the old counters in).
+    pub fn with_counters(mut self, counters: Arc<SessionCounters>) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// The session's query counters (shared by all clones of this session).
+    pub fn counters(&self) -> &Arc<SessionCounters> {
+        &self.counters
     }
 
     /// The shared prepared index.
@@ -305,6 +396,15 @@ impl<'s, 'q> QueryRequest<'s, 'q> {
         self
     }
 
+    /// Absolute per-query deadline. Takes precedence over
+    /// [`QueryRequest::timeout`]; this is the knob for callers that fix the budget
+    /// *before* the query runs (a serving front-end stamps the deadline at
+    /// admission, so time spent queued counts against the request's budget).
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.config.limits.deadline = Some(deadline);
+        self
+    }
+
     /// Retain only the first `k` embeddings; the search stops at the `k`-th match
     /// ([`QueryRequest::run`] uses a [`FirstK`] sink, the other finishers fold `k`
     /// into the embedding limit).
@@ -379,8 +479,24 @@ impl<'s, 'q> QueryRequest<'s, 'q> {
 /// bitset width that fits the query (≤64 vertices compile to exactly the one-word
 /// fast path), and the time budget is hoisted into one absolute deadline up front:
 /// a budget that is already exhausted — e.g. by an earlier query of a batch —
-/// fails fast with `hit_time_limit` before any filter pass runs.
+/// fails fast with `hit_time_limit` before any filter pass runs. The filter pass
+/// itself samples the hoisted deadline at a work-bounded cadence, so a budget
+/// smaller than the candidate-space build also comes back as `hit_time_limit`
+/// (within roughly one sampling interval) instead of blowing through the budget.
 fn dispatch(
+    session: &Session,
+    query: &Graph,
+    engine: Engine,
+    config: GupConfig,
+    threads: usize,
+    sink: &mut dyn EmbeddingSink,
+) -> Result<SearchStats, SessionError> {
+    let result = dispatch_inner(session, query, engine, config, threads, sink);
+    session.counters.record(&result);
+    result
+}
+
+fn dispatch_inner(
     session: &Session,
     query: &Graph,
     engine: Engine,
@@ -395,15 +511,16 @@ fn dispatch(
     config.limits.deadline = config.limits.effective_deadline();
     if let Some(deadline) = config.limits.deadline {
         if Instant::now() >= deadline {
-            return Ok(SearchStats {
-                hit_time_limit: true,
-                ..SearchStats::default()
-            });
+            return Ok(timed_out_stats());
         }
     }
     match engine {
         Engine::Gup => crate::with_qv_width!(query.vertex_count(), W, {
-            let matcher = GupMatcher::<W>::with_prepared(query, prepared, config)?;
+            let matcher = match GupMatcher::<W>::with_prepared(query, prepared, config) {
+                Ok(matcher) => matcher,
+                Err(GupError::FilterTimeout) => return Ok(timed_out_stats()),
+                Err(e) => return Err(e.into()),
+            };
             Ok(if threads > 1 {
                 matcher.run_parallel_with_sink(threads, sink)
             } else {
@@ -415,13 +532,31 @@ fn dispatch(
                 .baseline_kind()
                 .expect("baseline engines have a kind");
             crate::with_qv_width!(query.vertex_count(), W, {
-                let matcher = BacktrackingBaseline::<W>::with_prepared(query, prepared, kind)?;
+                let matcher = match BacktrackingBaseline::<W>::with_prepared_deadline(
+                    query,
+                    prepared,
+                    kind,
+                    config.limits.deadline,
+                ) {
+                    Ok(matcher) => matcher,
+                    Err(BaselineError::FilterTimeout) => return Ok(timed_out_stats()),
+                    Err(e) => return Err(e.into()),
+                };
                 let result = matcher.run_with_sink(baseline_limits(&config), sink);
                 Ok(stats_from_baseline(&result))
             })
         }
         Engine::Join => {
-            let matcher = JoinBaseline::with_prepared(query, prepared, OrderingStrategy::GqlStyle)?;
+            let matcher = match JoinBaseline::with_prepared_deadline(
+                query,
+                prepared,
+                OrderingStrategy::GqlStyle,
+                config.limits.deadline,
+            ) {
+                Ok(matcher) => matcher,
+                Err(BaselineError::FilterTimeout) => return Ok(timed_out_stats()),
+                Err(e) => return Err(e.into()),
+            };
             let result = matcher.run_with_sink(baseline_limits(&config), sink);
             Ok(stats_from_baseline(&result))
         }
@@ -460,6 +595,15 @@ fn dispatch(
             stats.attribute_capacity_stop(configured_limit, capacity);
             Ok(stats)
         }
+    }
+}
+
+/// The uniform outcome for a budget that expired before or during the filter
+/// pass: not an error, just a search that never got to run.
+fn timed_out_stats() -> SearchStats {
+    SearchStats {
+        hit_time_limit: true,
+        ..SearchStats::default()
     }
 }
 
@@ -798,6 +942,69 @@ mod tests {
             .timeout(Duration::ZERO)
             .run(&[query]);
         assert!(report.queries[0].result.as_ref().unwrap().hit_time_limit);
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones_and_reloads() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data.clone());
+        assert_eq!(session.counters().snapshot(), CounterSnapshot::default());
+        session.query(&query).unlimited().count().unwrap();
+        let clone = session.clone();
+        clone.query(&query).unlimited().count().unwrap();
+        let disconnected = gup_graph::builder::graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        let _ = clone.query(&disconnected).count();
+        // Clones share one counter set.
+        let snap = session.counters().snapshot();
+        assert_eq!(snap.queries_started, 3);
+        assert_eq!(snap.queries_ok, 2);
+        assert_eq!(snap.queries_failed, 1);
+        assert_eq!(snap.embeddings_reported, 8);
+        // A "reload" (new session, same counters) keeps the running totals.
+        let reloaded = Session::new(data).with_counters(Arc::clone(session.counters()));
+        reloaded.query(&query).unlimited().count().unwrap();
+        assert_eq!(session.counters().snapshot().queries_started, 4);
+    }
+
+    #[test]
+    fn expired_deadline_counts_as_timed_out() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data);
+        let stats = session
+            .query(&query)
+            .unlimited()
+            .deadline(Instant::now() - Duration::from_millis(1))
+            .run_with_sink(&mut CountOnly::new())
+            .unwrap();
+        assert!(stats.hit_time_limit);
+        assert_eq!(stats.embeddings, 0);
+        let snap = session.counters().snapshot();
+        assert_eq!(snap.queries_timed_out, 1);
+        assert_eq!(snap.queries_ok, 1);
+    }
+
+    #[test]
+    fn absolute_deadline_takes_precedence_over_timeout() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data);
+        // A generous relative timeout does not resurrect an expired deadline.
+        let stats = session
+            .query(&query)
+            .unlimited()
+            .timeout(Duration::from_secs(3600))
+            .deadline(Instant::now() - Duration::from_millis(1))
+            .run_with_sink(&mut CountOnly::new())
+            .unwrap();
+        assert!(stats.hit_time_limit);
+    }
+
+    #[test]
+    fn filter_timeout_error_displays_and_converts() {
+        let err = SessionError::from(GupError::FilterTimeout);
+        assert!(matches!(err, SessionError::FilterTimeout));
+        assert!(format!("{err}").contains("filter pass"));
+        let err = SessionError::from(BaselineError::FilterTimeout);
+        assert!(matches!(err, SessionError::FilterTimeout));
     }
 
     #[test]

@@ -51,6 +51,7 @@
 
 pub mod algo;
 pub mod builder;
+pub mod deadline;
 pub mod fixtures;
 pub mod generate;
 pub mod graph;
@@ -62,6 +63,7 @@ pub mod stats;
 pub mod types;
 
 pub use builder::GraphBuilder;
+pub use deadline::{DeadlineExceeded, DeadlineSampler};
 pub use graph::Graph;
 pub use prepared::PreparedData;
 pub use query::{QueryGraph, QueryGraphError};

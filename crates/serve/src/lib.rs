@@ -1,0 +1,36 @@
+//! # gup-serve
+//!
+//! A long-lived subgraph-match server over the prepared-data [`Session`] API.
+//!
+//! The paper's serving shape — one long-lived data graph, queries arriving from
+//! many clients — is exactly what [`gup::session`] amortizes for: the data-graph
+//! index is built once and shared by every query. This crate puts a network front
+//! end on that model:
+//!
+//! * **Wire protocol** ([`protocol`]): line-delimited text. A client sends a
+//!   command line (`query count …`, `query first k …`, `reload`, `healthz`,
+//!   `stats`, `quit`, `shutdown`), query and reload commands followed by a graph
+//!   in the community `t/v/e` format terminated by `end`. Responses are one
+//!   `ok key=value …` / `err message` / `busy` line, plus `m v0 v1 …` embedding
+//!   lines and a trailing `end` for `query first`.
+//! * **Server** ([`server`]): a thread-per-connection accept loop over
+//!   `std::net::TcpListener` (no async runtime) feeding a bounded job queue
+//!   drained by a fixed worker pool. Admission control is explicit: when the
+//!   queue is full the client gets `busy` immediately instead of unbounded
+//!   buffering.
+//! * **Deadlines**: each request's time budget is stamped as an absolute
+//!   [`deadline`](gup::session::QueryRequest::deadline) at admission, so time
+//!   spent queued counts against the request — and the filter pass and search
+//!   both observe it.
+//! * **Reload**: `reload` swaps in a freshly prepared data graph under a lock
+//!   that queries only hold long enough to clone the session. In-flight queries
+//!   keep the `Arc` of the index they started on, so a reload never drops or
+//!   corrupts running work, and the session counters carry across reloads.
+//!
+//! [`Session`]: gup::session::Session
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{Command, OutputMode, ProtocolError, QuerySpec};
+pub use server::{graph_body, Server, ServerConfig};

@@ -1,0 +1,280 @@
+//! The line-delimited wire protocol.
+//!
+//! Command grammar (one line, space-separated, case-sensitive):
+//!
+//! ```text
+//! query count [timeout-ms <n>] [engine <name>] [threads <n>] [limit <n>]
+//! query first <k> [timeout-ms <n>] [engine <name>] [threads <n>] [limit <n>]
+//! reload
+//! healthz
+//! stats
+//! quit
+//! shutdown
+//! ```
+//!
+//! `query` and `reload` are followed by a graph in the community `t/v/e` text
+//! format, terminated by a line containing only `end`.
+//!
+//! * `timeout-ms <n>` — per-request wall-clock budget, milliseconds, must be
+//!   positive (a zero budget is a configuration error, not an instant timeout).
+//! * `engine <name>` — `gup` (default), `plain`, `daf`, `gql`, `ri`, `join`, or
+//!   `bruteforce`.
+//! * `threads <n>` — worker threads for the GuP engine (≥ 1).
+//! * `limit <n>` — stop after `n` embeddings; `0` removes the default cap.
+//!
+//! Responses are a single `ok key=value …`, `err <message>`, or `busy` line;
+//! `query first` additionally streams `m v0 v1 …` lines (one embedding over the
+//! original query-vertex ids per line) followed by `end`.
+
+use gup::session::Engine;
+use std::time::Duration;
+
+/// How much output a query request asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Count embeddings; no embedding crosses the wire.
+    Count,
+    /// Stream the first `k` embeddings back (`m …` lines), then stop.
+    First(u64),
+}
+
+/// A parsed `query …` command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Count vs. first-k.
+    pub output: OutputMode,
+    /// Per-request budget; `None` falls back to the server's default timeout.
+    pub timeout: Option<Duration>,
+    /// Engine family.
+    pub engine: Engine,
+    /// Worker threads for the GuP engine.
+    pub threads: usize,
+    /// Embedding cap: `None` keeps the session default, `Some(None)` removes it
+    /// (`limit 0`), `Some(Some(n))` stops after `n`.
+    pub limit: Option<Option<u64>>,
+}
+
+/// A parsed command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Run one query against the current data graph.
+    Query(QuerySpec),
+    /// Replace the data graph (graph body follows).
+    Reload,
+    /// Liveness probe.
+    Healthz,
+    /// Counter snapshot.
+    Stats,
+    /// Close this connection.
+    Quit,
+    /// Stop the whole server (in-flight queries finish; new connections stop).
+    Shutdown,
+}
+
+/// A malformed command line. The message is sent verbatim after `err `.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn err(message: impl Into<String>) -> ProtocolError {
+    ProtocolError(message.into())
+}
+
+/// Parses an engine name as it appears on the wire.
+pub fn parse_engine(name: &str) -> Result<Engine, ProtocolError> {
+    match name {
+        "gup" => Ok(Engine::Gup),
+        "plain" => Ok(Engine::Plain),
+        "daf" => Ok(Engine::Daf),
+        "gql" => Ok(Engine::Gql),
+        "ri" => Ok(Engine::Ri),
+        "join" => Ok(Engine::Join),
+        "bruteforce" => Ok(Engine::BruteForce),
+        other => Err(err(format!(
+            "unknown engine '{other}' (expected gup, plain, daf, gql, ri, join, bruteforce)"
+        ))),
+    }
+}
+
+/// Parses one command line. Graph bodies (for `query`/`reload`) are read
+/// separately by the connection loop.
+pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("query") => parse_query(words).map(Command::Query),
+        Some("reload") => expect_bare(words, "reload", Command::Reload),
+        Some("healthz") => expect_bare(words, "healthz", Command::Healthz),
+        Some("stats") => expect_bare(words, "stats", Command::Stats),
+        Some("quit") => expect_bare(words, "quit", Command::Quit),
+        Some("shutdown") => expect_bare(words, "shutdown", Command::Shutdown),
+        Some(other) => Err(err(format!(
+            "unknown command '{other}' (expected query, reload, healthz, stats, quit, shutdown)"
+        ))),
+        None => Err(err("empty command")),
+    }
+}
+
+fn expect_bare<'a>(
+    mut words: impl Iterator<Item = &'a str>,
+    name: &str,
+    command: Command,
+) -> Result<Command, ProtocolError> {
+    match words.next() {
+        None => Ok(command),
+        Some(extra) => Err(err(format!("{name} takes no arguments (got '{extra}')"))),
+    }
+}
+
+fn parse_query<'a>(mut words: impl Iterator<Item = &'a str>) -> Result<QuerySpec, ProtocolError> {
+    let output = match words.next() {
+        Some("count") => OutputMode::Count,
+        Some("first") => {
+            let k = words
+                .next()
+                .ok_or_else(|| err("query first needs a count"))?;
+            let k: u64 = k
+                .parse()
+                .map_err(|_| err(format!("query first needs an integer count, got '{k}'")))?;
+            if k == 0 {
+                return Err(err("query first needs a positive count"));
+            }
+            OutputMode::First(k)
+        }
+        Some(other) => {
+            return Err(err(format!(
+                "query needs a mode: count or first <k> (got '{other}')"
+            )))
+        }
+        None => return Err(err("query needs a mode: count or first <k>")),
+    };
+    let mut spec = QuerySpec {
+        output,
+        timeout: None,
+        engine: Engine::Gup,
+        threads: 1,
+        limit: None,
+    };
+    while let Some(key) = words.next() {
+        let value = words
+            .next()
+            .ok_or_else(|| err(format!("option '{key}' needs a value")))?;
+        match key {
+            "timeout-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| err(format!("timeout-ms needs an integer, got '{value}'")))?;
+                if ms == 0 {
+                    return Err(err("timeout-ms must be positive"));
+                }
+                spec.timeout = Some(Duration::from_millis(ms));
+            }
+            "engine" => spec.engine = parse_engine(value)?,
+            "threads" => {
+                let threads: usize = value
+                    .parse()
+                    .map_err(|_| err(format!("threads needs an integer, got '{value}'")))?;
+                if threads == 0 {
+                    return Err(err("threads must be positive"));
+                }
+                spec.threads = threads;
+            }
+            "limit" => {
+                let limit: u64 = value
+                    .parse()
+                    .map_err(|_| err(format!("limit needs an integer, got '{value}'")))?;
+                spec.limit = Some(if limit == 0 { None } else { Some(limit) });
+            }
+            other => return Err(err(format!("unknown query option '{other}'"))),
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_commands_parse() {
+        assert_eq!(parse_command("healthz").unwrap(), Command::Healthz);
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("quit").unwrap(), Command::Quit);
+        assert_eq!(parse_command("shutdown").unwrap(), Command::Shutdown);
+        assert_eq!(parse_command("reload").unwrap(), Command::Reload);
+        assert!(parse_command("healthz now").is_err());
+    }
+
+    #[test]
+    fn query_count_defaults() {
+        let Command::Query(spec) = parse_command("query count").unwrap() else {
+            panic!("expected a query");
+        };
+        assert_eq!(spec.output, OutputMode::Count);
+        assert_eq!(spec.timeout, None);
+        assert_eq!(spec.engine, Engine::Gup);
+        assert_eq!(spec.threads, 1);
+        assert_eq!(spec.limit, None);
+    }
+
+    #[test]
+    fn query_options_parse() {
+        let Command::Query(spec) =
+            parse_command("query first 5 timeout-ms 250 engine daf threads 4 limit 100").unwrap()
+        else {
+            panic!("expected a query");
+        };
+        assert_eq!(spec.output, OutputMode::First(5));
+        assert_eq!(spec.timeout, Some(Duration::from_millis(250)));
+        assert_eq!(spec.engine, Engine::Daf);
+        assert_eq!(spec.threads, 4);
+        assert_eq!(spec.limit, Some(Some(100)));
+        let Command::Query(spec) = parse_command("query count limit 0").unwrap() else {
+            panic!("expected a query");
+        };
+        assert_eq!(spec.limit, Some(None));
+    }
+
+    #[test]
+    fn zero_timeout_is_rejected() {
+        let e = parse_command("query count timeout-ms 0").unwrap_err();
+        assert!(e.0.contains("positive"), "{e}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_context() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("frobnicate").is_err());
+        assert!(parse_command("query").is_err());
+        assert!(parse_command("query first").is_err());
+        assert!(parse_command("query first 0").is_err());
+        assert!(parse_command("query first nope").is_err());
+        assert!(parse_command("query count timeout-ms").is_err());
+        assert!(parse_command("query count timeout-ms soon").is_err());
+        assert!(parse_command("query count engine volcano").is_err());
+        assert!(parse_command("query count threads 0").is_err());
+        assert!(parse_command("query count verbosity 3").is_err());
+    }
+
+    #[test]
+    fn every_engine_name_round_trips() {
+        for (name, engine) in [
+            ("gup", Engine::Gup),
+            ("plain", Engine::Plain),
+            ("daf", Engine::Daf),
+            ("gql", Engine::Gql),
+            ("ri", Engine::Ri),
+            ("join", Engine::Join),
+            ("bruteforce", Engine::BruteForce),
+        ] {
+            assert_eq!(parse_engine(name).unwrap(), engine);
+        }
+        assert!(parse_engine("gup2").is_err());
+    }
+}

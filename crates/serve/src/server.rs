@@ -1,0 +1,546 @@
+//! The server: accept loop, admission control, worker pool, reload.
+//!
+//! Concurrency model (all `std`, no async runtime):
+//!
+//! * One **accept loop** spawns a thread per connection. Connection threads do
+//!   only cheap work: parse lines, admit jobs, write responses.
+//! * A **bounded job queue** (`std::sync::mpsc::sync_channel`) sits between the
+//!   connections and a fixed pool of **worker threads** that run the actual
+//!   searches. Admission is a non-blocking `try_send`: a full queue answers
+//!   `busy` immediately — backpressure the client can see — instead of queueing
+//!   unboundedly.
+//! * At admission the connection thread stamps the request's **absolute
+//!   deadline** and clones the current [`Session`] out of the shared slot. The
+//!   clone pins the `Arc` of the prepared index, so a concurrent `reload`
+//!   (which swaps the slot under a short write lock) never drops an in-flight
+//!   query: old queries finish on the old graph, new admissions see the new one.
+//! * [`SessionCounters`] are threaded through every reload, so `stats` reports
+//!   running totals for the server's lifetime, not since the last reload.
+
+use gup::session::{CounterSnapshot, Session, SessionCounters};
+use gup::sink::CountOnly;
+use gup::SearchStats;
+use gup_graph::io::{graph_to_string, parse_graph};
+use gup_graph::{Graph, VertexId};
+use parking_lot::RwLock;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{parse_command, Command, OutputMode, QuerySpec};
+
+/// Server tunables. The defaults suit tests and small deployments; the binary
+/// exposes each as a flag.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing searches.
+    pub workers: usize,
+    /// Jobs that may wait beyond the ones being executed; `try_send` past this
+    /// answers `busy`.
+    pub queue_capacity: usize,
+    /// Budget applied to requests that do not carry their own `timeout-ms`.
+    pub default_timeout: Option<Duration>,
+    /// Default GuP worker threads per query (overridden per request).
+    pub query_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 16,
+            default_timeout: None,
+            query_threads: 1,
+        }
+    }
+}
+
+/// One admitted query: everything a worker needs, plus the rendezvous back to
+/// the connection thread. The cloned `Session` pins the prepared index the
+/// request was admitted against.
+struct Job {
+    session: Session,
+    query: Graph,
+    spec: QuerySpec,
+    deadline: Option<Instant>,
+    reply: SyncSender<Reply>,
+}
+
+/// What a worker hands back to the connection thread.
+struct Reply {
+    result: Result<(SearchStats, Vec<Vec<VertexId>>), String>,
+    elapsed: Duration,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    session: RwLock<Session>,
+    counters: Arc<SessionCounters>,
+    config: ServerConfig,
+    started: Instant,
+    reloads: AtomicU64,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+/// A bound, not-yet-running match server. [`Server::run`] blocks until a client
+/// sends `shutdown`.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    jobs: SyncSender<Job>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and prepares the worker
+    /// pool over `session`'s data graph.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        config: ServerConfig,
+        session: Session,
+    ) -> std::io::Result<Server> {
+        assert!(config.workers >= 1, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let counters = Arc::clone(session.counters());
+        let shared = Arc::new(Shared {
+            session: RwLock::new(session),
+            counters,
+            config,
+            started: Instant::now(),
+            reloads: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+        });
+        let (jobs, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gup-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &shared.shutdown))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            shared,
+            jobs,
+            workers,
+        })
+    }
+
+    /// The bound address (read this for the actual port when binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Serves until a client sends `shutdown`. Each connection gets its own
+    /// thread; this thread only accepts.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let shared = Arc::clone(&self.shared);
+            let jobs = self.jobs.clone();
+            let _ = std::thread::Builder::new()
+                .name("gup-serve-conn".to_string())
+                .spawn(move || {
+                    let _ = serve_connection(stream, &shared, &jobs);
+                });
+        }
+        // Close our handle on the queue and wait for the workers to drain what
+        // was admitted. Idle connections may still hold sender clones, which is
+        // why the workers watch the shutdown flag rather than relying on the
+        // channel disconnecting.
+        drop(self.jobs);
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, shutdown: &AtomicBool) {
+    loop {
+        // Hold the lock only for the dequeue, not for the search. The timeout
+        // exists solely so an idle worker re-checks the shutdown flag: a live
+        // but idle connection keeps the channel connected forever.
+        let job = {
+            let Ok(receiver) = receiver.lock() else {
+                return;
+            };
+            match receiver.recv_timeout(Duration::from_millis(50)) {
+                Ok(job) => Some(job),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        let Some(job) = job else {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        let start = Instant::now();
+        let result = execute(&job);
+        let elapsed = start.elapsed();
+        // A disappeared client (closed connection) is not a worker error.
+        let _ = job.reply.send(Reply { result, elapsed });
+    }
+}
+
+/// Runs one admitted query on a worker thread.
+fn execute(job: &Job) -> Result<(SearchStats, Vec<Vec<VertexId>>), String> {
+    let mut request = job
+        .session
+        .query(&job.query)
+        .method(job.spec.engine)
+        .threads(job.spec.threads.max(1));
+    match job.spec.limit {
+        Some(Some(limit)) => request = request.limit(limit),
+        Some(None) => request = request.unlimited(),
+        None => {}
+    }
+    // The deadline was stamped at admission: queue time spends the budget too.
+    // Applied after `unlimited()` (which clears all limits including this one).
+    if let Some(deadline) = job.deadline {
+        request = request.deadline(deadline);
+    }
+    match job.spec.output {
+        OutputMode::Count => {
+            let mut sink = CountOnly::new();
+            let stats = request
+                .run_with_sink(&mut sink)
+                .map_err(|e| e.to_string())?;
+            Ok((stats, Vec::new()))
+        }
+        OutputMode::First(k) => {
+            let outcome = request.first_k(k).run().map_err(|e| e.to_string())?;
+            Ok((outcome.stats, outcome.embeddings))
+        }
+    }
+}
+
+/// Reads a `t/v/e` graph body terminated by an `end` line.
+fn read_graph_body(reader: &mut impl BufRead) -> std::io::Result<Result<Graph, String>> {
+    let mut body = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(Err("connection closed before 'end'".to_string()));
+        }
+        if line.trim() == "end" {
+            break;
+        }
+        body.push_str(&line);
+    }
+    Ok(parse_graph(&body).map_err(|e| format!("bad graph: {e}")))
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    jobs: &SyncSender<Job>,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let command = match parse_command(line.trim()) {
+            Ok(command) => command,
+            Err(e) => {
+                writeln!(writer, "err {e}")?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        match command {
+            Command::Query(spec) => {
+                let query = match read_graph_body(&mut reader)? {
+                    Ok(query) => query,
+                    Err(msg) => {
+                        writeln!(writer, "err {msg}")?;
+                        writer.flush()?;
+                        continue;
+                    }
+                };
+                handle_query(spec, query, shared, jobs, &mut writer)?;
+            }
+            Command::Reload => {
+                let graph = match read_graph_body(&mut reader)? {
+                    Ok(graph) => graph,
+                    Err(msg) => {
+                        writeln!(writer, "err {msg}")?;
+                        writer.flush()?;
+                        continue;
+                    }
+                };
+                handle_reload(graph, shared, &mut writer)?;
+            }
+            Command::Healthz => {
+                writeln!(
+                    writer,
+                    "ok uptime-ms={} workers={} queue-capacity={}",
+                    shared.started.elapsed().as_millis(),
+                    shared.config.workers,
+                    shared.config.queue_capacity
+                )?;
+                writer.flush()?;
+            }
+            Command::Stats => {
+                let CounterSnapshot {
+                    queries_started,
+                    queries_ok,
+                    queries_failed,
+                    queries_timed_out,
+                    embeddings_reported,
+                } = shared.counters.snapshot();
+                writeln!(
+                    writer,
+                    "ok queries={queries_started} completed={queries_ok} \
+                     failed={queries_failed} timed-out={queries_timed_out} \
+                     embeddings={embeddings_reported} reloads={} uptime-ms={}",
+                    shared.reloads.load(Ordering::Relaxed),
+                    shared.started.elapsed().as_millis()
+                )?;
+                writer.flush()?;
+            }
+            Command::Quit => {
+                writeln!(writer, "ok bye")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Command::Shutdown => {
+                writeln!(writer, "ok shutting down")?;
+                writer.flush()?;
+                shared.shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(shared.local_addr);
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn handle_query(
+    spec: QuerySpec,
+    query: Graph,
+    shared: &Shared,
+    jobs: &SyncSender<Job>,
+    writer: &mut impl Write,
+) -> std::io::Result<()> {
+    // Admission: stamp the deadline and pin the current index *now* — both the
+    // wait in the queue and a concurrent reload are this request's problem to
+    // survive, not to be confused by.
+    let deadline = spec
+        .timeout
+        .or(shared.config.default_timeout)
+        .map(|budget| Instant::now() + budget);
+    let session = shared.session.read().clone();
+    let spec = QuerySpec {
+        threads: if spec.threads > 1 {
+            spec.threads
+        } else {
+            shared.config.query_threads
+        },
+        ..spec
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Reply>(1);
+    let job = Job {
+        session,
+        query,
+        spec,
+        deadline,
+        reply: reply_tx,
+    };
+    if let Err(refused) = jobs.try_send(job) {
+        match refused {
+            TrySendError::Full(_) => writeln!(writer, "busy")?,
+            TrySendError::Disconnected(_) => writeln!(writer, "err server shutting down")?,
+        }
+        writer.flush()?;
+        return Ok(());
+    }
+    let Ok(reply) = reply_rx.recv() else {
+        writeln!(writer, "err server shutting down")?;
+        writer.flush()?;
+        return Ok(());
+    };
+    match reply.result {
+        Ok((stats, embeddings)) => {
+            writeln!(
+                writer,
+                "ok embeddings={} recursions={} time-ms={} timed-out={}",
+                stats.embeddings,
+                stats.recursions,
+                reply.elapsed.as_millis(),
+                stats.hit_time_limit
+            )?;
+            if matches!(spec.output, OutputMode::First(_)) {
+                for embedding in &embeddings {
+                    write!(writer, "m")?;
+                    for v in embedding {
+                        write!(writer, " {v}")?;
+                    }
+                    writeln!(writer)?;
+                }
+                writeln!(writer, "end")?;
+            }
+        }
+        Err(message) => writeln!(writer, "err {message}")?,
+    }
+    writer.flush()
+}
+
+fn handle_reload(graph: Graph, shared: &Shared, writer: &mut impl Write) -> std::io::Result<()> {
+    let vertices = graph.vertex_count();
+    let edges = graph.edge_count();
+    // Prepare the new index *outside* the lock; queries keep admitting against
+    // the old graph while this builds.
+    let session = Session::new(graph).with_counters(Arc::clone(&shared.counters));
+    let prep = session.prep_time();
+    *shared.session.write() = session;
+    shared.reloads.fetch_add(1, Ordering::Relaxed);
+    writeln!(
+        writer,
+        "ok reloaded vertices={vertices} edges={edges} prep-ms={}",
+        prep.as_millis()
+    )?;
+    writer.flush()
+}
+
+/// Client-side helper used by tests and the load harness: renders a graph in
+/// the wire's body form (`t/v/e` lines terminated by `end`).
+pub fn graph_body(graph: &Graph) -> String {
+    let mut body = graph_to_string(graph);
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    body.push_str("end\n");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gup_graph::fixtures;
+
+    fn test_server(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let (_query, data) = fixtures::paper_example();
+        let server = Server::bind("127.0.0.1:0", config, Session::new(data)).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    fn send(addr: SocketAddr, script: &str) -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writer.write_all(script.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        let mut lines = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            lines.push(line.trim_end().to_string());
+        }
+        lines
+    }
+
+    #[test]
+    fn query_count_and_shutdown_round_trip() {
+        let (addr, handle) = test_server(ServerConfig::default());
+        let (query, _data) = fixtures::paper_example();
+        let script = format!("query count\n{}quit\n", graph_body(&query));
+        let lines = send(addr, &script);
+        assert!(
+            lines[0].starts_with("ok embeddings=4 recursions=")
+                && lines[0].ends_with("timed-out=false"),
+            "{}",
+            lines[0]
+        );
+        assert_eq!(lines[1], "ok bye");
+        let lines = send(addr, "shutdown\n");
+        assert_eq!(lines[0], "ok shutting down");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn first_k_streams_embeddings() {
+        let (addr, handle) = test_server(ServerConfig::default());
+        let (query, _data) = fixtures::paper_example();
+        let script = format!("query first 2\n{}quit\n", graph_body(&query));
+        let lines = send(addr, &script);
+        assert!(lines[0].starts_with("ok embeddings=2 "), "{}", lines[0]);
+        assert!(lines[1].starts_with("m ") && lines[2].starts_with("m "));
+        assert_eq!(
+            lines[1].split_whitespace().count(),
+            query.vertex_count() + 1
+        );
+        assert_eq!(lines[3], "end");
+        send(addr, "shutdown\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn protocol_errors_keep_the_connection_alive() {
+        let (addr, handle) = test_server(ServerConfig::default());
+        let lines = send(addr, "nonsense\nquery count timeout-ms 0\nhealthz\nquit\n");
+        assert!(lines[0].starts_with("err unknown command"), "{}", lines[0]);
+        assert!(lines[1].starts_with("err timeout-ms must be positive"));
+        assert!(lines[2].starts_with("ok uptime-ms="));
+        assert_eq!(lines[3], "ok bye");
+        send(addr, "shutdown\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stats_report_counters_and_reloads() {
+        let (addr, handle) = test_server(ServerConfig::default());
+        let (query, data) = fixtures::paper_example();
+        let body = graph_body(&query);
+        let script = format!(
+            "query count\n{body}reload\n{}query count\n{body}stats\nquit\n",
+            graph_body(&data)
+        );
+        let lines = send(addr, &script);
+        assert!(lines[0].starts_with("ok embeddings=4"), "{}", lines[0]);
+        assert!(
+            lines[1].starts_with("ok reloaded vertices="),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].starts_with("ok embeddings=4"), "{}", lines[2]);
+        assert!(
+            lines[3].contains("queries=2") && lines[3].contains("reloads=1"),
+            "{}",
+            lines[3]
+        );
+        send(addr, "shutdown\n");
+        handle.join().unwrap();
+    }
+}

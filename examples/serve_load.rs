@@ -1,0 +1,172 @@
+//! Load harness for `gup-serve`: p50/p99 latency and throughput at 1, 8, and 64
+//! concurrent clients.
+//!
+//! ```text
+//! cargo run --release --example serve_load
+//! ```
+//!
+//! Boots an in-process [`gup_serve::Server`] over a scaled Yeast-analogue data
+//! graph, then drives it over real TCP connections: each concurrency level
+//! splits a fixed request budget across its clients, every client runs its
+//! share of `query count` requests over one persistent connection, and the
+//! harness reports per-request latency percentiles plus queries/sec. `busy`
+//! responses (admission control) are counted separately — with the queue sized
+//! for the client count there should be none.
+
+use gup::Session;
+use gup_serve::{graph_body, Server, ServerConfig};
+use gup_workloads::{generate_query_set, Dataset, QueryClass, QuerySetSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const TOTAL_REQUESTS: usize = 1024;
+const CLIENT_COUNTS: [usize; 3] = [1, 8, 64];
+
+struct LevelReport {
+    clients: usize,
+    completed: usize,
+    busy: usize,
+    elapsed: Duration,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs one client's share of the load over a single persistent connection.
+/// Returns (latencies of completed requests, busy count).
+fn run_client(
+    addr: SocketAddr,
+    bodies: &[String],
+    requests: usize,
+    offset: usize,
+) -> (Vec<Duration>, usize) {
+    let stream = TcpStream::connect(addr).expect("connect to gup-serve");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut latencies = Vec::with_capacity(requests);
+    let mut busy = 0usize;
+    let mut line = String::new();
+    for i in 0..requests {
+        let body = &bodies[(offset + i) % bodies.len()];
+        let start = Instant::now();
+        writer.write_all(body.as_bytes()).expect("send request");
+        writer.flush().expect("flush request");
+        line.clear();
+        reader.read_line(&mut line).expect("read response");
+        let elapsed = start.elapsed();
+        if line.trim() == "busy" {
+            busy += 1;
+        } else {
+            assert!(line.starts_with("ok "), "unexpected response: {line}");
+            latencies.push(elapsed);
+        }
+    }
+    writer.write_all(b"quit\n").expect("send quit");
+    writer.flush().expect("flush quit");
+    (latencies, busy)
+}
+
+fn run_level(addr: SocketAddr, bodies: &[String], clients: usize) -> LevelReport {
+    let per_client = TOTAL_REQUESTS / clients;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let bodies = bodies.to_vec();
+            std::thread::spawn(move || run_client(addr, &bodies, per_client, c * per_client))
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(TOTAL_REQUESTS);
+    let mut busy = 0;
+    for handle in handles {
+        let (mut lat, b) = handle.join().expect("client thread");
+        latencies.append(&mut lat);
+        busy += b;
+    }
+    let elapsed = start.elapsed();
+    latencies.sort();
+    LevelReport {
+        clients,
+        completed: latencies.len(),
+        busy,
+        elapsed,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    // A mid-size data graph: big enough that a query does real work, small
+    // enough that the harness finishes in seconds.
+    let data = Dataset::Yeast.generate(0.3).graph;
+    println!(
+        "data graph: {} vertices, {} edges, {} labels",
+        data.vertex_count(),
+        data.edge_count(),
+        data.label_count()
+    );
+    let queries = generate_query_set(
+        &data,
+        QuerySetSpec {
+            vertices: 8,
+            class: QueryClass::Sparse,
+        },
+        16,
+        42,
+    );
+    assert!(!queries.is_empty(), "query generator produced nothing");
+    // Pre-render each request: command line + graph body. A per-request budget
+    // keeps a pathological query from skewing the tail unboundedly.
+    let bodies: Vec<String> = queries
+        .iter()
+        .map(|q| format!("query count timeout-ms 1000\n{}", graph_body(q)))
+        .collect();
+
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let config = ServerConfig {
+        workers,
+        queue_capacity: 2 * CLIENT_COUNTS[CLIENT_COUNTS.len() - 1],
+        default_timeout: None,
+        query_threads: 1,
+    };
+    let session = Session::new(data);
+    println!(
+        "prepared in {:?} ({} index bytes); serving with {} workers",
+        session.prep_time(),
+        session.prepared().index_bytes(),
+        workers
+    );
+    let server = Server::bind("127.0.0.1:0", config, session).expect("bind server");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    println!(
+        "\n{:>8} {:>10} {:>6} {:>12} {:>12} {:>10}",
+        "clients", "requests", "busy", "p50", "p99", "qps"
+    );
+    for clients in CLIENT_COUNTS {
+        let report = run_level(addr, &bodies, clients);
+        let qps = report.completed as f64 / report.elapsed.as_secs_f64();
+        println!(
+            "{:>8} {:>10} {:>6} {:>12?} {:>12?} {:>10.0}",
+            report.clients, report.completed, report.busy, report.p50, report.p99, qps
+        );
+    }
+
+    // Shut the server down over the wire, like any client would.
+    let stream = TcpStream::connect(addr).expect("connect for shutdown");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writer.write_all(b"shutdown\n").expect("send shutdown");
+    writer.flush().expect("flush shutdown");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read shutdown ack");
+    server_thread.join().expect("server thread");
+}

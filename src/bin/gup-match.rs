@@ -64,7 +64,8 @@ fn usage() -> &'static str {
        --method <gup|gup-noguards|daf|gql|ri|join>   matcher to run (default: gup)\n\
        --queries <manifest>   newline-separated file of query paths (batch mode)\n\
        --limit <n>            stop after n embeddings (default: 100000; 0 = unlimited)\n\
-       --timeout-ms <n>       per-query time limit in milliseconds (default: none)\n\
+       --timeout-ms <n>       per-query time limit in milliseconds, must be positive\n\
+                              (default: none)\n\
        --threads <n>          worker threads for the GuP methods (default: 1)\n\
        --count-only           count embeddings without materializing any\n\
        --first-k <k>          stop after the first k embeddings and print them\n\
@@ -125,6 +126,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .ok_or("--timeout-ms needs an integer")?;
+                if n == 0 {
+                    return Err(
+                        "--timeout-ms must be positive (omit it for no time limit)".to_string()
+                    );
+                }
                 opts.timeout = Some(Duration::from_millis(n));
             }
             "--threads" => {

@@ -13,8 +13,10 @@
 
 use gup::session::{Engine, Session};
 use gup::sink::CountOnly;
+use gup::{Gcs, GupConfig, GupError};
 use gup_graph::builder::graph_from_edges;
 use gup_graph::fixtures;
+use gup_graph::generate::{power_law_graph, PowerLawConfig};
 use gup_graph::Graph;
 use std::time::{Duration, Instant};
 
@@ -147,6 +149,76 @@ fn every_engine_fails_fast_on_an_expired_shared_deadline() {
         assert!(
             elapsed < Duration::from_secs(1),
             "engine {}: expired-deadline batch took {elapsed:?}",
+            engine.name()
+        );
+    }
+}
+
+/// A single-label data graph big enough that the candidate filter pass *alone*
+/// is substantial work: with one label, LDF keeps all 60 000 vertices as
+/// candidates for every vertex of an 8-path, NLF can reject nothing, and the
+/// DAG-DP refinement plus candidate-edge materialization grind through millions
+/// of candidate-constraint pairs before any search could start.
+fn filter_grinder() -> (Graph, Graph) {
+    let data = power_law_graph(&PowerLawConfig {
+        vertices: 60_000,
+        edges_per_vertex: 20,
+        labels: 1,
+        label_skew: 0.0,
+        extra_edge_fraction: 0.0,
+        seed: 7,
+    });
+    let query = fixtures::path(8, 0);
+    (query, data)
+}
+
+/// The filter-pass deadline hole, pinned shut at the lowest level: a deadline
+/// that expires mid-filter aborts `Gcs::build` with `FilterTimeout` instead of
+/// completing the candidate space long after the budget is gone.
+#[test]
+fn gcs_build_aborts_when_the_deadline_expires_mid_filter() {
+    let (query, data) = filter_grinder();
+    let mut config = GupConfig::default();
+    config.limits.deadline = Some(Instant::now() + Duration::from_millis(2));
+    let start = Instant::now();
+    let err = Gcs::<1>::build(&query, &data, &config)
+        .expect_err("a 2 ms budget cannot cover this filter pass");
+    let elapsed = start.elapsed();
+    assert!(matches!(err, GupError::FilterTimeout), "{err:?}");
+    assert!(
+        elapsed < Duration::from_millis(200),
+        "mid-filter abort took {elapsed:?}"
+    );
+}
+
+/// Acceptance criterion for the filter-pass hole: with a 50 ms budget on a query
+/// whose filter pass alone used to blow it, **every** engine family comes back
+/// promptly with `hit_time_limit = true` — whether the budget dies in the filter
+/// (typed `FilterTimeout`, mapped to the flag) or in the first slice of search.
+#[test]
+fn every_engine_observes_a_50ms_budget_dominated_by_the_filter_pass() {
+    let (query, data) = filter_grinder();
+    let session = Session::new(data);
+    for engine in Engine::ALL {
+        let start = Instant::now();
+        let stats = session
+            .query(&query)
+            .method(engine)
+            .unlimited()
+            .timeout(Duration::from_millis(50))
+            .run_with_sink(&mut CountOnly::new())
+            .unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            stats.hit_time_limit,
+            "engine {}: 50 ms budget never observed ({} embeddings, {:?})",
+            engine.name(),
+            stats.embeddings,
+            elapsed
+        );
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "engine {}: 50 ms budget took {elapsed:?}",
             engine.name()
         );
     }

@@ -209,6 +209,26 @@ fn gup_match_binary_reports_oracle_counts() {
         .expect("failed to spawn gup-match");
     assert!(!output.status.success(), "missing --query must be an error");
 
+    // A zero timeout is a usage error (a zero budget would otherwise silently
+    // mean "instantly timed out" or, worse, "no limit" depending on the engine).
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+        .args([
+            "--data",
+            data_path.to_str().unwrap(),
+            "--query",
+            query_path.to_str().unwrap(),
+            "--timeout-ms",
+            "0",
+        ])
+        .output()
+        .expect("failed to spawn gup-match");
+    assert!(!output.status.success(), "--timeout-ms 0 must be rejected");
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("--timeout-ms must be positive"),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,0 +1,523 @@
+//! A hand-rolled, lossy Rust lexer: good enough to separate *code* from
+//! *comments* and *literal contents*, which is all the rule engine needs.
+//!
+//! The lexer produces a masked copy of the source in which every comment byte
+//! and every string/char-literal byte is replaced by a space (newlines are
+//! preserved, so byte offsets and line numbers survive). Rules match their
+//! patterns against the masked code, so an occurrence of `Instant::now()`
+//! inside a doc comment, a string literal, or a raw string can never produce a
+//! finding — and directives are parsed from the extracted comments only.
+//!
+//! Handled: line comments, nested block comments, string literals with escape
+//! sequences, byte strings, raw (byte) strings with arbitrary `#` fences, char
+//! and byte-char literals, and the char-vs-lifetime ambiguity (`'a'` vs `<'a>`).
+//! Not handled (not needed): float-vs-field disambiguation, macro tokenization.
+
+/// One comment extracted from the source, in source order.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line of the comment's first byte.
+    pub line: usize,
+    /// Text *inside* the comment markers (no `//`, `/*`, `*/`), untrimmed.
+    pub text: String,
+    /// `true` when only whitespace precedes the comment on its starting line —
+    /// i.e. the comment owns the line (directive scoping cares).
+    pub own_line: bool,
+}
+
+/// The lexer's output: masked code plus the extracted comments.
+#[derive(Clone, Debug)]
+pub struct Lexed {
+    /// The source with comments and literal contents blanked to spaces; same
+    /// byte length and identical newline positions as the input.
+    pub code: String,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+    /// `lines[i]` is the masked code of 1-based line `i + 1`.
+    pub lines: Vec<String>,
+    /// `test_line[i]` is `true` when 1-based line `i + 1` lies inside a
+    /// `#[cfg(test)]` / `#[test]` item (the attribute and the item body).
+    pub test_line: Vec<bool>,
+}
+
+/// Lexes `src` into masked code and comments. Never fails: on malformed input
+/// (an unterminated literal or comment) the rest of the file is treated as that
+/// literal/comment, which is exactly what rustc's recovery would report anyway.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut code: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    // Whether any non-whitespace *code* byte has appeared on the current line.
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    macro_rules! emit {
+        ($b:expr) => {{
+            let b: u8 = $b;
+            code.push(b);
+            if b == b'\n' {
+                line += 1;
+                line_has_code = false;
+            } else if !b.is_ascii_whitespace() {
+                line_has_code = true;
+            }
+        }};
+    }
+    macro_rules! blank {
+        ($b:expr) => {{
+            let b: u8 = $b;
+            if b == b'\n' {
+                code.push(b'\n');
+                line += 1;
+                line_has_code = false;
+            } else {
+                code.push(b' ');
+            }
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Line comment.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let start_line = line;
+            let own_line = !line_has_code;
+            let mut text = Vec::new();
+            blank!(b'/');
+            blank!(b'/');
+            i += 2;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                text.push(bytes[i]);
+                blank!(bytes[i]);
+                i += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: String::from_utf8_lossy(&text).into_owned(),
+                own_line,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let start_line = line;
+            let own_line = !line_has_code;
+            let mut text = Vec::new();
+            let mut depth = 1usize;
+            blank!(b'/');
+            blank!(b'*');
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    text.extend_from_slice(b"/*");
+                    blank!(b'/');
+                    blank!(b'*');
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.extend_from_slice(b"*/");
+                    }
+                    blank!(b'*');
+                    blank!(b'/');
+                    i += 2;
+                } else {
+                    text.push(bytes[i]);
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: String::from_utf8_lossy(&text).into_owned(),
+                own_line,
+            });
+            continue;
+        }
+        // Raw string (r"…", r#"…"#, br#"…"#, …): only when the prefix letter is
+        // not the tail of an identifier.
+        if (b == b'r' || b == b'b') && !prev_is_ident(&code) {
+            if let Some((prefix_len, hashes)) = raw_string_at(bytes, i) {
+                for _ in 0..prefix_len {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+                // Contents until `"` followed by `hashes` hashes.
+                loop {
+                    if i >= bytes.len() {
+                        break;
+                    }
+                    if bytes[i] == b'"' && hash_run(bytes, i + 1) >= hashes {
+                        blank!(bytes[i]);
+                        i += 1;
+                        for _ in 0..hashes {
+                            blank!(bytes[i]);
+                            i += 1;
+                        }
+                        break;
+                    }
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Byte string b"…": delegate to the plain-string path below.
+        if b == b'b' && bytes.get(i + 1) == Some(&b'"') && !prev_is_ident(&code) {
+            blank!(b'b');
+            i += 1;
+            // Falls through to the string case on the next iteration.
+            continue;
+        }
+        // String literal.
+        if b == b'"' {
+            blank!(b'"');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    blank!(bytes[i]);
+                    blank!(bytes[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'"' {
+                    blank!(b'"');
+                    i += 1;
+                    break;
+                }
+                blank!(bytes[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: `'` starts a char literal when the next byte
+        // is a backslash, or when the byte after next is the closing quote.
+        if b == b'\'' {
+            let next = bytes.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(_) => bytes.get(i + 2) == Some(&b'\''),
+                None => false,
+            };
+            if is_char {
+                blank!(b'\'');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        blank!(bytes[i]);
+                        blank!(bytes[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if bytes[i] == b'\'' {
+                        blank!(b'\'');
+                        i += 1;
+                        break;
+                    }
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            // A lifetime or loop label: plain code.
+            emit!(b'\'');
+            i += 1;
+            continue;
+        }
+        emit!(b);
+        i += 1;
+    }
+
+    let code = String::from_utf8_lossy(&code).into_owned();
+    let lines: Vec<String> = code.split('\n').map(str::to_string).collect();
+    let test_line = mark_test_lines(&code, lines.len());
+    Lexed {
+        code,
+        comments,
+        lines,
+        test_line,
+    }
+}
+
+fn prev_is_ident(code: &[u8]) -> bool {
+    code.last()
+        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// If a raw (byte) string starts at `i`, returns `(prefix length, hash count)`
+/// where the prefix covers `r`/`br` plus the hashes plus the opening quote.
+fn raw_string_at(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let hashes = hash_run(bytes, j);
+    j += hashes;
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    Some((j + 1 - i, hashes))
+}
+
+fn hash_run(bytes: &[u8], mut i: usize) -> usize {
+    let start = i;
+    while bytes.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    i - start
+}
+
+/// Marks the lines covered by `#[cfg(test)]` / `#[test]` items: the attribute
+/// itself, any further attributes, and the following item through its matching
+/// closing brace (or terminating semicolon for brace-less items).
+fn mark_test_lines(code: &str, line_count: usize) -> Vec<bool> {
+    let bytes = code.as_bytes();
+    let mut test = vec![false; line_count.max(1)];
+    let mut i = 0usize;
+    while let Some(found) = find_from(code, i, "#[") {
+        let (attr_end, attr_text) = match attribute_at(bytes, found) {
+            Some(parsed) => parsed,
+            None => {
+                i = found + 2;
+                continue;
+            }
+        };
+        if !is_test_attribute(&attr_text) {
+            i = attr_end;
+            continue;
+        }
+        let start_line = line_of(bytes, found);
+        let end = item_end(bytes, attr_end);
+        let end_line = line_of(bytes, end.min(bytes.len().saturating_sub(1)));
+        for entry in test
+            .iter_mut()
+            .take(end_line.min(line_count))
+            .skip(start_line - 1)
+        {
+            *entry = true;
+        }
+        i = end;
+    }
+    test
+}
+
+fn find_from(haystack: &str, from: usize, needle: &str) -> Option<usize> {
+    haystack
+        .get(from..)
+        .and_then(|tail| tail.find(needle).map(|p| from + p))
+}
+
+/// Parses the attribute starting at `i` (which points at `#`). Returns the byte
+/// index just past the closing `]` and the attribute's inner text.
+fn attribute_at(bytes: &[u8], i: usize) -> Option<(usize, String)> {
+    let mut j = i + 2;
+    let mut depth = 1usize;
+    let start = j;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    let text = String::from_utf8_lossy(&bytes[start..j]).into_owned();
+                    return Some((j + 1, text));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `#[test]`, `#[cfg(test)]`, and `#[cfg(all(test, …))]` count; `#[cfg(not(test))]`
+/// does not (that attribute marks *non*-test code).
+fn is_test_attribute(text: &str) -> bool {
+    let compact: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+    compact == "test"
+        || compact.starts_with("cfg(test")
+        || compact.starts_with("cfg(all(test")
+        || compact.starts_with("cfg(any(test")
+}
+
+/// Scans past further attributes, then to the end of the next item: the matching
+/// `}` of its first top-level brace, or a `;` reached before any brace opens.
+fn item_end(bytes: &[u8], mut i: usize) -> usize {
+    // Skip whitespace and stacked attributes.
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i + 1 < bytes.len() && bytes[i] == b'#' && bytes[i + 1] == b'[' {
+            match attribute_at(bytes, i) {
+                Some((end, _)) => i = end,
+                None => return bytes.len(),
+            }
+        } else {
+            break;
+        }
+    }
+    let mut round = 0usize;
+    let mut brace = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' => round += 1,
+            b')' | b']' => round = round.saturating_sub(1),
+            b'{' => brace += 1,
+            b'}' => {
+                brace = brace.saturating_sub(1);
+                if brace == 0 {
+                    return i + 1;
+                }
+            }
+            b';' if round == 0 && brace == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+fn line_of(bytes: &[u8], i: usize) -> usize {
+    1 + bytes[..i.min(bytes.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_masked_and_extracted() {
+        let lexed = lex("let x = 1; // trailing note\n// own line\nlet y = 2;\n");
+        assert!(!lexed.code.contains("trailing"));
+        assert!(lexed.code.contains("let x = 1;"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[0].own_line);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].text.trim(), "own line");
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let lexed = lex("a /* outer /* inner */ still outer */ b\n");
+        assert!(lexed.code.contains('a'));
+        assert!(lexed.code.contains('b'));
+        assert!(!lexed.code.contains("inner"));
+        assert!(!lexed.code.contains("outer"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn string_contents_are_masked_including_comment_lookalikes() {
+        let lexed = lex(r#"let s = "// not a comment /* nope */"; let t = 1;"#);
+        assert!(lexed.code.contains("let t = 1;"));
+        assert!(!lexed.code.contains("not a comment"));
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lexed = lex(r#"let s = "quote \" // inside"; let u = 2;"#);
+        assert!(lexed.code.contains("let u = 2;"));
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_masked() {
+        let src = "let s = r#\"Instant::now() \"quoted\" .unwrap()\"#; code();\n";
+        let lexed = lex(src);
+        assert!(!lexed.code.contains("Instant::now"));
+        assert!(!lexed.code.contains("unwrap"));
+        assert!(lexed.code.contains("code();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_masked() {
+        let lexed = lex("let a = b\"panic!\"; let b2 = br##\"unreachable!\"##; f();\n");
+        assert!(!lexed.code.contains("panic!"));
+        assert!(!lexed.code.contains("unreachable!"));
+        assert!(lexed.code.contains("f();"));
+    }
+
+    #[test]
+    fn char_literals_masked_but_lifetimes_kept() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { let c = '\"'; let d = '\\''; 'x' }\n");
+        assert!(lexed.code.contains("fn f<'a>(x: &'a str)"));
+        // The masked char contents must not have opened a string state: the
+        // function body's closing brace survives.
+        assert!(lexed.code.contains('}'));
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let lexed = lex("let parser = 1; let s = \"x\";\n");
+        assert!(lexed.code.contains("let parser = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lexed = lex(src);
+        assert!(!lexed.test_line[0]);
+        assert!(lexed.test_line[1]);
+        assert!(lexed.test_line[2]);
+        assert!(lexed.test_line[3]);
+        assert!(lexed.test_line[4]);
+        assert!(!lexed.test_line[5]);
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_marked() {
+        let src = "fn live() {}\n#[test]\nfn check() {\n    assert!(true);\n}\nfn more() {}\n";
+        let lexed = lex(src);
+        assert!(!lexed.test_line[0]);
+        assert!(lexed.test_line[1] && lexed.test_line[2] && lexed.test_line[3]);
+        assert!(lexed.test_line[4]);
+        assert!(!lexed.test_line[5]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { body(); }\n";
+        let lexed = lex(src);
+        assert!(!lexed.test_line[0]);
+        assert!(!lexed.test_line[1]);
+    }
+
+    #[test]
+    fn stacked_attributes_extend_the_test_region() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() {} }\nfn live() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.test_line[0] && lexed.test_line[1] && lexed.test_line[2]);
+        assert!(!lexed.test_line[3]);
+    }
+
+    #[test]
+    fn braceless_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn live() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.test_line[0] && lexed.test_line[1]);
+        assert!(!lexed.test_line[2]);
+    }
+
+    #[test]
+    fn masking_preserves_line_numbers() {
+        let src = "a\n/* two\nline */\nb\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.lines.len(), src.split('\n').count());
+        assert_eq!(lexed.lines[3], "b");
+    }
+}

@@ -1,0 +1,173 @@
+//! `gup_analysis`: the workspace invariant analyzer behind `gup-lint`.
+//!
+//! The repo's correctness story rests on cross-cutting invariants the compiler
+//! cannot see: per-query time budgets must flow through the shared
+//! work-bounded [`DeadlineSampler`] instead of ad-hoc `Instant::now()` checks
+//! (three separate PRs fixed deadline-enforcement holes caused by exactly that
+//! anti-pattern), the enumeration hot paths must stay allocation-free, the
+//! serving daemon must not panic, relaxed atomics need stated reasons, and
+//! `unsafe` needs `SAFETY:` comments. This crate makes those invariants
+//! machine-checked: a hand-rolled comment/string/raw-string-aware lexer (no
+//! `syn` — the build environment has no registry access, and the shim-honest
+//! route is a lexer we fully own) feeds a small rule engine.
+//!
+//! Rules (ids as used in `allow` annotations):
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | `clock_discipline` | no raw `Instant::now()` / `SystemTime::now()` outside `gup_graph::deadline`, benches, examples, and tests |
+//! | `no_alloc` | no allocating constructs inside `region(no_alloc)` marker pairs |
+//! | `panic_freedom` | no `.unwrap()` / `.expect()` / `panic!` / `unreachable!` in `crates/serve` and `crates/core` non-test code |
+//! | `relaxed_ordering` | every `Ordering::Relaxed` carries an adjacent justification comment |
+//! | `unsafe_hygiene` | every `unsafe` carries an adjacent `SAFETY:` comment |
+//!
+//! Every rule has an inline escape hatch (an allow annotation naming the rule
+//! plus a mandatory reason — see [`rules`] for the grammar); `tests/lint_clean.rs`
+//! runs the analyzer over the whole workspace and asserts zero findings, so
+//! tier-1 `cargo test` fails on any regression.
+//!
+//! [`DeadlineSampler`]: ../gup_graph/deadline/struct.DeadlineSampler.html
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{analyze_source, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// The workspace directories the analyzer walks (relative to the root).
+pub const WALK_ROOTS: [&str; 4] = ["crates", "src", "examples", "tests"];
+
+/// Directory names that are never descended into.
+pub const SKIP_DIRS: [&str; 3] = ["vendor", "target", ".git"];
+
+/// Collects every `.rs` file under the walked roots, sorted by path, skipping
+/// [`SKIP_DIRS`] at any depth.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in WALK_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            visit(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn visit(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.iter().any(|&skip| name == skip) {
+                continue;
+            }
+            visit(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes every workspace source file under `root` and returns all findings,
+/// sorted by path and line. Unreadable files become an `io` error.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in workspace_files(root)? {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = relative_path(root, &path);
+        findings.extend(analyze_source(&rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+/// `path` relative to `root`, with forward slashes (rule scoping matches on
+/// this form).
+pub fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Renders findings as a JSON array (objects with `path`, `line`, `rule`,
+/// `message`) for tooling. Hand-rolled: the vendored serde is a no-op shim.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"path\": ");
+        json_string(&mut out, &f.path);
+        out.push_str(", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"rule\": ");
+        json_string(&mut out, f.rule);
+        out.push_str(", \"message\": ");
+        json_string(&mut out, &f.message);
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let findings = vec![Finding {
+            path: "a/b.rs".to_string(),
+            line: 3,
+            rule: rules::PANIC_FREEDOM,
+            message: "say \"no\"\nplease".to_string(),
+        }];
+        let json = findings_to_json(&findings);
+        assert!(json.contains("\"path\": \"a/b.rs\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_findings_render_an_empty_array() {
+        assert_eq!(findings_to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn relative_path_uses_forward_slashes() {
+        let root = Path::new("/ws");
+        let file = Path::new("/ws/crates/core/src/lib.rs");
+        assert_eq!(relative_path(root, file), "crates/core/src/lib.rs");
+    }
+}

@@ -1,0 +1,726 @@
+//! The rule engine: five invariant rules plus the directive grammar.
+//!
+//! Rules run over the lexer's masked code (comments and literal contents
+//! blanked), so pattern matches are always real code tokens. Directives are
+//! parsed from extracted comments whose trimmed text *starts with* the
+//! `gup-lint:` prefix — prose that merely mentions the grammar never counts.
+//!
+//! Directive grammar (each as its own comment, or trailing on the target line):
+//!
+//! * allow — `gup-lint: allow(<rule>) <reason>`: suppresses `<rule>` on the
+//!   directive's line and, for a comment that owns its line, on the next line
+//!   containing code. The reason is mandatory; an allow without one is itself a
+//!   finding.
+//! * region open — `gup-lint: region(no_alloc)`: starts a region in which the
+//!   allocating constructs named by [`NO_ALLOC_PATTERNS`] are denied.
+//! * region close — `gup-lint: end_region`.
+
+use crate::lexer::{lex, Comment, Lexed};
+
+/// Rule identifiers, as written inside `allow(...)`.
+pub const RULES: [&str; 5] = [
+    CLOCK_DISCIPLINE,
+    NO_ALLOC,
+    PANIC_FREEDOM,
+    RELAXED_ORDERING,
+    UNSAFE_HYGIENE,
+];
+
+/// R1: raw clock reads outside the deadline module.
+pub const CLOCK_DISCIPLINE: &str = "clock_discipline";
+/// R2: allocating constructs inside a `region(no_alloc)` marker pair.
+pub const NO_ALLOC: &str = "no_alloc";
+/// R3: panicking constructs in daemon/core non-test code.
+pub const PANIC_FREEDOM: &str = "panic_freedom";
+/// R4: `Ordering::Relaxed` without an adjacent justification.
+pub const RELAXED_ORDERING: &str = "relaxed_ordering";
+/// R5: `unsafe` without an adjacent `SAFETY:` comment.
+pub const UNSAFE_HYGIENE: &str = "unsafe_hygiene";
+
+/// Pseudo-rule for malformed directives (bad rule name, missing reason,
+/// unbalanced region markers). Not allowable — fix the directive instead.
+pub const DIRECTIVE: &str = "directive";
+
+/// The allocating constructs denied inside a `no_alloc` region. Textual and
+/// local by design: calls into allocating helpers are pinned by the dynamic
+/// allocator tests; this rule keeps *direct* allocations out of the marked
+/// hot paths.
+pub const NO_ALLOC_PATTERNS: [&str; 10] = [
+    "Vec::new",
+    "vec!",
+    ".to_vec",
+    ".clone()",
+    "format!",
+    "Box::new",
+    "String::new",
+    ".to_owned",
+    ".to_string",
+    "with_capacity",
+];
+
+const CLOCK_PATTERNS: [&str; 2] = ["Instant::now", "SystemTime::now"];
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// One rule violation (or directive error) at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of [`RULES`] or [`DIRECTIVE`]).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules apply to `path` (workspace-relative, forward slashes).
+#[derive(Clone, Copy, Debug)]
+struct Scope {
+    clock: bool,
+    panic: bool,
+}
+
+fn scope_of(path: &str) -> Scope {
+    // R1 allowlist: the deadline module itself (the one blessed home of raw
+    // clock reads), benches, examples, and test sources — measurement and
+    // fixture code legitimately reads the clock.
+    let clock = !(path == "crates/graph/src/deadline.rs"
+        || path.starts_with("crates/bench/")
+        || path.starts_with("examples/")
+        || path.starts_with("tests/")
+        || path.contains("/examples/")
+        || path.contains("/benches/")
+        || path.contains("/tests/"));
+    // R3 scope: the serving daemon and the core engine (a poisoned mutex or a
+    // "can't happen" must degrade, not kill the process).
+    let panic = path.starts_with("crates/serve/src/") || path.starts_with("crates/core/src/");
+    Scope { clock, panic }
+}
+
+/// A parsed `allow` directive.
+struct Allow {
+    rule: &'static str,
+    /// Lines it suppresses (the directive line, plus the next code line for a
+    /// comment that owns its line).
+    lines: Vec<usize>,
+}
+
+/// Analyzes one source file. `path` is the workspace-relative path used for
+/// rule scoping and reporting.
+pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let scope = scope_of(path);
+    let mut findings = Vec::new();
+    let (allows, regions) = parse_directives(path, &lexed, &mut findings);
+
+    let suppressed = |rule: &str, line: usize| {
+        allows
+            .iter()
+            .any(|a| a.rule == rule && a.lines.contains(&line))
+    };
+    let in_test = |line: usize| lexed.test_line.get(line - 1).copied().unwrap_or(false);
+
+    for (idx, code_line) in lexed.lines.iter().enumerate() {
+        let line = idx + 1;
+        if in_test(line) {
+            continue;
+        }
+        if scope.clock {
+            for pat in CLOCK_PATTERNS {
+                if has_token(code_line, pat) && !suppressed(CLOCK_DISCIPLINE, line) {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line,
+                        rule: CLOCK_DISCIPLINE,
+                        message: format!(
+                            "raw `{pat}()` call: route deadlines and timing through \
+                             `gup_graph::deadline` (DeadlineSampler / Stopwatch / \
+                             deadline_after) instead of reading the clock directly"
+                        ),
+                    });
+                }
+            }
+        }
+        if scope.panic {
+            for pat in PANIC_PATTERNS {
+                if has_token(code_line, pat) && !suppressed(PANIC_FREEDOM, line) {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line,
+                        rule: PANIC_FREEDOM,
+                        message: format!(
+                            "`{pat}` in daemon/core non-test code: convert to a typed \
+                             error or graceful degradation, or annotate why it cannot fire",
+                            pat = pat.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+        if has_token(code_line, "Ordering::Relaxed")
+            && !suppressed(RELAXED_ORDERING, line)
+            && !relaxed_is_justified(&lexed, line)
+        {
+            findings.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: RELAXED_ORDERING,
+                message: "`Ordering::Relaxed` without an adjacent justification comment \
+                          (a comment mentioning \"relaxed\" on this line, or directly above \
+                          the contiguous Relaxed cluster)"
+                    .to_string(),
+            });
+        }
+        if has_token(code_line, "unsafe")
+            && !suppressed(UNSAFE_HYGIENE, line)
+            && !unsafe_is_justified(&lexed, line)
+        {
+            findings.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: UNSAFE_HYGIENE,
+                message: "`unsafe` without a `// SAFETY:` comment on the same line or \
+                          directly above"
+                    .to_string(),
+            });
+        }
+    }
+
+    // R2: allocating constructs inside marked regions (test lines included —
+    // a region marker in test code still means what it says).
+    for &(open, close) in &regions {
+        for line in (open + 1)..close {
+            let code_line = match lexed.lines.get(line - 1) {
+                Some(l) => l,
+                None => break,
+            };
+            for pat in NO_ALLOC_PATTERNS {
+                if has_token(code_line, pat) && !suppressed(NO_ALLOC, line) {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line,
+                        rule: NO_ALLOC,
+                        message: format!(
+                            "allocating construct `{pat}` inside a no_alloc region \
+                             (opened at line {open})"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Parses every `gup-lint:` directive out of the comments: allows (with their
+/// suppression lines) and balanced no_alloc regions. Malformed directives
+/// become [`DIRECTIVE`] findings.
+fn parse_directives(
+    path: &str,
+    lexed: &Lexed,
+    findings: &mut Vec<Finding>,
+) -> (Vec<Allow>, Vec<(usize, usize)>) {
+    let mut allows = Vec::new();
+    let mut regions = Vec::new();
+    let mut open_region: Option<usize> = None;
+    for comment in &lexed.comments {
+        let text = comment.text.trim();
+        let Some(rest) = text.strip_prefix("gup-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if let Some(args) = rest.strip_prefix("allow(") {
+            match parse_allow(args) {
+                Ok((rule, reason)) => {
+                    if reason.is_empty() {
+                        findings.push(directive_finding(
+                            path,
+                            comment.line,
+                            format!("allow({rule}) requires a reason after the closing paren"),
+                        ));
+                    } else {
+                        allows.push(Allow {
+                            rule,
+                            lines: allow_lines(lexed, comment),
+                        });
+                    }
+                }
+                Err(msg) => findings.push(directive_finding(path, comment.line, msg)),
+            }
+        } else if rest == "region(no_alloc)" {
+            if let Some(open) = open_region {
+                findings.push(directive_finding(
+                    path,
+                    comment.line,
+                    format!("region(no_alloc) opened inside the region opened at line {open}"),
+                ));
+            } else {
+                open_region = Some(comment.line);
+            }
+        } else if rest == "end_region" {
+            match open_region.take() {
+                Some(open) => regions.push((open, comment.line)),
+                None => findings.push(directive_finding(
+                    path,
+                    comment.line,
+                    "end_region without an open region".to_string(),
+                )),
+            }
+        } else {
+            findings.push(directive_finding(
+                path,
+                comment.line,
+                format!("unknown directive `{rest}`"),
+            ));
+        }
+    }
+    if let Some(open) = open_region {
+        findings.push(directive_finding(
+            path,
+            open,
+            "region(no_alloc) is never closed".to_string(),
+        ));
+    }
+    (allows, regions)
+}
+
+fn directive_finding(path: &str, line: usize, message: String) -> Finding {
+    Finding {
+        path: path.to_string(),
+        line,
+        rule: DIRECTIVE,
+        message,
+    }
+}
+
+fn parse_allow(args: &str) -> Result<(&'static str, &str), String> {
+    let Some(close) = args.find(')') else {
+        return Err("allow( without a closing paren".to_string());
+    };
+    let name = args[..close].trim();
+    let reason = args[close + 1..].trim();
+    match RULES.iter().find(|&&r| r == name) {
+        Some(&rule) => Ok((rule, reason)),
+        None => Err(format!(
+            "unknown rule `{name}` (expected one of: {})",
+            RULES.join(", ")
+        )),
+    }
+}
+
+/// The lines an allow suppresses: its own line, plus — when the comment owns
+/// its line — the next line that contains code.
+fn allow_lines(lexed: &Lexed, comment: &Comment) -> Vec<usize> {
+    let mut lines = vec![comment.line];
+    if comment.own_line {
+        for (idx, code_line) in lexed.lines.iter().enumerate().skip(comment.line) {
+            if !code_line.trim().is_empty() {
+                lines.push(idx + 1);
+                break;
+            }
+        }
+    }
+    lines
+}
+
+/// `true` when `pattern` occurs in `code_line` as a token (not as the tail or
+/// head of a longer identifier).
+fn has_token(code_line: &str, pattern: &str) -> bool {
+    let bytes = code_line.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code_line
+        .get(from..)
+        .and_then(|tail| tail.find(pattern).map(|p| from + p))
+    {
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + pattern.len();
+        let pattern_ends_ident = pattern.as_bytes().last().is_some_and(|&b| is_ident_byte(b));
+        let after_ok = !pattern_ends_ident || after >= bytes.len() || !is_ident_byte(bytes[after]);
+        let before_ident_ok = !pattern
+            .as_bytes()
+            .first()
+            .is_some_and(|&b| is_ident_byte(b))
+            || before_ok;
+        if before_ident_ok && after_ok {
+            return true;
+        }
+        from = pos + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// R4 justification: a comment mentioning "relaxed" (case-insensitive) on the
+/// finding's line, or above the contiguous cluster of `Ordering::Relaxed`
+/// lines the finding belongs to (intervening blank/comment-only lines are
+/// skipped; the upward scan is bounded).
+fn relaxed_is_justified(lexed: &Lexed, line: usize) -> bool {
+    let mentions = |l: usize| {
+        lexed
+            .comments
+            .iter()
+            .any(|c| c.line == l && c.text.to_ascii_lowercase().contains("relaxed"))
+    };
+    if mentions(line) {
+        return true;
+    }
+    let mut l = line;
+    for _ in 0..15 {
+        if l <= 1 {
+            break;
+        }
+        l -= 1;
+        if mentions(l) {
+            return true;
+        }
+        let code_line = match lexed.lines.get(l - 1) {
+            Some(cl) => cl,
+            None => break,
+        };
+        let has_code = !code_line.trim().is_empty();
+        // Stop at the first code line outside the Relaxed cluster.
+        if has_code && !code_line.contains("Ordering::Relaxed") {
+            break;
+        }
+    }
+    false
+}
+
+/// R5 justification: a comment containing `SAFETY:` on the same line or one of
+/// the three lines directly above.
+fn unsafe_is_justified(lexed: &Lexed, line: usize) -> bool {
+    lexed
+        .comments
+        .iter()
+        .any(|c| c.line + 3 >= line && c.line <= line && c.text.contains("SAFETY:"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_of(path: &str, src: &str) -> Vec<Finding> {
+        analyze_source(path, src)
+    }
+
+    fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ---- R1 ----------------------------------------------------------------
+
+    #[test]
+    fn clock_discipline_fires_on_raw_instant_now() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let found = findings_of("crates/core/src/search.rs", src);
+        assert_eq!(rules_fired(&found), vec![CLOCK_DISCIPLINE]);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn clock_discipline_fires_on_system_time_now() {
+        let src = "fn f() { let t = std::time::SystemTime::now(); }\n";
+        let found = findings_of("crates/serve/src/server.rs", src);
+        assert_eq!(rules_fired(&found), vec![CLOCK_DISCIPLINE]);
+    }
+
+    #[test]
+    fn clock_discipline_allowlists_the_deadline_module_and_test_paths() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        for path in [
+            "crates/graph/src/deadline.rs",
+            "crates/bench/src/harness.rs",
+            "examples/serve_load.rs",
+            "tests/batch_deadline.rs",
+            "crates/bench/benches/end_to_end.rs",
+        ] {
+            assert!(findings_of(path, src).is_empty(), "path {path}");
+        }
+    }
+
+    #[test]
+    fn clock_discipline_skips_cfg_test_regions() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let x = Instant::now(); }\n}\n";
+        assert!(findings_of("crates/core/src/search.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clock_discipline_skips_comments_and_strings() {
+        let src = "// Instant::now() would be wrong here\nfn f() { let s = \"Instant::now()\"; }\n";
+        assert!(findings_of("crates/core/src/search.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_line() {
+        let src =
+            "fn f() { let t = Instant::now(); } // gup-lint: allow(clock_discipline) CLI timing\n";
+        assert!(findings_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_own_line_suppresses_next_code_line() {
+        let src = "// gup-lint: allow(clock_discipline) measurement, not enforcement\n\
+                   let t = Instant::now();\n";
+        assert!(findings_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_leak_past_the_next_code_line() {
+        let src = "// gup-lint: allow(clock_discipline) only the first\n\
+                   let t = Instant::now();\n\
+                   let u = Instant::now();\n";
+        let found = findings_of("crates/core/src/x.rs", src);
+        assert_eq!(rules_fired(&found), vec![CLOCK_DISCIPLINE]);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_directive_finding() {
+        let src = "// gup-lint: allow(clock_discipline)\nlet t = Instant::now();\n";
+        let found = findings_of("crates/core/src/x.rs", src);
+        assert!(found.iter().any(|f| f.rule == DIRECTIVE));
+        assert!(found.iter().any(|f| f.rule == CLOCK_DISCIPLINE));
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_a_directive_finding() {
+        let src = "// gup-lint: allow(no_such_rule) whatever\nfn f() {}\n";
+        let found = findings_of("crates/core/src/x.rs", src);
+        assert_eq!(rules_fired(&found), vec![DIRECTIVE]);
+    }
+
+    #[test]
+    fn prose_mentioning_the_grammar_is_not_a_directive() {
+        let src = "/// The marker `gup-lint: allow(panic_freedom) reason` suppresses a finding.\nfn f() {}\n";
+        assert!(findings_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    // ---- R2 ----------------------------------------------------------------
+
+    #[test]
+    fn no_alloc_region_denies_allocating_constructs() {
+        let src = "fn f() {\n\
+                   // gup-lint: region(no_alloc)\n\
+                   let v = Vec::new();\n\
+                   let w = x.to_vec();\n\
+                   let y = z.clone();\n\
+                   let s = format!(\"x\");\n\
+                   let b = Box::new(1);\n\
+                   // gup-lint: end_region\n\
+                   let fine = Vec::new();\n\
+                   }\n";
+        let found = findings_of("crates/graph/src/sink.rs", src);
+        assert_eq!(found.len(), 5);
+        assert!(found.iter().all(|f| f.rule == NO_ALLOC));
+        assert_eq!(found[0].line, 3);
+        assert_eq!(found[4].line, 7);
+    }
+
+    #[test]
+    fn no_alloc_allows_annotated_lines() {
+        let src = "// gup-lint: region(no_alloc)\n\
+                   // gup-lint: allow(no_alloc) one-time warmup, not per-embedding\n\
+                   let v = Vec::new();\n\
+                   let n = count + 1;\n\
+                   // gup-lint: end_region\n";
+        assert!(findings_of("crates/graph/src/sink.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_region_markers_are_directive_findings() {
+        let open_only = "// gup-lint: region(no_alloc)\nfn f() {}\n";
+        let found = findings_of("crates/core/src/x.rs", open_only);
+        assert_eq!(rules_fired(&found), vec![DIRECTIVE]);
+        let close_only = "fn f() {}\n// gup-lint: end_region\n";
+        let found = findings_of("crates/core/src/x.rs", close_only);
+        assert_eq!(rules_fired(&found), vec![DIRECTIVE]);
+        let nested = "// gup-lint: region(no_alloc)\n// gup-lint: region(no_alloc)\n// gup-lint: end_region\n";
+        let found = findings_of("crates/core/src/x.rs", nested);
+        assert_eq!(rules_fired(&found), vec![DIRECTIVE]);
+    }
+
+    #[test]
+    fn clone_of_a_named_method_is_not_flagged_outside_parens() {
+        // `.clone()` must match exactly; `.cloned()` is iterator adapter, fine.
+        let src = "// gup-lint: region(no_alloc)\n\
+                   let x = iter.cloned().next();\n\
+                   // gup-lint: end_region\n";
+        assert!(findings_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    // ---- R3 ----------------------------------------------------------------
+
+    #[test]
+    fn panic_freedom_fires_in_core_and_serve_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(
+            rules_fired(&findings_of("crates/core/src/gcs.rs", src)),
+            vec![PANIC_FREEDOM]
+        );
+        assert_eq!(
+            rules_fired(&findings_of("crates/serve/src/server.rs", src)),
+            vec![PANIC_FREEDOM]
+        );
+        assert!(findings_of("crates/baselines/src/join.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_freedom_covers_each_construct() {
+        for (snippet, label) in [
+            ("x.unwrap()", ".unwrap"),
+            ("x.expect(\"msg\")", ".expect"),
+            ("panic!(\"boom\")", "panic!"),
+            ("unreachable!()", "unreachable!"),
+            ("todo!()", "todo!"),
+            ("unimplemented!()", "unimplemented!"),
+        ] {
+            let src = format!("fn f() {{ {snippet}; }}\n");
+            let found = findings_of("crates/serve/src/protocol.rs", &src);
+            assert_eq!(rules_fired(&found), vec![PANIC_FREEDOM], "{label}");
+        }
+    }
+
+    #[test]
+    fn panic_freedom_does_not_fire_on_unwrap_or_variants() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_default() }\n";
+        assert!(findings_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_freedom_skips_test_code_and_honors_allows() {
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(findings_of("crates/core/src/x.rs", test_src).is_empty());
+        let allowed = "fn f(x: Option<u32>) -> u32 {\n\
+                       // gup-lint: allow(panic_freedom) invariant: caller checked is_some\n\
+                       x.unwrap()\n\
+                       }\n";
+        assert!(findings_of("crates/core/src/x.rs", allowed).is_empty());
+    }
+
+    // ---- R4 ----------------------------------------------------------------
+
+    #[test]
+    fn relaxed_without_justification_fires() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let found = findings_of("crates/core/src/session.rs", src);
+        assert_eq!(rules_fired(&found), vec![RELAXED_ORDERING]);
+    }
+
+    #[test]
+    fn relaxed_with_same_line_comment_passes() {
+        let src =
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); } // relaxed: stats only\n";
+        assert!(findings_of("crates/core/src/session.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_comment_above_covers_a_contiguous_cluster() {
+        let src = "fn f(c: &AtomicU64) {\n\
+                   // Relaxed: monotonic counters read only for reporting.\n\
+                   let a = c.load(Ordering::Relaxed);\n\
+                   let b = c.load(Ordering::Relaxed);\n\
+                   let d = c.load(Ordering::Relaxed);\n\
+                   }\n";
+        assert!(findings_of("crates/core/src/session.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_cluster_justification_does_not_cross_unrelated_code() {
+        let src = "fn f(c: &AtomicU64) {\n\
+                   // Relaxed: fine here.\n\
+                   let a = c.load(Ordering::Relaxed);\n\
+                   do_something_else();\n\
+                   let b = c.load(Ordering::Relaxed);\n\
+                   }\n";
+        let found = findings_of("crates/core/src/session.rs", src);
+        assert_eq!(rules_fired(&found), vec![RELAXED_ORDERING]);
+        assert_eq!(found[0].line, 5);
+    }
+
+    #[test]
+    fn relaxed_in_test_code_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n}\n";
+        assert!(findings_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    // ---- R5 ----------------------------------------------------------------
+
+    #[test]
+    fn unsafe_without_safety_comment_fires() {
+        let src = "fn f(p: *const u32) -> u32 { unsafe { *p } }\n";
+        let found = findings_of("crates/core/src/simd.rs", src);
+        assert_eq!(rules_fired(&found), vec![UNSAFE_HYGIENE]);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_passes() {
+        let src = "fn f(p: *const u32) -> u32 {\n\
+                   // SAFETY: caller guarantees `p` is valid and aligned.\n\
+                   unsafe { *p }\n\
+                   }\n";
+        assert!(findings_of("crates/core/src/simd.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_inside_identifier_does_not_fire() {
+        let src = "fn f() { let not_unsafe_here = 1; let unsafer = 2; }\n";
+        assert!(findings_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    // ---- lexing trickiness end-to-end --------------------------------------
+
+    #[test]
+    fn raw_strings_and_nested_comments_cannot_fake_findings() {
+        let src = "fn f() {\n\
+                   let a = r#\"Instant::now() .unwrap() panic!\"#;\n\
+                   /* outer /* Ordering::Relaxed */ still */\n\
+                   let b = \"// unsafe { }\";\n\
+                   }\n";
+        assert!(findings_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn directive_inside_a_string_is_inert() {
+        let src = "fn f() { let s = \"gup-lint: allow(panic_freedom) nope\"; s.len(); }\n";
+        assert!(findings_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted_and_carry_locations() {
+        let src = "fn f(x: Option<u32>) {\n\
+                   let t = Instant::now();\n\
+                   x.unwrap();\n\
+                   }\n";
+        let found = findings_of("crates/core/src/x.rs", src);
+        assert_eq!(found.len(), 2);
+        assert_eq!((found[0].line, found[0].rule), (2, CLOCK_DISCIPLINE));
+        assert_eq!((found[1].line, found[1].rule), (3, PANIC_FREEDOM));
+        let shown = found[0].to_string();
+        assert!(shown.contains("crates/core/src/x.rs:2"));
+        assert!(shown.contains("clock_discipline"));
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::{BaselineLimits, BaselineResult};
 use gup_candidate::{CandidateSpace, FilterConfig};
+use gup_graph::deadline::DeadlineSampler;
 use gup_graph::sink::{min_limit, CountOnly, EmbeddingSink, SinkControl};
 use gup_graph::{Graph, PreparedData, QVSet, QueryGraph, VertexId};
 use gup_order::OrderingStrategy;
@@ -243,7 +244,7 @@ impl<const W: usize> BacktrackingBaseline<W> {
         let mut state = RunState {
             baseline: self,
             limits,
-            start: Instant::now(),
+            sampler: DeadlineSampler::starting_now(limits.time_limit),
             result: BaselineResult::default(),
             assignment: vec![0; self.query_vertices],
             owner: vec![None; self.data_vertex_upper_bound()],
@@ -277,7 +278,7 @@ enum Outcome<const W: usize> {
 struct RunState<'a, 's, const W: usize> {
     baseline: &'a BacktrackingBaseline<W>,
     limits: BaselineLimits,
-    start: Instant,
+    sampler: DeadlineSampler,
     result: BaselineResult,
     assignment: Vec<u32>,
     /// `u16` (not `u8`): the widest supported queries have up to 256 vertices.
@@ -313,13 +314,9 @@ impl<'a, 's, const W: usize> RunState<'a, 's, W> {
             return Outcome::FoundSome;
         }
         self.result.recursions += 1;
-        if self.result.recursions % 1024 == 0 {
-            if let Some(limit) = self.limits.time_limit {
-                if self.start.elapsed() >= limit {
-                    self.result.hit_time_limit = true;
-                    return Outcome::Aborted;
-                }
-            }
+        if self.sampler.tick().is_err() {
+            self.result.hit_time_limit = true;
+            return Outcome::Aborted;
         }
 
         let failing_sets = self.baseline.kind.failing_sets();

@@ -10,15 +10,17 @@
 //! adversarial query (whose sink is never called) observes a wall-clock budget —
 //! previously the deadline was only enforceable *between reported embeddings*.
 
+use gup_graph::deadline::DeadlineSampler;
 use gup_graph::sink::{CollectAll, CountOnly, EmbeddingSink, SinkControl};
 use gup_graph::{Graph, PreparedData, VertexId};
 use std::time::Instant;
 
-/// The deadline is sampled once every this many candidate-examination steps
-/// (checking the clock on every step would dominate the oracle's tiny per-step
-/// work; sampling per *candidate* rather than per recursion keeps the gap between
-/// clock checks independent of the data-graph size).
-pub const DEADLINE_CHECK_INTERVAL: u64 = 1024;
+/// The shared sampling cadence (re-exported so existing oracle callers keep
+/// their name for it): one clock read per this many candidate examinations.
+/// Counting per *candidate* rather than per recursion keeps the gap between
+/// clock checks independent of the data-graph size (a single recursion scans
+/// every data vertex).
+pub use gup_graph::deadline::DEADLINE_CHECK_INTERVAL;
 
 /// Enumerates every embedding of `query` in `data` and returns them sorted (each
 /// embedding is the vector `emb[u] = data vertex assigned to query vertex u`).
@@ -92,16 +94,14 @@ pub fn enumerate_with_sink_deadline(
         data,
         assignment: vec![u32::MAX; n],
         used: vec![false; data.vertex_count()],
-        deadline,
-        steps: 0,
-        expired: false,
+        sampler: DeadlineSampler::new(deadline),
     };
     // An already-expired deadline stops the enumeration before any work.
-    if search.deadline_hit() {
+    if search.sampler.check().is_err() {
         return true;
     }
     let _ = search.recurse(0, sink);
-    search.expired
+    search.sampler.expired()
 }
 
 struct Search<'a> {
@@ -109,29 +109,15 @@ struct Search<'a> {
     data: &'a Graph,
     assignment: Vec<VertexId>,
     used: Vec<bool>,
-    deadline: Option<Instant>,
-    steps: u64,
-    expired: bool,
+    sampler: DeadlineSampler,
 }
 
 impl Search<'_> {
-    /// Samples the deadline (every [`DEADLINE_CHECK_INTERVAL`] calls, plus on the
-    /// first). Once expired, stays expired. Counted per **candidate examined**,
-    /// not per recursion, so the wall-clock gap between two clock samples is
-    /// bounded by a constant amount of work regardless of the data-graph size (a
-    /// single recursion scans every data vertex).
+    /// Samples the deadline through the shared work-bounded
+    /// [`DeadlineSampler`]: one clock read per [`DEADLINE_CHECK_INTERVAL`]
+    /// candidate examinations, sticky once expired.
     fn deadline_hit(&mut self) -> bool {
-        if self.expired {
-            return true;
-        }
-        let Some(deadline) = self.deadline else {
-            return false;
-        };
-        if self.steps % DEADLINE_CHECK_INTERVAL == 0 && Instant::now() >= deadline {
-            self.expired = true;
-        }
-        self.steps += 1;
-        self.expired
+        self.sampler.tick().is_err()
     }
 
     fn recurse(&mut self, u: usize, sink: &mut dyn EmbeddingSink) -> SinkControl {

@@ -11,6 +11,7 @@
 use crate::backtracking::BaselineError;
 use crate::{BaselineLimits, BaselineResult};
 use gup_candidate::{CandidateSpace, FilterConfig};
+use gup_graph::deadline::DeadlineSampler;
 use gup_graph::sink::{min_limit, CountOnly, EmbeddingSink, SinkControl};
 use gup_graph::{Graph, PreparedData, QueryGraph, VertexId};
 use gup_order::OrderingStrategy;
@@ -115,7 +116,7 @@ impl JoinBaseline {
     ) -> BaselineResult {
         limits.max_embeddings = min_limit(limits.max_embeddings, sink.capacity());
         let mut result = BaselineResult::default();
-        let start = Instant::now();
+        let mut sampler = DeadlineSampler::starting_now(limits.time_limit);
         let n = self.query_vertices;
         if n == 0 || self.space.any_empty() || limits.max_embeddings == Some(0) {
             return result;
@@ -149,11 +150,9 @@ impl JoinBaseline {
             let anchors = &self.backward[i];
             let first_anchor = anchors[0];
             'bindings: for binding in &table {
-                if let Some(limit) = limits.time_limit {
-                    if start.elapsed() >= limit {
-                        result.hit_time_limit = true;
-                        return result;
-                    }
+                if sampler.tick().is_err() {
+                    result.hit_time_limit = true;
+                    return result;
                 }
                 // Candidates of u_i adjacent to the first bound anchor, then checked
                 // against the remaining anchors and injectivity.
@@ -161,6 +160,10 @@ impl JoinBaseline {
                     self.space
                         .adjacent_candidates(first_anchor, binding[first_anchor] as usize, i);
                 'candidates: for &ci in base {
+                    if sampler.tick().is_err() {
+                        result.hit_time_limit = true;
+                        return result;
+                    }
                     for &a in &anchors[1..] {
                         let adj = self.space.adjacent_candidates(a, binding[a] as usize, i);
                         if adj.binary_search(&ci).is_err() {

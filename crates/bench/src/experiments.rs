@@ -566,11 +566,16 @@ fn run_legacy_root_split(matcher: &GupMatcher, threads: usize) -> u64 {
             scope.spawn(move || {
                 let mut local = 0u64;
                 loop {
+                    // Relaxed: work distribution needs only the fetch_add's
+                    // atomicity — each index is handed out exactly once, and no
+                    // other memory rides on the cursor.
                     let next = cursor.fetch_add(1, Ordering::Relaxed);
                     if next >= root_candidates {
                         break;
                     }
                     if let Some(max) = config.limits.max_embeddings {
+                        // Relaxed: advisory early exit; the limit is enforced by
+                        // the shared reservation counter inside the engines.
                         if shared.load(Ordering::Relaxed) >= max {
                             break;
                         }

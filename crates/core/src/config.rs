@@ -123,7 +123,7 @@ impl SearchLimits {
     /// otherwise now + `time_limit`.
     pub fn effective_deadline(&self) -> Option<Instant> {
         self.deadline
-            .or_else(|| self.time_limit.map(|limit| Instant::now() + limit))
+            .or_else(|| self.time_limit.map(gup_graph::deadline::deadline_after))
     }
 }
 

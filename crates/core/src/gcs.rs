@@ -131,9 +131,11 @@ impl<const W: usize> Gcs<W> {
         config: &GupConfig,
     ) -> Result<Self, GupError> {
         let order = gup_order::compute_order(query, &space.candidate_sizes(), config.ordering)
+            // gup-lint: allow(panic_freedom) QueryGraph validation has already rejected disconnected queries on every path into assemble
             .expect("validated queries are connected, so an order always exists");
         let ordered = validated
             .with_order::<W>(&order)
+            // gup-lint: allow(panic_freedom) ordering strategies are total over connected queries; a failure here is an ordering bug worth a loud crash
             .expect("ordering strategies always produce connected permutations");
         let space = space.permuted(&order);
         let reservations = if config.features.reservation_guards {

@@ -36,7 +36,7 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Shared coordination state of one parallel run. The `hungry` and `queued`
 /// counters are `Arc`ed because every worker's [`SplitHandle`] aliases them.
@@ -169,9 +169,7 @@ pub fn run_parallel_with_sink<const W: usize>(
     // Hoist the time budget into an absolute deadline shared by every worker, so
     // per-task engine reuse cannot restart the clock (and all workers agree on it).
     if config.limits.deadline.is_none() {
-        if let Some(limit) = config.limits.time_limit {
-            config.limits.deadline = Some(Instant::now() + limit);
-        }
+        config.limits.deadline = config.limits.effective_deadline();
     }
     // Unlike the old root-splitting driver, a single root candidate is *not* a
     // reason to degrade to one thread: recursive frame splitting parallelizes the
@@ -212,6 +210,7 @@ pub fn run_parallel_with_sink<const W: usize>(
     let mut merged = SearchStats::default();
     let mut buffers: Vec<Vec<Vec<VertexId>>> = Vec::with_capacity(workers);
     for slot in results {
+        // gup-lint: allow(panic_freedom) the scope above joins every worker, and each stores its result as its last act
         let result = slot.into_inner().expect("worker stored its result");
         merged.merge(&result.stats);
         buffers.push(result.embeddings);

@@ -44,13 +44,13 @@ use crate::config::{GupConfig, PruningFeatures, SearchLimits};
 use crate::gcs::Gcs;
 use crate::guards::{EdgeGuardStore, NodeId, NogoodRef, VertexGuardStore};
 use crate::stats::SearchStats;
+use gup_graph::deadline::DeadlineSampler;
 use gup_graph::sink::{CollectAll, EmbeddingReservation, EmbeddingSink, SinkControl};
 use gup_graph::{QVSet, VertexId};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// One unit of work for the work-stealing driver: replay `prefix` (candidate index
 /// per query vertex `0..prefix.len()`), then explore exactly the candidate indices in
@@ -173,11 +173,12 @@ pub struct SearchEngine<'a, const W: usize = 1> {
     /// check-and-increment counter across all workers of a parallel run. The single
     /// place where the limit is enforced.
     reservation: EmbeddingReservation,
-    /// Absolute deadline, owned by whoever constructed the config: hoisted once by
-    /// the parallel driver (so engine reuse cannot restart the time budget per task)
-    /// or derived from `time_limit` at engine construction for sequential runs.
-    deadline: Option<Instant>,
-    deadline_checked_at: u64,
+    /// Work-bounded sampler over the absolute deadline, which is owned by whoever
+    /// constructed the config: hoisted once by the parallel driver (so engine reuse
+    /// cannot restart the time budget per task) or derived from `time_limit` at
+    /// engine construction for sequential runs. Shared with the filter pass and the
+    /// brute-force oracle — one sampling implementation, one cadence.
+    sampler: DeadlineSampler,
     /// Restrict the root-level candidates to this slice of positions (used by the
     /// parallel engine to partition the search tree). `None` = all root candidates.
     root_slice: Option<(usize, usize)>,
@@ -229,8 +230,7 @@ impl<'a, const W: usize> SearchEngine<'a, W> {
                 DefaultSink::Discard
             },
             reservation: EmbeddingReservation::local(config.limits.max_embeddings),
-            deadline: config.limits.effective_deadline(),
-            deadline_checked_at: 0,
+            sampler: DeadlineSampler::new(config.limits.effective_deadline()),
             root_slice: None,
             task_base: 0,
             task_candidates: Vec::new(),
@@ -538,6 +538,7 @@ impl<'a, const W: usize> SearchEngine<'a, W> {
             return StepResult::NotDeadend;
         }
         self.stats.futile_recursions += 1;
+        // gup-lint: allow(panic_freedom) every level keeps at least its root entry; an empty bound stack is a search-invariant bug worth a loud crash
         let level_bound = *self.bound_stack[k].last().expect("bound stack never empty");
         let mask = (mask_union | level_bound).without(k);
         StepResult::Deadend(mask)
@@ -549,6 +550,10 @@ impl<'a, const W: usize> SearchEngine<'a, W> {
     fn maybe_donate(&mut self, depth: usize) {
         let (hungry, queued, min_split, max_split) = match &self.split {
             Some(s) => (
+                // Relaxed: scheduling hints only. A stale read can at worst delay
+                // or skip one donation; task hand-off itself is published by the
+                // queue mutex, and `queued` updates use SeqCst where the count
+                // gates worker shutdown.
                 s.hungry.load(Ordering::Relaxed),
                 s.queued.load(Ordering::Relaxed),
                 s.min_split_candidates.max(2),
@@ -579,6 +584,7 @@ impl<'a, const W: usize> SearchEngine<'a, W> {
             self.frame_hi[d] = new_hi;
             self.frame_donated[d] = true;
             self.stats.frames_split += 1;
+            // gup-lint: allow(panic_freedom) the match at the top of this method already returned when split is None
             let split = self.split.as_ref().expect("checked above");
             split.queued.fetch_add(1, Ordering::SeqCst);
             split
@@ -645,9 +651,12 @@ impl<'a, const W: usize> SearchEngine<'a, W> {
                 .gcs
                 .space()
                 .edge_id(k, f)
+                // gup-lint: allow(panic_freedom) f comes from forward_neighbors(k), so the query edge (k, f) exists by construction
                 .expect("forward neighbors are adjacent in the query");
             let adjacency = self.gcs.space().adjacent_candidates(k, cv as usize, f);
+            // gup-lint: allow(panic_freedom) candidate stacks are seeded with one level at construction and never emptied
             let parent_list = self.cand_stack[f].last().expect("stack never empty");
+            // gup-lint: allow(panic_freedom) bound stacks are seeded with one level at construction and never emptied
             let parent_bound = *self.bound_stack[f].last().expect("stack never empty");
             let use_ne = self.features.nogood_edge_guards;
 
@@ -747,6 +756,7 @@ impl<'a, const W: usize> SearchEngine<'a, W> {
             let a = mask
                 .without(b)
                 .max()
+                // gup-lint: allow(panic_freedom) guarded by mask.len() >= 2 just above, so removing one member leaves a maximum
                 .expect("mask has at least two members");
             let query = self.gcs.query();
             if query.in_two_core(a) && query.in_two_core(b) {
@@ -787,6 +797,10 @@ impl<'a, const W: usize> SearchEngine<'a, W> {
     /// counter is shared across workers, so the limit can never be overshot and no
     /// post-hoc truncation is needed) and reports the embedding to the sink. Returns
     /// `false` when no slot is left or the sink asked the search to stop.
+    // These two run once per recursion / per embedding — the innermost hot
+    // path. Statically pinned allocation-free; the counting-sink variant is
+    // also pinned dynamically by `tests/sink_alloc.rs`.
+    // gup-lint: region(no_alloc)
     fn try_record_embedding(&mut self, sink: &mut dyn EmbeddingSink) -> bool {
         if !self.reservation.try_reserve(self.stats.embeddings) {
             self.stats.hit_embedding_limit = true;
@@ -813,18 +827,16 @@ impl<'a, const W: usize> SearchEngine<'a, W> {
                 return true;
             }
         }
-        if let Some(deadline) = self.deadline {
-            // Checking the clock is comparatively expensive; sample every 1024 calls.
-            if self.stats.recursions - self.deadline_checked_at >= 1024 {
-                self.deadline_checked_at = self.stats.recursions;
-                if Instant::now() >= deadline {
-                    self.stats.hit_time_limit = true;
-                    return true;
-                }
-            }
+        // One clock read per DEADLINE_CHECK_INTERVAL recursions, via the shared
+        // work-bounded sampler (sticky once expired — correct for an absolute
+        // deadline that outlives individual tasks of a reused engine).
+        if self.sampler.tick().is_err() {
+            self.stats.hit_time_limit = true;
+            return true;
         }
         false
     }
+    // gup-lint: end_region
 }
 
 #[cfg(test)]

@@ -67,6 +67,7 @@ use gup_baselines::{
     brute_force, BacktrackingBaseline, BaselineError, BaselineKind, BaselineLimits, BaselineResult,
     JoinBaseline,
 };
+use gup_graph::deadline::{deadline_passed, remaining_until, Stopwatch};
 use gup_graph::query::QueryGraphError;
 use gup_graph::sink::{min_limit, CollectAll, CountOnly, EmbeddingSink, FirstK, SinkControl};
 use gup_graph::{Graph, PreparedData, QueryGraph, VertexId};
@@ -122,16 +123,6 @@ impl Engine {
             Engine::Ri => "GQL-R",
             Engine::Join => "RM-join",
             Engine::BruteForce => "BruteForce",
-        }
-    }
-
-    fn baseline_kind(self) -> Option<BaselineKind> {
-        match self {
-            Engine::Plain => Some(BaselineKind::Plain),
-            Engine::Daf => Some(BaselineKind::DafFailingSet),
-            Engine::Gql => Some(BaselineKind::GqlStyle),
-            Engine::Ri => Some(BaselineKind::RiStyle),
-            _ => None,
         }
     }
 }
@@ -203,6 +194,8 @@ impl SessionCounters {
     /// the set is not a transaction, which is fine for monitoring).
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
+            // Relaxed: monitoring counters, each read atomically for display;
+            // no other memory is synchronized through them.
             queries_started: self.queries_started.load(Ordering::Relaxed),
             queries_ok: self.queries_ok.load(Ordering::Relaxed),
             queries_failed: self.queries_failed.load(Ordering::Relaxed),
@@ -211,19 +204,21 @@ impl SessionCounters {
         }
     }
 
+    // All orderings Relaxed: pure monitoring counters — increments race only
+    // against other increments, nothing reads them for control flow.
     fn record(&self, result: &Result<SearchStats, SessionError>) {
-        self.queries_started.fetch_add(1, Ordering::Relaxed);
+        self.queries_started.fetch_add(1, Ordering::Relaxed); // Relaxed: stats only
         match result {
             Ok(stats) => {
-                self.queries_ok.fetch_add(1, Ordering::Relaxed);
+                self.queries_ok.fetch_add(1, Ordering::Relaxed); // Relaxed: stats only
                 self.embeddings_reported
-                    .fetch_add(stats.embeddings, Ordering::Relaxed);
+                    .fetch_add(stats.embeddings, Ordering::Relaxed); // Relaxed: stats only
                 if stats.hit_time_limit {
-                    self.queries_timed_out.fetch_add(1, Ordering::Relaxed);
+                    self.queries_timed_out.fetch_add(1, Ordering::Relaxed); // Relaxed: stats only
                 }
             }
             Err(_) => {
-                self.queries_failed.fetch_add(1, Ordering::Relaxed);
+                self.queries_failed.fetch_add(1, Ordering::Relaxed); // Relaxed: stats only
             }
         }
     }
@@ -510,7 +505,7 @@ fn dispatch_inner(
     // must not buy a candidate-space build, a filter pass, or an unlimited run.
     config.limits.deadline = config.limits.effective_deadline();
     if let Some(deadline) = config.limits.deadline {
-        if Instant::now() >= deadline {
+        if deadline_passed(deadline) {
             return Ok(timed_out_stats());
         }
     }
@@ -528,9 +523,14 @@ fn dispatch_inner(
             })
         }),
         Engine::Plain | Engine::Daf | Engine::Gql | Engine::Ri => {
-            let kind = engine
-                .baseline_kind()
-                .expect("baseline engines have a kind");
+            // This arm is exactly the backtracking-baseline engines, so the kind
+            // can be matched directly — no Option, nothing to unwrap.
+            let kind = match engine {
+                Engine::Daf => BaselineKind::DafFailingSet,
+                Engine::Gql => BaselineKind::GqlStyle,
+                Engine::Ri => BaselineKind::RiStyle,
+                _ => BaselineKind::Plain,
+            };
             crate::with_qv_width!(query.vertex_count(), W, {
                 let matcher = match BacktrackingBaseline::<W>::with_prepared_deadline(
                     query,
@@ -614,7 +614,7 @@ fn timed_out_stats() -> SearchStats {
 /// shave the final scheduling jitter, not silently grant an unlimited run.
 fn baseline_limits(config: &GupConfig) -> BaselineLimits {
     let time_limit = match config.limits.deadline {
-        Some(deadline) => Some(deadline.saturating_duration_since(Instant::now())),
+        Some(deadline) => Some(remaining_until(deadline)),
         None => config.limits.time_limit,
     };
     BaselineLimits {
@@ -655,7 +655,7 @@ struct LimitSink<'a> {
 impl EmbeddingSink for LimitSink<'_> {
     fn report(&mut self, embedding: &[VertexId]) -> SinkControl {
         if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
+            if deadline_passed(deadline) {
                 self.hit_deadline = true;
                 return SinkControl::Stop;
             }
@@ -744,11 +744,11 @@ impl<'s> BatchRequest<'s> {
         } else {
             prep_time / queries.len() as u32
         };
-        let batch_start = Instant::now();
+        let batch_watch = Stopwatch::started();
         let mut sink = CountOnly::new();
         let mut reports = Vec::with_capacity(queries.len());
         for (index, query) in queries.iter().enumerate() {
-            let start = Instant::now();
+            let watch = Stopwatch::started();
             let result = dispatch(
                 self.session,
                 query,
@@ -760,14 +760,14 @@ impl<'s> BatchRequest<'s> {
             reports.push(QueryReport {
                 index,
                 result,
-                elapsed: start.elapsed(),
+                elapsed: watch.elapsed(),
                 prep_amortized,
             });
         }
         BatchReport {
             prep_time,
             prepared_index_bytes: self.session.prepared.index_bytes(),
-            total_elapsed: batch_start.elapsed(),
+            total_elapsed: batch_watch.elapsed(),
             queries: reports,
         }
     }

@@ -15,7 +15,7 @@
 //! overshoot past the deadline is bounded by a constant amount of work rather
 //! than by the input size.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The deadline is sampled once every this many [`DeadlineSampler::tick`] calls.
 /// 1024 keeps the `Instant::now()` overhead well under 1% for work units of a few
@@ -62,6 +62,13 @@ impl DeadlineSampler {
         }
     }
 
+    /// A sampler for a relative budget starting now (`None` = unlimited). The
+    /// single blessed relative→absolute conversion for engines that receive a
+    /// `time_limit` rather than a hoisted deadline.
+    pub fn starting_now(budget: Option<Duration>) -> Self {
+        DeadlineSampler::new(budget.map(deadline_after))
+    }
+
     /// Counts one unit of work and, every [`DEADLINE_CHECK_INTERVAL`] units,
     /// samples the clock. Returns `Err(DeadlineExceeded)` once the deadline has
     /// passed (and keeps returning it — expiry is sticky).
@@ -98,6 +105,66 @@ impl DeadlineSampler {
     /// The deadline being sampled, if any.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
+    }
+
+    /// `true` once a [`tick`] or [`check`] has observed the deadline pass
+    /// (expiry is sticky). Never reads the clock.
+    ///
+    /// [`tick`]: DeadlineSampler::tick
+    /// [`check`]: DeadlineSampler::check
+    pub fn expired(&self) -> bool {
+        self.expired
+    }
+}
+
+/// The absolute deadline of a budget starting now. Alongside the sampler, this
+/// is the only place the workspace converts a relative budget to a wall-clock
+/// deadline — admission control, batch hoisting, and the session dispatcher all
+/// route through here (the `clock_discipline` lint keeps it that way).
+pub fn deadline_after(budget: Duration) -> Instant {
+    Instant::now() + budget
+}
+
+/// `true` once `deadline` has passed. For one-shot boundary checks (fail-fast
+/// before starting a phase); loops should use a [`DeadlineSampler`] so the
+/// clock is read at a work-bounded cadence instead of per iteration.
+pub fn deadline_passed(deadline: Instant) -> bool {
+    Instant::now() >= deadline
+}
+
+/// The budget remaining until `deadline` (zero once passed). Used to translate
+/// a hoisted absolute deadline back into the relative form some engine APIs
+/// take.
+pub fn remaining_until(deadline: Instant) -> Duration {
+    deadline.saturating_duration_since(Instant::now())
+}
+
+/// A started wall-clock stopwatch for *measurement* (latency reporting, prep
+/// timing, uptime) as opposed to *enforcement*. Owning the only raw
+/// measurement reads keeps every other module free of direct clock calls, so
+/// the clock-discipline lint can tell the two uses apart by construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn started() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The instant the stopwatch was started (for deriving deadlines relative
+    /// to a request's arrival).
+    pub fn started_at(&self) -> Instant {
+        self.started
     }
 }
 

@@ -31,9 +31,10 @@
 //! assert!(!prepared.signature_covers(0, &[1], &[9]));
 //! ```
 
+use crate::deadline::Stopwatch;
 use crate::types::{Label, VertexId};
 use crate::Graph;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// An immutable, `Arc`-shareable index of a data graph, built once and reused by
 /// every query of a session. See the [module docs](self) for what it contains.
@@ -57,7 +58,7 @@ impl PreparedData {
     /// single pass over the adjacency lists — `O(|V| + |E|)` plus a sort of each
     /// vertex's (small) distinct-neighbor-label set.
     pub fn new(graph: Graph) -> Self {
-        let start = Instant::now();
+        let watch = Stopwatch::started();
         let n = graph.vertex_count();
         let label_count = graph.label_count();
         let mut sig_offsets = Vec::with_capacity(n + 1);
@@ -97,7 +98,7 @@ impl PreparedData {
             sig_counts,
             max_nlf,
             max_degree,
-            prep_time: start.elapsed(),
+            prep_time: watch.elapsed(),
         }
     }
 
@@ -125,8 +126,10 @@ impl PreparedData {
 
     /// The NLF test as a signature comparison: `true` iff for every `(label,
     /// count)` requirement (parallel slices, labels sorted ascending and distinct),
-    /// vertex `v` has at least `count` neighbors with that label. Allocation-free;
-    /// a two-pointer merge over two label-sorted slices.
+    /// vertex `v` has at least `count` neighbors with that label. Allocation-free
+    /// (statically pinned by the region marker below; dynamically by
+    /// `tests/filter_alloc.rs`); a two-pointer merge over two label-sorted slices.
+    // gup-lint: region(no_alloc)
     pub fn signature_covers(&self, v: VertexId, req_labels: &[Label], req_counts: &[u32]) -> bool {
         let (labels, counts) = self.signature(v);
         let mut i = 0usize;
@@ -145,6 +148,7 @@ impl PreparedData {
         }
         true
     }
+    // gup-lint: end_region
 
     /// The highest number of label-`l` neighbors any vertex has (0 for labels absent
     /// from every neighborhood). A query vertex that needs more label-`l` neighbors

@@ -161,6 +161,10 @@ impl CountOnly {
 }
 
 impl EmbeddingSink for CountOnly {
+    // The whole point of a counting sink is that reporting costs nothing: the
+    // report paths are statically pinned allocation-free here and dynamically
+    // by the counting-allocator test in `tests/sink_alloc.rs`.
+    // gup-lint: region(no_alloc)
     fn report(&mut self, _embedding: &[VertexId]) -> SinkControl {
         self.count += 1;
         SinkControl::Continue
@@ -174,6 +178,7 @@ impl EmbeddingSink for CountOnly {
         self.count += n;
         SinkControl::Continue
     }
+    // gup-lint: end_region
 }
 
 /// Keeps the first `k` embeddings and stops the search once it has them.
@@ -369,11 +374,17 @@ impl EmbeddingReservation {
     pub fn try_reserve(&self, local_count: u64) -> bool {
         match (&self.shared, self.max) {
             (Some(shared), Some(max)) => shared
+                // Relaxed (both orderings): only this one location's
+                // modification order matters — the RMW is atomic, so the limit
+                // cannot be overshot, and no other memory is published through
+                // the counter (embeddings travel through per-worker buffers
+                // merged after the workers join).
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |count| {
                     (count < max).then_some(count + 1)
                 })
                 .is_ok(),
             (Some(shared), None) => {
+                // Relaxed: counting only; atomicity of the increment suffices.
                 shared.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -387,6 +398,9 @@ impl EmbeddingReservation {
     pub fn exhausted(&self, local_count: u64) -> bool {
         match (&self.shared, self.max) {
             (_, None) => false,
+            // Relaxed: advisory early-exit poll. A stale read only delays the
+            // stop by a few recursions; the limit itself is enforced by the
+            // try_reserve RMW, which can never overshoot.
             (Some(shared), Some(max)) => shared.load(Ordering::Relaxed) >= max,
             (None, Some(max)) => local_count >= max,
         }

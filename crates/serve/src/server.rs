@@ -20,11 +20,13 @@
 use gup::session::{CounterSnapshot, Session, SessionCounters};
 use gup::sink::CountOnly;
 use gup::SearchStats;
+use gup_graph::deadline::{deadline_after, Stopwatch};
 use gup_graph::io::{graph_to_string, parse_graph};
 use gup_graph::{Graph, VertexId};
 use parking_lot::RwLock;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -80,7 +82,7 @@ struct Shared {
     session: RwLock<Session>,
     counters: Arc<SessionCounters>,
     config: ServerConfig,
-    started: Instant,
+    started: Stopwatch,
     reloads: AtomicU64,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
@@ -111,7 +113,7 @@ impl Server {
             session: RwLock::new(session),
             counters,
             config,
-            started: Instant::now(),
+            started: Stopwatch::started(),
             reloads: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             local_addr,
@@ -125,9 +127,8 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("gup-serve-worker-{i}"))
                     .spawn(move || worker_loop(&receiver, &shared.shutdown))
-                    .expect("spawning a worker thread")
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
         Ok(Server {
             listener,
             shared,
@@ -178,9 +179,11 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, shutdown: &AtomicBool) {
         // exists solely so an idle worker re-checks the shutdown flag: a live
         // but idle connection keeps the channel connected forever.
         let job = {
-            let Ok(receiver) = receiver.lock() else {
-                return;
-            };
+            // A poisoned lock means a sibling worker panicked while dequeuing.
+            // The receiver itself is still sound (dequeuing has no invariants a
+            // panic could break mid-way), so recover it and keep serving rather
+            // than letting one bad query wedge the whole pool.
+            let receiver = receiver.lock().unwrap_or_else(|e| e.into_inner());
             match receiver.recv_timeout(Duration::from_millis(50)) {
                 Ok(job) => Some(job),
                 Err(RecvTimeoutError::Timeout) => None,
@@ -193,11 +196,31 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, shutdown: &AtomicBool) {
             }
             continue;
         };
-        let start = Instant::now();
-        let result = execute(&job);
-        let elapsed = start.elapsed();
+        let watch = Stopwatch::started();
+        // A panicking search must not take the worker (and eventually the whole
+        // pool) down with it: catch it and turn it into an `err` reply for the
+        // one client whose query caused it.
+        let result = catch_unwind(AssertUnwindSafe(|| execute(&job))).unwrap_or_else(|panic| {
+            let message = panic_message(panic.as_ref());
+            eprintln!("gup-serve: worker caught a panicking query: {message}");
+            Err(format!("internal error: query panicked: {message}"))
+        });
+        let elapsed = watch.elapsed();
         // A disappeared client (closed connection) is not a worker error.
         let _ = job.reply.send(Reply { result, elapsed });
+    }
+}
+
+/// Best-effort human-readable form of a caught panic payload (`panic!` with a
+/// string literal or a formatted message covers practically all of std and this
+/// workspace).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
     }
 }
 
@@ -320,6 +343,8 @@ fn serve_connection(
                     "ok queries={queries_started} completed={queries_ok} \
                      failed={queries_failed} timed-out={queries_timed_out} \
                      embeddings={embeddings_reported} reloads={} uptime-ms={}",
+                    // Relaxed: a monotonically increasing stats counter read for
+                    // display only — no other memory is published through it.
                     shared.reloads.load(Ordering::Relaxed),
                     shared.started.elapsed().as_millis()
                 )?;
@@ -355,7 +380,7 @@ fn handle_query(
     let deadline = spec
         .timeout
         .or(shared.config.default_timeout)
-        .map(|budget| Instant::now() + budget);
+        .map(deadline_after);
     let session = shared.session.read().clone();
     let spec = QuerySpec {
         threads: if spec.threads > 1 {
@@ -420,6 +445,8 @@ fn handle_reload(graph: Graph, shared: &Shared, writer: &mut impl Write) -> std:
     let session = Session::new(graph).with_counters(Arc::clone(&shared.counters));
     let prep = session.prep_time();
     *shared.session.write() = session;
+    // Relaxed: a stats counter; the reload itself is published by the RwLock
+    // above, the count is only ever displayed.
     shared.reloads.fetch_add(1, Ordering::Relaxed);
     writeln!(
         writer,

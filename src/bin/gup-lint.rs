@@ -1,0 +1,104 @@
+//! `gup-lint`: the workspace invariant analyzer CLI.
+//!
+//! Walks the workspace sources (`crates/`, `src/`, `examples/`, `tests/`;
+//! skipping `vendor/` and `target/`) and reports every violation of the
+//! gup-lint rule catalog (clock discipline, no-alloc regions, panic freedom,
+//! relaxed-atomics and unsafe audits) with file, line, rule id, and message.
+//!
+//! Exit status: 0 when clean, 1 on any finding, 2 on usage or I/O errors.
+
+use gup_analysis::{analyze_workspace, findings_to_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gup-lint: check workspace invariants (clock discipline, no-alloc regions,
+panic freedom, relaxed-atomics audit, unsafe hygiene)
+
+USAGE:
+    gup-lint [--root <path>] [--format text|json]
+
+OPTIONS:
+    --root <path>      Workspace root to analyze (default: current directory)
+    --format <form>    Output format: text (default) or json
+    -h, --help         Show this help
+
+RULES (suppress one occurrence with `gup-lint: allow(<rule>) <reason>`):
+    clock_discipline   no raw Instant::now()/SystemTime::now() outside
+                       gup_graph::deadline, benches, examples, and tests
+    no_alloc           no allocating constructs between
+                       `gup-lint: region(no_alloc)` and `gup-lint: end_region`
+    panic_freedom      no .unwrap()/.expect()/panic!/unreachable! in
+                       crates/serve and crates/core non-test code
+    relaxed_ordering   every Ordering::Relaxed has an adjacent justification
+                       comment (one mentioning \"relaxed\")
+    unsafe_hygiene     every `unsafe` has an adjacent SAFETY: comment
+";
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => return usage_error("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (text or json)"))
+                }
+                None => return usage_error("--format needs a value (text or json)"),
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let findings = match analyze_workspace(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("gup-lint: failed to analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Json => println!("{}", findings_to_json(&findings)),
+        Format::Text => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            if findings.is_empty() {
+                eprintln!("gup-lint: clean");
+            } else {
+                eprintln!(
+                    "gup-lint: {} finding{} — fix, or annotate with a reasoned allow",
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" }
+                );
+            }
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("gup-lint: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}

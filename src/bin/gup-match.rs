@@ -28,10 +28,11 @@
 use gup::session::{Engine, Session};
 use gup::sink::{CountOnly, EmbeddingSink, FirstK};
 use gup::{GupConfig, PruningFeatures, SearchLimits, SearchStats};
+use gup_graph::deadline::Stopwatch;
 use gup_graph::io::load_graph;
 use gup_graph::VertexId;
 use std::process::ExitCode;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How much of the output the search must produce — each mode maps to a different
 /// [`EmbeddingSink`], so cheaper modes do strictly less work.
@@ -273,7 +274,7 @@ fn run_query(
     features: PruningFeatures,
     opts: &Options,
 ) -> Result<(String, SearchStats, Duration), String> {
-    let start = Instant::now();
+    let watch = Stopwatch::started();
     let config = GupConfig {
         features,
         limits: SearchLimits {
@@ -292,7 +293,7 @@ fn run_query(
             .run_with_sink(sink)
     })
     .map_err(|e| e.to_string())?;
-    let elapsed = start.elapsed();
+    let elapsed = watch.elapsed();
     let line = summary_line(engine, &stats, opts.threads, elapsed);
     Ok((line, stats, elapsed))
 }

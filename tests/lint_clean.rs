@@ -1,0 +1,52 @@
+//! Tier-1 enforcement of the workspace's static invariants: runs the
+//! `gup_analysis` rule engine (the library behind `gup-lint`) over the whole
+//! workspace and fails on any finding. This is what turns the rule catalog —
+//! clock discipline, no-alloc regions, panic freedom in serve/core, justified
+//! relaxed atomics, `SAFETY:`-commented `unsafe` — from a convention into a
+//! gate: a violation anywhere in `crates/`, `src/`, `examples/`, or `tests/`
+//! fails `cargo test`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = gup_analysis::analyze_workspace(root).expect("workspace sources are readable");
+    assert!(
+        findings.is_empty(),
+        "gup-lint found {} violation(s) — fix each, or annotate it with a reasoned\n\
+         `gup-lint: allow(<rule>) <reason>` (see DESIGN.md, \"Static invariants\"):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_walk_actually_covers_the_workspace() {
+    // Guard against the walker silently walking nothing (e.g. after a directory
+    // rename): the workspace has well over a hundred source files; finding
+    // fewer than a few dozen means the gate above is vacuous.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = gup_analysis::workspace_files(root).expect("workspace sources are readable");
+    assert!(
+        files.len() >= 30,
+        "only {} .rs files found — the lint walk looks broken",
+        files.len()
+    );
+    // Spot-check that the walk reaches each top-level root it claims to cover.
+    for expected in [
+        "crates/core/src/search.rs",
+        "crates/graph/src/deadline.rs",
+        "src/bin/gup-lint.rs",
+        "tests/lint_clean.rs",
+    ] {
+        assert!(
+            files.iter().any(|f| f.ends_with(expected)),
+            "expected the walk to find {expected}"
+        );
+    }
+}

@@ -34,10 +34,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.alloc(layout)
     }
 
+    // SAFETY: forwards `ptr`/`layout` unchanged to `System`, whose contract the
+    // caller already upholds per the `GlobalAlloc` requirements.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards the caller's arguments unchanged to `System`; the extra
+    // bookkeeping touches only a thread-local `Cell` and cannot reenter.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
         System.realloc(ptr, layout, new_size)

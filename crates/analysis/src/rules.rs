@@ -109,9 +109,12 @@ fn scope_of(path: &str) -> Scope {
         || path.contains("/examples/")
         || path.contains("/benches/")
         || path.contains("/tests/"));
-    // R3 scope: the serving daemon and the core engine (a poisoned mutex or a
-    // "can't happen" must degrade, not kill the process).
-    let panic = path.starts_with("crates/serve/src/") || path.starts_with("crates/core/src/");
+    // R3 scope: the serving daemon, the core engine, and the index loader (a
+    // poisoned mutex, a "can't happen", or a corrupt byte on disk must degrade,
+    // not kill the process — the loader parses untrusted files).
+    let panic = path.starts_with("crates/serve/src/")
+        || path.starts_with("crates/core/src/")
+        || path == "crates/graph/src/index_io.rs";
     Scope { clock, panic }
 }
 
@@ -575,7 +578,7 @@ mod tests {
     // ---- R3 ----------------------------------------------------------------
 
     #[test]
-    fn panic_freedom_fires_in_core_and_serve_only() {
+    fn panic_freedom_fires_in_core_serve_and_index_io_only() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert_eq!(
             rules_fired(&findings_of("crates/core/src/gcs.rs", src)),
@@ -585,6 +588,13 @@ mod tests {
             rules_fired(&findings_of("crates/serve/src/server.rs", src)),
             vec![PANIC_FREEDOM]
         );
+        // The index loader parses untrusted bytes: in scope.
+        assert_eq!(
+            rules_fired(&findings_of("crates/graph/src/index_io.rs", src)),
+            vec![PANIC_FREEDOM]
+        );
+        // The rest of the graph crate is not.
+        assert!(findings_of("crates/graph/src/builder.rs", src).is_empty());
         assert!(findings_of("crates/baselines/src/join.rs", src).is_empty());
     }
 

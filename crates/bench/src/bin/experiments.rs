@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Available experiments: `table2`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `table3`, `fig10`, `all`. Options: `--scale <f64>` (multiplies every dataset scale),
+//! `table3`, `fig10`, `persist` (index save/load vs. cold preparation, not part of
+//! `all`), `all`. Options: `--scale <f64>` (multiplies every dataset scale),
 //! `--queries <n>` (queries per set), `--timeout-ms <n>` (per-query limit),
 //! `--threads <n>` (cap for the Figure-10 sweep), `--smoke` (tiny CI configuration).
 //! Reports are printed to stdout and copied to `target/experiments/<name>.txt`.
@@ -96,6 +97,7 @@ fn run_one(name: &str, config: &SuiteConfig, max_threads: usize) -> String {
         "fig9" => experiments::fig9(config),
         "table3" => experiments::table3(config),
         "fig10" => experiments::fig10(config, max_threads),
+        "persist" => experiments::persist(config),
         other => {
             eprintln!("unknown experiment '{other}'");
             print_usage();
@@ -119,7 +121,7 @@ fn save_report(name: &str, report: &str) -> std::io::Result<()> {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [table2|fig4|fig5|fig6|fig7|fig8|fig9|table3|fig10|all]...\n\
+        "usage: experiments [table2|fig4|fig5|fig6|fig7|fig8|fig9|table3|fig10|persist|all]...\n\
          options: --smoke --scale <f> --queries <n> --timeout-ms <n> --set-budget-ms <n> --threads <n>"
     );
 }

@@ -15,6 +15,10 @@
 //!   [`count`], or stream into any [`EmbeddingSink`] via [`run_with_sink`].
 //! * [`Session::run_batch`] executes a whole query set under one shared deadline
 //!   with per-query stats and amortized preparation time in its [`BatchReport`].
+//! * [`Session::with_result_cache`] opts into a bounded, engine-agnostic memo for
+//!   the `count`/`first_k` finishers (hit/miss counters on [`SessionCounters`],
+//!   timed-out results bypassed, [`Session::invalidate_cache`] on data change) —
+//!   the serving front-end's answer to the same query arriving twice.
 //!
 //! Every engine family runs against the same shared `PreparedData`; the legacy
 //! `(query, data)` constructors elsewhere in the workspace are thin adapters that
@@ -70,8 +74,10 @@ use gup_baselines::{
 use gup_graph::deadline::{deadline_passed, remaining_until, Stopwatch};
 use gup_graph::query::QueryGraphError;
 use gup_graph::sink::{min_limit, CollectAll, CountOnly, EmbeddingSink, FirstK, SinkControl};
-use gup_graph::{Graph, PreparedData, QueryGraph, VertexId};
+use gup_graph::{Graph, Label, PreparedData, QueryGraph, VertexId};
 use gup_order::OrderingStrategy;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -182,6 +188,8 @@ pub struct SessionCounters {
     queries_failed: AtomicU64,
     queries_timed_out: AtomicU64,
     embeddings_reported: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl SessionCounters {
@@ -201,7 +209,17 @@ impl SessionCounters {
             queries_failed: self.queries_failed.load(Ordering::Relaxed),
             queries_timed_out: self.queries_timed_out.load(Ordering::Relaxed),
             embeddings_reported: self.embeddings_reported.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
+    }
+
+    fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed); // Relaxed: stats only
+    }
+
+    fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed); // Relaxed: stats only
     }
 
     // All orderings Relaxed: pure monitoring counters — increments race only
@@ -237,6 +255,80 @@ pub struct CounterSnapshot {
     pub queries_timed_out: u64,
     /// Total embeddings reported across all successful queries.
     pub embeddings_reported: u64,
+    /// Cacheable finishers answered from the session result cache.
+    pub cache_hits: u64,
+    /// Cacheable finishers that had to run (and, when complete, populated the cache).
+    pub cache_misses: u64,
+}
+
+/// Default entry capacity a serving front-end passes to
+/// [`Session::with_result_cache`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// What a cacheable finisher asked for — part of the cache key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum CacheMode {
+    /// [`QueryRequest::count`] / [`QueryRequest::count_stats`].
+    Count,
+    /// [`QueryRequest::run`] with [`QueryRequest::first_k`] set to this `k`.
+    FirstK(u64),
+}
+
+/// Canonicalized key of one cacheable query request: the query's labeled
+/// adjacency (labels by vertex id + the canonical `a < b` sorted edge list)
+/// plus the engine-agnostic semantics knobs — the embedding cap and the
+/// finisher mode. Engine, thread count, pruning features, and time budgets are
+/// deliberately **not** part of the key: every engine family answers the same
+/// question, a complete result satisfies any budget, and results that were
+/// truncated by a budget are never stored.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    labels: Vec<Label>,
+    edges: Vec<(VertexId, VertexId)>,
+    limit: Option<u64>,
+    mode: CacheMode,
+}
+
+/// One memoized finisher result (embeddings empty for [`CacheMode::Count`]).
+#[derive(Clone, Debug)]
+struct CachedResult {
+    stats: SearchStats,
+    embeddings: Vec<Vec<VertexId>>,
+}
+
+/// Bounded FIFO memo behind the session's cacheable finishers.
+#[derive(Debug, Default)]
+struct ResultCache {
+    map: HashMap<CacheKey, CachedResult>,
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    fn get(&self, key: &CacheKey) -> Option<CachedResult> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: CacheKey, value: CachedResult) {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, value);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
 }
 
 /// A prepared-data session: one shared, immutable data-graph index plus default
@@ -246,6 +338,9 @@ pub struct Session {
     prepared: Arc<PreparedData>,
     defaults: GupConfig,
     counters: Arc<SessionCounters>,
+    /// Result memo shared by every clone of this session (like the counters).
+    /// Capacity 0 — the default — disables caching entirely.
+    cache: Arc<Mutex<ResultCache>>,
 }
 
 impl Session {
@@ -262,7 +357,39 @@ impl Session {
             prepared,
             defaults: GupConfig::default(),
             counters: Arc::new(SessionCounters::new()),
+            cache: Arc::new(Mutex::new(ResultCache::default())),
         }
+    }
+
+    /// Enables the session result cache with room for `capacity` memoized
+    /// results (`0` disables it — the default). The cache memoizes the
+    /// [`count`](QueryRequest::count) and
+    /// [`first_k` + `run`](QueryRequest::run) finishers, keyed on the query's
+    /// labeled adjacency and the embedding cap; see the field docs on
+    /// [`CounterSnapshot`] for the hit/miss counters it feeds.
+    ///
+    /// Caching is opt-in because a hit answers from the memo *without running
+    /// an engine*: correct (results are engine-agnostic), but not what a
+    /// differential or ablation harness wants. Serving front-ends — where the
+    /// same query arriving twice is common — turn it on.
+    pub fn with_result_cache(mut self, capacity: usize) -> Self {
+        self.cache = Arc::new(Mutex::new(ResultCache {
+            capacity,
+            ..ResultCache::default()
+        }));
+        self
+    }
+
+    /// Drops every memoized result. `gup-serve` calls this on `reload` (a new
+    /// data graph invalidates every cached answer); delta-ingest layers will
+    /// call it on every mutation batch.
+    pub fn invalidate_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Number of results currently memoized (0 when caching is disabled).
+    pub fn cached_results(&self) -> usize {
+        self.cache.lock().map.len()
     }
 
     /// Replaces the session's default configuration (each request clones it and may
@@ -422,14 +549,16 @@ impl<'s, 'q> QueryRequest<'s, 'q> {
 
     /// Runs the query, materializing embeddings (all of them, or the first `k` when
     /// [`QueryRequest::first_k`] was set) over original query-vertex ids.
+    ///
+    /// With [`QueryRequest::first_k`] set this finisher consults the session
+    /// result cache (when enabled via [`Session::with_result_cache`]); a hit may
+    /// return a first-`k` set found by a different engine — any valid one, since
+    /// the key is engine-agnostic. Collect-all runs are never cached (unbounded
+    /// payload).
     pub fn run(self) -> Result<QueryOutcome, SessionError> {
         if let Some(k) = self.first_k {
-            let mut sink = FirstK::new(k);
-            let stats = self.run_with_sink(&mut sink)?;
-            Ok(QueryOutcome {
-                embeddings: sink.into_embeddings(),
-                stats,
-            })
+            let (stats, embeddings) = self.finish_cached(CacheMode::FirstK(k))?;
+            Ok(QueryOutcome { embeddings, stats })
         } else {
             let mut sink = CollectAll::new();
             let stats = self.run_with_sink(&mut sink)?;
@@ -441,10 +570,72 @@ impl<'s, 'q> QueryRequest<'s, 'q> {
     }
 
     /// Counts embeddings without materializing any (the cheapest finisher).
+    /// Consults the session result cache when one is enabled
+    /// ([`Session::with_result_cache`]).
     pub fn count(self) -> Result<u64, SessionError> {
-        let mut sink = CountOnly::new();
-        self.run_with_sink(&mut sink)?;
-        Ok(sink.count())
+        Ok(self.count_stats()?.embeddings)
+    }
+
+    /// Like [`QueryRequest::count`], but returns the full [`SearchStats`] —
+    /// what a serving front-end reports per response line. On a cache hit the
+    /// stats are the memoized run's (the work that was actually performed,
+    /// once).
+    pub fn count_stats(self) -> Result<SearchStats, SessionError> {
+        let (stats, _embeddings) = self.finish_cached(CacheMode::Count)?;
+        Ok(stats)
+    }
+
+    /// Shared implementation of the cacheable finishers: look up the memo,
+    /// else run and (for complete results) populate it. Results truncated by a
+    /// wall-clock or recursion budget are engine- and budget-dependent, so
+    /// they are never stored; hits still feed the regular query counters so
+    /// front-end totals stay meaningful.
+    fn finish_cached(
+        self,
+        mode: CacheMode,
+    ) -> Result<(SearchStats, Vec<Vec<VertexId>>), SessionError> {
+        let session = self.session;
+        let enabled = session.cache.lock().capacity > 0;
+        let key = enabled.then(|| CacheKey {
+            labels: self.query.labels().to_vec(),
+            edges: self.query.edges().collect(),
+            // The effective embedding cap: `first_k` folds into the limit for
+            // counting finishers, exactly as `run_with_sink` applies it.
+            limit: min_limit(self.config.limits.max_embeddings, self.first_k),
+            mode,
+        });
+        if let Some(key) = &key {
+            if let Some(hit) = session.cache.lock().get(key) {
+                session.counters.record_cache_hit();
+                session.counters.record(&Ok(hit.stats.clone()));
+                return Ok((hit.stats, hit.embeddings));
+            }
+            session.counters.record_cache_miss();
+        }
+        let outcome = match mode {
+            CacheMode::Count => {
+                let mut sink = CountOnly::new();
+                let stats = self.run_with_sink(&mut sink)?;
+                (stats, Vec::new())
+            }
+            CacheMode::FirstK(k) => {
+                let mut sink = FirstK::new(k);
+                let stats = self.run_with_sink(&mut sink)?;
+                (stats, sink.into_embeddings())
+            }
+        };
+        if let Some(key) = key {
+            if !outcome.0.hit_time_limit && !outcome.0.hit_recursion_limit {
+                session.cache.lock().insert(
+                    key,
+                    CachedResult {
+                        stats: outcome.0.clone(),
+                        embeddings: outcome.1.clone(),
+                    },
+                );
+            }
+        }
+        Ok(outcome)
     }
 
     /// Runs the query, streaming every embedding into `sink` over original
@@ -1005,6 +1196,156 @@ mod tests {
         assert!(format!("{err}").contains("filter pass"));
         let err = SessionError::from(BaselineError::FilterTimeout);
         assert!(matches!(err, SessionError::FilterTimeout));
+    }
+
+    #[test]
+    fn cache_disabled_by_default() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data);
+        session.query(&query).unlimited().count().unwrap();
+        session.query(&query).unlimited().count().unwrap();
+        let snap = session.counters().snapshot();
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_misses, 0);
+        assert_eq!(session.cached_results(), 0);
+    }
+
+    #[test]
+    fn cache_hits_repeat_counts_and_feeds_counters() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data).with_result_cache(DEFAULT_CACHE_CAPACITY);
+        assert_eq!(session.query(&query).unlimited().count().unwrap(), 4);
+        assert_eq!(session.cached_results(), 1);
+        // Second run — and a clone's run — are answered from the memo.
+        assert_eq!(session.query(&query).unlimited().count().unwrap(), 4);
+        assert_eq!(
+            session.clone().query(&query).unlimited().count().unwrap(),
+            4
+        );
+        let snap = session.counters().snapshot();
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_hits, 2);
+        // Hits still count as served queries.
+        assert_eq!(snap.queries_started, 3);
+        assert_eq!(snap.embeddings_reported, 12);
+    }
+
+    #[test]
+    fn cache_key_separates_limits_and_modes() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data).with_result_cache(DEFAULT_CACHE_CAPACITY);
+        assert_eq!(session.query(&query).unlimited().count().unwrap(), 4);
+        // A capped count is a different question, not a hit.
+        assert_eq!(
+            session.query(&query).unlimited().limit(2).count().unwrap(),
+            2
+        );
+        // So is a first-k run, and a first-k count (k folds into the limit).
+        let first = session.query(&query).unlimited().first_k(2).run().unwrap();
+        assert_eq!(first.embeddings.len(), 2);
+        let snap = session.counters().snapshot();
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_misses, 3);
+        assert_eq!(session.cached_results(), 3);
+        // Re-asking each question hits.
+        assert_eq!(
+            session.query(&query).unlimited().limit(2).count().unwrap(),
+            2
+        );
+        let again = session.query(&query).unlimited().first_k(2).run().unwrap();
+        assert_eq!(again.embeddings, first.embeddings);
+        assert_eq!(session.counters().snapshot().cache_hits, 2);
+    }
+
+    #[test]
+    fn cache_is_engine_agnostic() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data).with_result_cache(DEFAULT_CACHE_CAPACITY);
+        assert_eq!(
+            session
+                .query(&query)
+                .method(Engine::Daf)
+                .unlimited()
+                .count()
+                .unwrap(),
+            4
+        );
+        // The same question through any other engine is a hit: one miss total.
+        for engine in Engine::ALL {
+            assert_eq!(
+                session
+                    .query(&query)
+                    .method(engine)
+                    .unlimited()
+                    .count()
+                    .unwrap(),
+                4,
+                "engine {}",
+                engine.name()
+            );
+        }
+        let snap = session.counters().snapshot();
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_hits, Engine::ALL.len() as u64);
+    }
+
+    #[test]
+    fn timed_out_results_are_not_cached() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data).with_result_cache(DEFAULT_CACHE_CAPACITY);
+        let stats = session
+            .query(&query)
+            .unlimited()
+            .deadline(Instant::now() - Duration::from_millis(1))
+            .count_stats()
+            .unwrap();
+        assert!(stats.hit_time_limit);
+        assert_eq!(session.cached_results(), 0);
+        // The truncated answer must not poison the real one.
+        assert_eq!(session.query(&query).unlimited().count().unwrap(), 4);
+        let snap = session.counters().snapshot();
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_misses, 2);
+    }
+
+    #[test]
+    fn invalidate_cache_forces_a_rerun() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data).with_result_cache(DEFAULT_CACHE_CAPACITY);
+        session.query(&query).unlimited().count().unwrap();
+        assert_eq!(session.cached_results(), 1);
+        session.invalidate_cache();
+        assert_eq!(session.cached_results(), 0);
+        session.query(&query).unlimited().count().unwrap();
+        let snap = session.counters().snapshot();
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_misses, 2);
+    }
+
+    #[test]
+    fn cache_capacity_is_bounded_fifo() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data).with_result_cache(2);
+        let triangle = fixtures::triangle_query();
+        session.query(&query).unlimited().count().unwrap();
+        session.query(&triangle).unlimited().count().unwrap();
+        assert_eq!(session.cached_results(), 2);
+        // A third distinct question evicts the oldest (the paper query).
+        session.query(&query).unlimited().limit(1).count().unwrap();
+        assert_eq!(session.cached_results(), 2);
+        session.query(&query).unlimited().count().unwrap();
+        let snap = session.counters().snapshot();
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_misses, 4);
+    }
+
+    #[test]
+    fn failed_queries_are_not_cached() {
+        let (_q, data) = fixtures::paper_example();
+        let disconnected = gup_graph::builder::graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        let session = Session::new(data).with_result_cache(DEFAULT_CACHE_CAPACITY);
+        assert!(session.query(&disconnected).count().is_err());
+        assert_eq!(session.cached_results(), 0);
     }
 
     #[test]

@@ -62,6 +62,21 @@ impl Graph {
         }
     }
 
+    /// Raw CSR offsets array (`vertex_count + 1` entries). For the on-disk index
+    /// writer in [`crate::index_io`]; external users should go through
+    /// [`Graph::neighbors`].
+    #[inline]
+    pub(crate) fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw flat adjacency array (every vertex's sorted neighbor list,
+    /// concatenated). For the on-disk index writer in [`crate::index_io`].
+    #[inline]
+    pub(crate) fn csr_neighbors(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn vertex_count(&self) -> usize {

@@ -11,6 +11,21 @@
 //!
 //! Vertex ids must be `0..num-vertices`; the optional degree / edge-label columns are
 //! ignored. `#`-prefixed lines and blank lines are skipped.
+//!
+//! The parser is strict about the simple-graph contract the matcher relies on
+//! (and that a persisted index would otherwise bake in):
+//!
+//! * exactly one `t` header, before any `v`/`e` line — a second header is a
+//!   [`GraphParseError::DuplicateHeader`] (it used to silently reset the builder);
+//! * the declared edge count must match the number of `e` lines
+//!   ([`GraphParseError::EdgeCountMismatch`]);
+//! * each undirected edge must be listed exactly once, in either orientation
+//!   ([`GraphParseError::DuplicateEdge`]), and self loops are rejected
+//!   ([`GraphParseError::SelfLoop`]) — the paper assumes simple graphs, and
+//!   silently dropping such lines would let the edge count lie.
+//!
+//! [`write_graph`] emits the canonical form (each edge once, `a < b`), so every
+//! written graph parses back.
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
@@ -30,6 +45,35 @@ pub enum GraphParseError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A second `t` header appeared mid-file (it would silently discard every
+    /// vertex and edge read so far).
+    DuplicateHeader {
+        /// 1-based line number of the second header.
+        line: usize,
+    },
+    /// The number of `e` lines does not match the count declared on the `t` header.
+    EdgeCountMismatch {
+        /// Edge count declared on the `t` header.
+        declared: usize,
+        /// Number of `e` lines actually present.
+        found: usize,
+    },
+    /// An `e` line connects a vertex to itself (the format describes simple graphs).
+    SelfLoop {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The vertex carrying the loop.
+        vertex: usize,
+    },
+    /// The same undirected edge was listed twice (in either orientation).
+    DuplicateEdge {
+        /// 1-based line number of the second listing.
+        line: usize,
+        /// Source vertex as written on the duplicate line.
+        src: usize,
+        /// Destination vertex as written on the duplicate line.
+        dst: usize,
+    },
 }
 
 impl std::fmt::Display for GraphParseError {
@@ -38,6 +82,19 @@ impl std::fmt::Display for GraphParseError {
             GraphParseError::Io(e) => write!(f, "I/O error while reading graph: {e}"),
             GraphParseError::Malformed { line, message } => {
                 write!(f, "malformed graph file at line {line}: {message}")
+            }
+            GraphParseError::DuplicateHeader { line } => {
+                write!(f, "duplicate 't' header at line {line}")
+            }
+            GraphParseError::EdgeCountMismatch { declared, found } => write!(
+                f,
+                "header declares {declared} edges but the file lists {found}"
+            ),
+            GraphParseError::SelfLoop { line, vertex } => {
+                write!(f, "self loop on vertex {vertex} at line {line}")
+            }
+            GraphParseError::DuplicateEdge { line, src, dst } => {
+                write!(f, "duplicate edge ({src}, {dst}) at line {line}")
             }
         }
     }
@@ -63,6 +120,10 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphParseError> {
     let reader = BufReader::new(reader);
     let mut builder: Option<GraphBuilder> = None;
     let mut declared_vertices = 0usize;
+    let mut declared_edges = 0usize;
+    let mut edges_listed = 0usize;
+    let mut seen_edges: std::collections::HashSet<(VertexId, VertexId)> =
+        std::collections::HashSet::new();
     let mut labels_seen = 0usize;
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
@@ -74,19 +135,23 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphParseError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("t") => {
+                if builder.is_some() {
+                    return Err(GraphParseError::DuplicateHeader { line: lineno });
+                }
                 let nv: usize = parts
                     .next()
                     .ok_or_else(|| malformed(lineno, "missing vertex count"))?
                     .parse()
                     .map_err(|_| malformed(lineno, "vertex count is not an integer"))?;
-                let _ne: usize = parts
+                let ne: usize = parts
                     .next()
                     .ok_or_else(|| malformed(lineno, "missing edge count"))?
                     .parse()
                     .map_err(|_| malformed(lineno, "edge count is not an integer"))?;
-                let mut b = GraphBuilder::with_capacity(nv, _ne);
+                let mut b = GraphBuilder::with_capacity(nv, ne);
                 b.add_vertices(nv, 0);
                 declared_vertices = nv;
+                declared_edges = ne;
                 builder = Some(b);
             }
             Some("v") => {
@@ -129,6 +194,21 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphParseError> {
                 if src >= declared_vertices || dst >= declared_vertices {
                     return Err(malformed(lineno, "edge endpoint out of range"));
                 }
+                if src == dst {
+                    return Err(GraphParseError::SelfLoop {
+                        line: lineno,
+                        vertex: src,
+                    });
+                }
+                let key = (src.min(dst) as VertexId, src.max(dst) as VertexId);
+                if !seen_edges.insert(key) {
+                    return Err(GraphParseError::DuplicateEdge {
+                        line: lineno,
+                        src,
+                        dst,
+                    });
+                }
+                edges_listed += 1;
                 b.add_edge(src as VertexId, dst as VertexId);
             }
             Some(other) => {
@@ -138,6 +218,12 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphParseError> {
         }
     }
     let builder = builder.ok_or_else(|| malformed(0, "no 't' header found"))?;
+    if edges_listed != declared_edges {
+        return Err(GraphParseError::EdgeCountMismatch {
+            declared: declared_edges,
+            found: edges_listed,
+        });
+    }
     let _ = labels_seen; // vertices without an explicit 'v' line keep label 0
     Ok(builder.build())
 }
@@ -252,6 +338,74 @@ e 2 0
         }
         let err = parse_graph("t x y\n").unwrap_err();
         assert!(matches!(err, GraphParseError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn error_on_duplicate_header() {
+        // Pre-fix, the second 't' silently discarded the triangle read so far.
+        let err = parse_graph("t 3 1\ne 0 1\nt 3 0\n").unwrap_err();
+        assert!(matches!(err, GraphParseError::DuplicateHeader { line: 3 }));
+    }
+
+    #[test]
+    fn error_on_edge_count_mismatch() {
+        // Pre-fix, the declared count was parsed into `_ne` and never checked.
+        let err = parse_graph("t 3 2\ne 0 1\n").unwrap_err();
+        assert!(matches!(
+            err,
+            GraphParseError::EdgeCountMismatch {
+                declared: 2,
+                found: 1
+            }
+        ));
+        let err = parse_graph("t 3 0\ne 0 1\n").unwrap_err();
+        assert!(matches!(
+            err,
+            GraphParseError::EdgeCountMismatch {
+                declared: 0,
+                found: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn error_on_self_loop() {
+        let err = parse_graph("t 2 1\ne 1 1\n").unwrap_err();
+        assert!(matches!(
+            err,
+            GraphParseError::SelfLoop { line: 2, vertex: 1 }
+        ));
+    }
+
+    #[test]
+    fn error_on_duplicate_edge_either_orientation() {
+        let err = parse_graph("t 2 2\ne 0 1\ne 0 1\n").unwrap_err();
+        assert!(matches!(
+            err,
+            GraphParseError::DuplicateEdge {
+                line: 3,
+                src: 0,
+                dst: 1
+            }
+        ));
+        // The reversed orientation names the same undirected edge.
+        let err = parse_graph("t 2 2\ne 0 1\ne 1 0\n").unwrap_err();
+        assert!(matches!(
+            err,
+            GraphParseError::DuplicateEdge {
+                line: 3,
+                src: 1,
+                dst: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn strict_error_display_mentions_specifics() {
+        let err = parse_graph("t 3 2\ne 0 1\n").unwrap_err();
+        assert!(format!("{err}").contains("declares 2 edges"));
+        let err = parse_graph("t 2 1\ne 1 1\n").unwrap_err();
+        assert!(format!("{err}").contains("self loop"));
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //!   paper's complexity analysis). [`Qv64`]/[`Qv128`]/[`Qv256`] name the supported
 //!   instantiations.
 //! * Text I/O ([`io`]) in the common `t/v/e` format used by the subgraph-matching
-//!   community, random generators ([`generate`]) used by the workload crate, and the
+//!   community, versioned/checksummed binary persistence of prepared indexes
+//!   ([`index_io`]), random generators ([`generate`]) used by the workload crate, and the
 //!   small graph algorithms the matcher needs ([`algo`]: 2-core, connected components,
 //!   degeneracy order).
 //!
@@ -55,6 +56,7 @@ pub mod deadline;
 pub mod fixtures;
 pub mod generate;
 pub mod graph;
+pub mod index_io;
 pub mod io;
 pub mod prepared;
 pub mod query;
@@ -65,7 +67,8 @@ pub mod types;
 pub use builder::GraphBuilder;
 pub use deadline::{DeadlineExceeded, DeadlineSampler};
 pub use graph::Graph;
-pub use prepared::PreparedData;
+pub use index_io::{load_index, save_index, IndexIoError};
+pub use prepared::{PrepareError, PreparedData};
 pub use query::{QueryGraph, QueryGraphError};
 pub use sink::{
     CallbackSink, CollectAll, CountOnly, EmbeddingReservation, EmbeddingSink, FirstK, SinkControl,

@@ -36,6 +36,39 @@ use crate::types::{Label, VertexId};
 use crate::Graph;
 use std::time::Duration;
 
+/// Errors surfaced while building a [`PreparedData`] index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PrepareError {
+    /// The signature arena would need more than `u32::MAX` entries, so its `u32`
+    /// offsets cannot address it. Graphs that large must shard before preparing;
+    /// silently truncating the offsets (the pre-fix behavior) would build — and
+    /// persist — a corrupt index.
+    SignatureArenaTooLarge {
+        /// Number of `(label, count)` entries the arena would need.
+        entries: usize,
+    },
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareError::SignatureArenaTooLarge { entries } => write!(
+                f,
+                "signature arena needs {entries} entries, which exceeds the u32 offset range"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// Converts an arena length into a `u32` signature offset, rejecting graphs whose
+/// distinct-neighbor-label entries would overflow the offset type.
+fn checked_sig_offset(len: usize) -> Result<u32, PrepareError> {
+    u32::try_from(len).map_err(|_| PrepareError::SignatureArenaTooLarge { entries: len })
+}
+
 /// An immutable, `Arc`-shareable index of a data graph, built once and reused by
 /// every query of a session. See the [module docs](self) for what it contains.
 #[derive(Clone, Debug)]
@@ -53,11 +86,44 @@ pub struct PreparedData {
     prep_time: Duration,
 }
 
+/// Equality ignores [`PreparedData::prep_time`] (a measurement, not part of the
+/// index): two prepared indexes are equal iff their graphs and every derived
+/// array agree. This is what the persistence round-trip guarantee
+/// (`load(save(p)) == p`) is stated in terms of.
+impl PartialEq for PreparedData {
+    fn eq(&self, other: &Self) -> bool {
+        self.graph == other.graph
+            && self.sig_offsets == other.sig_offsets
+            && self.sig_labels == other.sig_labels
+            && self.sig_counts == other.sig_counts
+            && self.max_nlf == other.max_nlf
+            && self.max_degree == other.max_degree
+    }
+}
+
+impl Eq for PreparedData {}
+
 impl PreparedData {
     /// Builds the prepared index, taking ownership of the data graph. The build is a
     /// single pass over the adjacency lists — `O(|V| + |E|)` plus a sort of each
     /// vertex's (small) distinct-neighbor-label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature arena would overflow its `u32` offsets (more than
+    /// `u32::MAX` distinct `(vertex, neighbor-label)` pairs); use
+    /// [`PreparedData::try_new`] to get a [`PrepareError`] instead.
     pub fn new(graph: Graph) -> Self {
+        match Self::try_new(graph) {
+            Ok(prepared) => prepared,
+            Err(e) => panic!("preparing data graph failed: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`PreparedData::new`]: surfaces a typed [`PrepareError`]
+    /// instead of panicking when the graph cannot be indexed (e.g. the signature
+    /// arena would overflow its `u32` offsets).
+    pub fn try_new(graph: Graph) -> Result<Self, PrepareError> {
         let watch = Stopwatch::started();
         let n = graph.vertex_count();
         let label_count = graph.label_count();
@@ -89,9 +155,9 @@ impl PreparedData {
                 counts[l as usize] = 0;
             }
             touched.clear();
-            sig_offsets.push(sig_labels.len() as u32);
+            sig_offsets.push(checked_sig_offset(sig_labels.len())?);
         }
-        PreparedData {
+        Ok(PreparedData {
             graph,
             sig_offsets,
             sig_labels,
@@ -99,7 +165,43 @@ impl PreparedData {
             max_nlf,
             max_degree,
             prep_time: watch.elapsed(),
+        })
+    }
+
+    /// Reassembles a prepared index from already-validated parts. Used by the
+    /// on-disk loader ([`crate::index_io`]), which performs the structural
+    /// validation before calling this; `prep_time` records whatever it cost to
+    /// obtain the parts (e.g. the load wall time).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        graph: Graph,
+        sig_offsets: Vec<u32>,
+        sig_labels: Vec<Label>,
+        sig_counts: Vec<u32>,
+        max_nlf: Vec<u32>,
+        max_degree: usize,
+        prep_time: Duration,
+    ) -> Self {
+        PreparedData {
+            graph,
+            sig_offsets,
+            sig_labels,
+            sig_counts,
+            max_nlf,
+            max_degree,
+            prep_time,
         }
+    }
+
+    /// Raw index arrays `(sig_offsets, sig_labels, sig_counts, max_nlf)` for the
+    /// on-disk index writer ([`crate::index_io`]).
+    pub(crate) fn sig_parts(&self) -> (&[u32], &[Label], &[u32], &[u32]) {
+        (
+            &self.sig_offsets,
+            &self.sig_labels,
+            &self.sig_counts,
+            &self.max_nlf,
+        )
     }
 
     /// Convenience for legacy `(query, data)` entry points: clones `graph` and
@@ -259,6 +361,27 @@ mod tests {
         assert!(prepared.index_bytes() > 0);
         assert!(prepared.heap_bytes() > prepared.index_bytes());
         assert_eq!(prepared.graph().vertex_count(), 4);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn sig_offset_overflow_is_a_typed_error() {
+        // The arena length feeds a u32 offset: the last addressable length is
+        // u32::MAX, one past it must surface a typed error (pre-fix, `as u32`
+        // silently wrapped it to 0 and built a corrupt arena).
+        assert_eq!(checked_sig_offset(u32::MAX as usize), Ok(u32::MAX));
+        let entries = u32::MAX as usize + 1;
+        let err = checked_sig_offset(entries).unwrap_err();
+        assert_eq!(err, PrepareError::SignatureArenaTooLarge { entries });
+        assert!(format!("{err}").contains("u32 offset range"));
+    }
+
+    #[test]
+    fn try_new_matches_new() {
+        let (_q, data) = fixtures::paper_example();
+        let a = PreparedData::new(data.clone());
+        let b = PreparedData::try_new(data).expect("paper example prepares");
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * `threads <n>` — worker threads for the GuP engine (≥ 1).
 //! * `limit <n>` — stop after `n` embeddings; `0` removes the default cap.
 //!
+//! Each query option may appear at most once; a repeated key is an error (a
+//! silent last-win would let `query count limit 5 limit 0` uncap the query).
+//!
 //! Responses are a single `ok key=value …`, `err <message>`, or `busy` line;
 //! `query first` additionally streams `m v0 v1 …` lines (one embedding over the
 //! original query-vertex ids per line) followed by `end`.
@@ -161,7 +164,14 @@ fn parse_query<'a>(mut words: impl Iterator<Item = &'a str>) -> Result<QuerySpec
         threads: 1,
         limit: None,
     };
+    // Each option may appear at most once: letting a repeated key win silently
+    // meant `query count limit 5 limit 0` uncapped the query.
+    let mut seen: Vec<&str> = Vec::new();
     while let Some(key) = words.next() {
+        if seen.contains(&key) {
+            return Err(err(format!("repeated query option '{key}'")));
+        }
+        seen.push(key);
         let value = words
             .next()
             .ok_or_else(|| err(format!("option '{key}' needs a value")))?;
@@ -260,6 +270,24 @@ mod tests {
         assert!(parse_command("query count engine volcano").is_err());
         assert!(parse_command("query count threads 0").is_err());
         assert!(parse_command("query count verbosity 3").is_err());
+    }
+
+    #[test]
+    fn repeated_options_are_rejected() {
+        // Pre-fix, the second occurrence silently won: `limit 5 limit 0` uncapped.
+        let e = parse_command("query count limit 5 limit 0").unwrap_err();
+        assert!(e.0.contains("repeated query option 'limit'"), "{e}");
+        for line in [
+            "query count timeout-ms 10 timeout-ms 20",
+            "query count engine gup engine daf",
+            "query first 3 threads 2 threads 4",
+            "query count limit 1 engine daf limit 2",
+        ] {
+            let e = parse_command(line).unwrap_err();
+            assert!(e.0.contains("repeated query option"), "{line}: {e}");
+        }
+        // Distinct options remain fine in any order.
+        assert!(parse_command("query count limit 5 engine daf timeout-ms 10 threads 2").is_ok());
     }
 
     #[test]

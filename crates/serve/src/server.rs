@@ -17,8 +17,7 @@
 //! * [`SessionCounters`] are threaded through every reload, so `stats` reports
 //!   running totals for the server's lifetime, not since the last reload.
 
-use gup::session::{CounterSnapshot, Session, SessionCounters};
-use gup::sink::CountOnly;
+use gup::session::{CounterSnapshot, Session, SessionCounters, DEFAULT_CACHE_CAPACITY};
 use gup::SearchStats;
 use gup_graph::deadline::{deadline_after, Stopwatch};
 use gup_graph::io::{graph_to_string, parse_graph};
@@ -47,6 +46,10 @@ pub struct ServerConfig {
     pub default_timeout: Option<Duration>,
     /// Default GuP worker threads per query (overridden per request).
     pub query_threads: usize,
+    /// Entry capacity of the session result cache (`0` disables caching). The
+    /// cache memoizes count/first-k answers per data graph; `reload`
+    /// invalidates it, and `stats` reports its hit/miss counters.
+    pub result_cache: usize,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +59,7 @@ impl Default for ServerConfig {
             queue_capacity: 16,
             default_timeout: None,
             query_threads: 1,
+            result_cache: DEFAULT_CACHE_CAPACITY,
         }
     }
 }
@@ -108,6 +112,7 @@ impl Server {
         assert!(config.workers >= 1, "need at least one worker");
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let session = session.with_result_cache(config.result_cache);
         let counters = Arc::clone(session.counters());
         let shared = Arc::new(Shared {
             session: RwLock::new(session),
@@ -241,12 +246,11 @@ fn execute(job: &Job) -> Result<(SearchStats, Vec<Vec<VertexId>>), String> {
     if let Some(deadline) = job.deadline {
         request = request.deadline(deadline);
     }
+    // Both finishers below are the cache-aware ones: a repeated question is
+    // answered from the session memo without running an engine.
     match job.spec.output {
         OutputMode::Count => {
-            let mut sink = CountOnly::new();
-            let stats = request
-                .run_with_sink(&mut sink)
-                .map_err(|e| e.to_string())?;
+            let stats = request.count_stats().map_err(|e| e.to_string())?;
             Ok((stats, Vec::new()))
         }
         OutputMode::First(k) => {
@@ -337,12 +341,15 @@ fn serve_connection(
                     queries_failed,
                     queries_timed_out,
                     embeddings_reported,
+                    cache_hits,
+                    cache_misses,
                 } = shared.counters.snapshot();
                 writeln!(
                     writer,
                     "ok queries={queries_started} completed={queries_ok} \
                      failed={queries_failed} timed-out={queries_timed_out} \
-                     embeddings={embeddings_reported} reloads={} uptime-ms={}",
+                     embeddings={embeddings_reported} cache-hits={cache_hits} \
+                     cache-misses={cache_misses} reloads={} uptime-ms={}",
                     // Relaxed: a monotonically increasing stats counter read for
                     // display only — no other memory is published through it.
                     shared.reloads.load(Ordering::Relaxed),
@@ -442,9 +449,15 @@ fn handle_reload(graph: Graph, shared: &Shared, writer: &mut impl Write) -> std:
     let edges = graph.edge_count();
     // Prepare the new index *outside* the lock; queries keep admitting against
     // the old graph while this builds.
-    let session = Session::new(graph).with_counters(Arc::clone(&shared.counters));
+    let session = Session::new(graph)
+        .with_counters(Arc::clone(&shared.counters))
+        .with_result_cache(shared.config.result_cache);
     let prep = session.prep_time();
-    *shared.session.write() = session;
+    let outgoing = std::mem::replace(&mut *shared.session.write(), session);
+    // The new session starts with an empty memo; explicitly invalidate the
+    // outgoing one too, so in-flight clones that pinned the old graph cannot
+    // serve hits for answers the reload just obsoleted.
+    outgoing.invalidate_cache();
     // Relaxed: a stats counter; the reload itself is published by the RwLock
     // above, the count is only ever displayed.
     shared.reloads.fetch_add(1, Ordering::Relaxed);

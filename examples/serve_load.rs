@@ -135,6 +135,9 @@ fn main() {
         queue_capacity: 2 * CLIENT_COUNTS[CLIENT_COUNTS.len() - 1],
         default_timeout: None,
         query_threads: 1,
+        // The harness replays the same query mix; caching would turn the
+        // measured tail into memo lookups instead of engine work.
+        result_cache: 0,
     };
     let session = Session::new(data);
     println!(

@@ -14,7 +14,15 @@
 //! gup-match --data data.graph --query query.graph --print-embeddings --threads 8
 //! gup-match --data data.graph --query query.graph --count-only
 //! gup-match --data data.graph --query query.graph --first-k 10
+//! gup-match --data data.graph --save-index data.gupi      # prepare once, persist
+//! gup-match --index data.gupi --query query.graph         # warm start, no prepare
 //! ```
+//!
+//! Persistence: `--save-index <path>` writes the prepared index to disk in the
+//! versioned, checksummed `gup_graph::index_io` format (with no queries it just
+//! prepares, saves, and exits). `--index <path>` loads such a file instead of
+//! parsing and preparing a text graph — warm starts skip the whole preparation
+//! pass, which dominates process startup on large data graphs.
 //!
 //! Methods: `gup` (default), `gup-noguards`, `daf`, `gql`, `ri`, `join`.
 //!
@@ -51,6 +59,8 @@ enum OutputMode {
 #[derive(Clone, Debug)]
 struct Options {
     data: String,
+    index: Option<String>,
+    save_index: Option<String>,
     queries: Vec<String>,
     method: String,
     limit: Option<u64>,
@@ -60,9 +70,12 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: gup-match --data <file> --query <file> [--query <file> ...]\n\
+    "usage: gup-match (--data <file> | --index <file>) --query <file> [--query <file> ...]\n\
      options:\n\
        --method <gup|gup-noguards|daf|gql|ri|join>   matcher to run (default: gup)\n\
+       --index <file>         load a saved prepared index instead of a --data graph\n\
+       --save-index <file>    persist the prepared index after building it (with no\n\
+                              --query this prepares, saves, and exits)\n\
        --queries <manifest>   newline-separated file of query paths (batch mode)\n\
        --limit <n>            stop after n embeddings (default: 100000; 0 = unlimited)\n\
        --timeout-ms <n>       per-query time limit in milliseconds, must be positive\n\
@@ -77,6 +90,8 @@ fn usage() -> &'static str {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         data: String::new(),
+        index: None,
+        save_index: None,
         queries: Vec::new(),
         method: "gup".to_string(),
         limit: Some(100_000),
@@ -91,6 +106,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--data" => {
                 i += 1;
                 opts.data = args.get(i).cloned().ok_or("--data needs a path")?;
+            }
+            "--index" => {
+                i += 1;
+                opts.index = Some(args.get(i).cloned().ok_or("--index needs a path")?);
+            }
+            "--save-index" => {
+                i += 1;
+                opts.save_index = Some(args.get(i).cloned().ok_or("--save-index needs a path")?);
             }
             "--query" => {
                 i += 1;
@@ -168,10 +191,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--count-only, --first-k, and --print-embeddings are mutually exclusive".to_string(),
         );
     }
-    if opts.data.is_empty() {
-        return Err("missing --data".to_string());
+    match (&opts.index, opts.data.is_empty()) {
+        (Some(_), false) => {
+            return Err("--data and --index are mutually exclusive (pick one source)".to_string())
+        }
+        (None, true) => return Err("missing --data (or --index)".to_string()),
+        _ => {}
     }
-    if opts.queries.is_empty() {
+    if opts.save_index.is_some() && opts.index.is_some() {
+        return Err(
+            "--save-index requires --data (an index loaded with --index is already on disk)"
+                .to_string(),
+        );
+    }
+    // `--save-index` alone is a valid prepare-only invocation: build, persist, exit.
+    if opts.queries.is_empty() && opts.save_index.is_none() {
         return Err("missing --query (or a non-empty --queries manifest)".to_string());
     }
     Ok(opts)
@@ -321,24 +355,45 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let data = match load_graph(&opts.data) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("error: cannot load data graph {}: {e}", opts.data);
-            return ExitCode::from(1);
+    // Prepare once (or load a persisted index): every query below (whatever the
+    // method) runs against this session's shared index; batch runs amortize this
+    // cost, and `--index` warm starts skip it entirely.
+    let (session, source_verb) = if let Some(path) = &opts.index {
+        match gup_graph::load_index(path) {
+            Ok(prepared) => (
+                Session::from_prepared(std::sync::Arc::new(prepared)),
+                "loaded index in",
+            ),
+            Err(e) => {
+                eprintln!("error: cannot load index {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        match load_graph(&opts.data) {
+            Ok(g) => (Session::new(g), "prepared in"),
+            Err(e) => {
+                eprintln!("error: cannot load data graph {}: {e}", opts.data);
+                return ExitCode::from(1);
+            }
         }
     };
-    // Prepare once: every query below (whatever the method) runs against this
-    // session's shared index; batch runs amortize this cost.
-    let session = Session::new(data);
     eprintln!(
-        "data graph: {} vertices, {} edges, {} labels; prepared in {:?} ({} index bytes)",
+        "data graph: {} vertices, {} edges, {} labels; {source_verb} {:?} ({} index bytes)",
         session.data().vertex_count(),
         session.data().edge_count(),
         session.data().label_count(),
         session.prep_time(),
         session.prepared().index_bytes()
     );
+    if let Some(path) = &opts.save_index {
+        let watch = Stopwatch::started();
+        if let Err(e) = gup_graph::save_index(session.prepared(), path) {
+            eprintln!("error: cannot save index {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("saved index to {path} in {:?}", watch.elapsed());
+    }
     let mut failures = 0;
     let mut rows: Vec<TimingRow> = Vec::new();
     for path in &opts.queries {

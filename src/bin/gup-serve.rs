@@ -37,6 +37,7 @@ fn usage() -> &'static str {
        --timeout-ms <n>    default per-request time budget in milliseconds, must be\n\
                            positive (default: none; requests may set their own)\n\
        --threads <n>       default GuP threads per query (default: 1)\n\
+       --cache <n>         result-cache capacity in entries (default: 1024; 0 disables)\n\
        --help              show this message"
 }
 
@@ -98,6 +99,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--threads must be positive".to_string());
                 }
                 opts.config.query_threads = n;
+            }
+            "--cache" => {
+                i += 1;
+                opts.config.result_cache = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--cache needs an integer")?;
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),

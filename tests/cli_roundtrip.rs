@@ -232,6 +232,130 @@ fn gup_match_binary_reports_oracle_counts() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The persistence surface of the binary: `--save-index` alone prepares and
+/// persists (exit 0, no query needed), `--index` warm starts and reports the
+/// oracle count, and a corrupt or conflicting invocation fails loudly.
+#[test]
+fn gup_match_binary_saves_and_loads_prepared_indexes() {
+    let dir = std::env::temp_dir().join(format!("gup_cli_index_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (query, data) = gup_graph::fixtures::paper_example();
+    let data_path = dir.join("data.graph");
+    let query_path = dir.join("query.graph");
+    let index_path = dir.join("data.gupi");
+    save_graph(&data, &data_path).unwrap();
+    save_graph(&query, &query_path).unwrap();
+    let expected = brute_force::count(&query, &data);
+
+    // Prepare-only invocation: no --query, saves the index, exits 0.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+        .args([
+            "--data",
+            data_path.to_str().unwrap(),
+            "--save-index",
+            index_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("failed to spawn gup-match");
+    assert!(
+        output.status.success(),
+        "--save-index without --query must succeed; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("saved index to"),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // The artifact is byte-identical to an in-process save of the same graph.
+    let expected_bytes =
+        gup_graph::index_io::write_index_bytes(&gup_graph::PreparedData::new(data.clone()));
+    assert_eq!(std::fs::read(&index_path).unwrap(), expected_bytes);
+
+    // Warm start: --index answers exactly like --data, for several methods.
+    for method in ["gup", "daf", "join"] {
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+            .args([
+                "--index",
+                index_path.to_str().unwrap(),
+                "--query",
+                query_path.to_str().unwrap(),
+                "--method",
+                method,
+                "--limit",
+                "0",
+            ])
+            .output()
+            .expect("failed to spawn gup-match");
+        assert!(
+            output.status.success(),
+            "--index --method {method}; stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8(output.stdout).unwrap();
+        let reported: u64 = stdout
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("embeddings=").and_then(|v| v.parse().ok()))
+            .unwrap_or_else(|| panic!("no embeddings= field in --index output: {stdout:?}"));
+        assert_eq!(reported, expected, "--index --method {method}");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("loaded index in"),
+            "warm start must report load time, not prepare time"
+        );
+    }
+
+    // A corrupted index fails with exit code 1 and a typed message.
+    let corrupt_path = dir.join("corrupt.gupi");
+    let mut corrupt = expected_bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xff;
+    std::fs::write(&corrupt_path, &corrupt).unwrap();
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+        .args([
+            "--index",
+            corrupt_path.to_str().unwrap(),
+            "--query",
+            query_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("failed to spawn gup-match");
+    assert_eq!(output.status.code(), Some(1), "corrupt index must exit 1");
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("cannot load index"),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Usage errors: --data with --index, and --save-index from a loaded index.
+    for bad in [
+        vec![
+            "--data",
+            data_path.to_str().unwrap(),
+            "--index",
+            index_path.to_str().unwrap(),
+            "--query",
+            query_path.to_str().unwrap(),
+        ],
+        vec![
+            "--index",
+            index_path.to_str().unwrap(),
+            "--save-index",
+            corrupt_path.to_str().unwrap(),
+            "--query",
+            query_path.to_str().unwrap(),
+        ],
+    ] {
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_gup-match"))
+            .args(&bad)
+            .output()
+            .expect("failed to spawn gup-match");
+        assert_eq!(output.status.code(), Some(2), "{bad:?} must be usage error");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn matchers_work_on_graphs_loaded_from_disk() {
     let dir = std::env::temp_dir().join(format!("gup_cli_roundtrip_{}", std::process::id()));

@@ -1,0 +1,223 @@
+//! Workspace-level tests for the persistent prepared-index format
+//! (`gup_graph::index_io`): round-trip fidelity on generated graphs, a
+//! differential check that a loaded index answers queries identically to a
+//! freshly built one across every engine family, and an exhaustive corruption
+//! matrix (every truncation point, every single-byte flip) proving the loader
+//! returns typed errors and never panics.
+
+use gup::session::{Engine, Session};
+use gup_graph::generate::{power_law_graph, random_walk_query, PowerLawConfig};
+use gup_graph::index_io::{
+    checksum, load_index_bytes, write_index_bytes, IndexIoError, FORMAT_VERSION, HEADER_BYTES,
+};
+use gup_graph::{fixtures, load_index, save_index, PreparedData};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn generated_graphs() -> Vec<gup_graph::Graph> {
+    // Seed-pinned: the same configs on every run, spanning tiny through
+    // mid-sized graphs with different label vocabularies and densities.
+    let mut graphs = vec![fixtures::paper_example().1];
+    for (seed, vertices, labels, epv) in [
+        (7, 50, 3, 2),
+        (11, 400, 8, 3),
+        (13, 2_000, 20, 4),
+        (17, 5_000, 1, 2),
+    ] {
+        graphs.push(power_law_graph(&PowerLawConfig {
+            vertices,
+            edges_per_vertex: epv,
+            labels,
+            seed,
+            ..PowerLawConfig::default()
+        }));
+    }
+    graphs
+}
+
+/// `load(save(p)) == p` for seed-pinned random graphs (equality covers the
+/// graph, the signature arena, and the derived bounds; `prep_time` is
+/// excluded by `PreparedData`'s `PartialEq` by design).
+#[test]
+fn round_trip_preserves_every_prepared_index() {
+    for (i, graph) in generated_graphs().into_iter().enumerate() {
+        let prepared = PreparedData::new(graph);
+        let bytes = write_index_bytes(&prepared);
+        let loaded = load_index_bytes(&bytes).unwrap_or_else(|e| panic!("graph #{i}: {e}"));
+        assert_eq!(loaded, prepared, "graph #{i}: round trip changed the index");
+        // Serialization is deterministic: re-encoding the loaded copy is
+        // byte-identical, so on-disk artifacts are diffable.
+        assert_eq!(write_index_bytes(&loaded), bytes, "graph #{i}");
+    }
+}
+
+/// Through the file-path API as the CLI uses it, including overwrite.
+#[test]
+fn save_and_load_round_trip_through_a_file() {
+    let dir = std::env::temp_dir().join(format!("gup_index_io_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fixture.gupi");
+    let prepared = PreparedData::new(fixtures::paper_example().1);
+    save_index(&prepared, &path).unwrap();
+    assert_eq!(load_index(&path).unwrap(), prepared);
+    // Saving again overwrites in place rather than appending.
+    save_index(&prepared, &path).unwrap();
+    assert_eq!(load_index(&path).unwrap(), prepared);
+    let missing = load_index(dir.join("does_not_exist.gupi"));
+    assert!(matches!(missing, Err(IndexIoError::Io(_))), "{missing:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance differential: a loaded index must answer every fixture query
+/// identically to the freshly built index, for every engine family.
+#[test]
+fn loaded_index_answers_queries_identically_to_a_fresh_one() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    for graph in generated_graphs() {
+        let mut queries = vec![fixtures::paper_example().0];
+        for size in [3, 4, 5] {
+            if let Some(q) = random_walk_query(&graph, size, &mut rng) {
+                queries.push(q);
+            }
+        }
+        let fresh = PreparedData::new(graph);
+        let loaded = load_index_bytes(&write_index_bytes(&fresh)).unwrap();
+        let cold = Session::from_prepared(Arc::new(fresh));
+        let warm = Session::from_prepared(Arc::new(loaded));
+        for (qi, query) in queries.iter().enumerate() {
+            for engine in Engine::ALL {
+                // A shared cap keeps dense single-label configs tractable;
+                // cold and warm run the same deterministic engine, so equal
+                // capped counts still prove behavioral equivalence.
+                let a = cold.query(query).method(engine).limit(20_000).count();
+                let b = warm.query(query).method(engine).limit(20_000).count();
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "query #{qi}, {engine:?}: cold {a} != warm {b}")
+                    }
+                    // Engines reject some queries (e.g. too many vertices);
+                    // cold and warm must at least agree on rejection.
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("query #{qi}, {engine:?}: cold {a:?} vs warm {b:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Every possible truncation point yields a typed error, never a panic and
+/// never a silent success.
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let prepared = PreparedData::new(fixtures::paper_example().1);
+    let bytes = write_index_bytes(&prepared);
+    for len in 0..bytes.len() {
+        let result = load_index_bytes(&bytes[..len]);
+        assert!(result.is_err(), "truncation to {len} bytes decoded as Ok");
+    }
+    assert!(load_index_bytes(&bytes).is_ok());
+}
+
+/// Every single-byte flip is caught: header flips by the magic/version checks,
+/// stored-checksum flips and payload flips by the whole-file checksum.
+#[test]
+fn every_single_byte_flip_is_a_typed_error() {
+    let prepared = PreparedData::new(fixtures::paper_example().1);
+    let bytes = write_index_bytes(&prepared);
+    for pos in 0..bytes.len() {
+        for flip in [0x01u8, 0x80] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= flip;
+            let result = load_index_bytes(&corrupt);
+            assert!(
+                result.is_err(),
+                "flip {flip:#04x} at byte {pos} was accepted"
+            );
+            let expected_kind = match pos {
+                0..=3 => matches!(result, Err(IndexIoError::BadMagic { .. })),
+                4..=7 => matches!(result, Err(IndexIoError::UnsupportedVersion { .. })),
+                _ => matches!(result, Err(IndexIoError::ChecksumMismatch { .. })),
+            };
+            assert!(expected_kind, "byte {pos}: unexpected error {result:?}");
+        }
+    }
+}
+
+/// Reseals the checksum over a tampered payload so the corruption reaches the
+/// structural validators instead of the checksum gate.
+fn reseal(bytes: &mut [u8]) {
+    let sum = checksum(&bytes[HEADER_BYTES..]).to_le_bytes();
+    bytes[8..16].copy_from_slice(&sum);
+}
+
+/// A length prefix pointing past the end of the file is a `SectionOverrun`
+/// (detected before any allocation), even when the checksum is valid.
+#[test]
+fn resealed_section_overrun_is_rejected() {
+    let prepared = PreparedData::new(fixtures::paper_example().1);
+    let bytes = write_index_bytes(&prepared);
+    // The first section length prefix (vertex offsets) sits right after the
+    // three u64 counts that follow the 16-byte header.
+    let first_len_prefix = HEADER_BYTES + 3 * 8;
+    let mut corrupt = bytes.clone();
+    corrupt[first_len_prefix..first_len_prefix + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    reseal(&mut corrupt);
+    let result = load_index_bytes(&corrupt);
+    assert!(
+        matches!(result, Err(IndexIoError::SectionOverrun { .. })),
+        "{result:?}"
+    );
+}
+
+/// A resealed header with an unknown version is rejected as such (the format
+/// has no migration path: re-prepare from the text graph instead).
+#[test]
+fn resealed_future_version_is_rejected() {
+    let prepared = PreparedData::new(fixtures::paper_example().1);
+    let mut bytes = write_index_bytes(&prepared);
+    bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    reseal(&mut bytes);
+    let result = load_index_bytes(&bytes);
+    assert!(
+        matches!(
+            result,
+            Err(IndexIoError::UnsupportedVersion { found, supported })
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ),
+        "{result:?}"
+    );
+}
+
+/// Structurally invalid but checksum-valid payloads (a hand-crafted file) are
+/// caught by the validators with `Invalid`, not by a panic downstream.
+#[test]
+fn resealed_structural_corruption_is_rejected() {
+    let prepared = PreparedData::new(fixtures::paper_example().1);
+    let bytes = write_index_bytes(&prepared);
+    // Overwrite the first neighbor list entry with an out-of-range vertex id.
+    // Layout: header, 3×u64 counts, offsets section (len prefix + (n+1)×u64),
+    // neighbors section (len prefix + m×u32).
+    let n = prepared.graph().vertex_count();
+    let neighbors_first = HEADER_BYTES + 3 * 8 + 8 + (n + 1) * 8 + 8;
+    let mut corrupt = bytes.clone();
+    corrupt[neighbors_first..neighbors_first + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    reseal(&mut corrupt);
+    let result = load_index_bytes(&corrupt);
+    assert!(
+        matches!(result, Err(IndexIoError::Invalid { .. })),
+        "{result:?}"
+    );
+}
+
+/// Trailing garbage after a well-formed payload is rejected even when the
+/// checksum is recomputed over the longer payload.
+#[test]
+fn resealed_trailing_bytes_are_rejected() {
+    let prepared = PreparedData::new(fixtures::paper_example().1);
+    let mut bytes = write_index_bytes(&prepared);
+    bytes.extend_from_slice(&[0u8; 4]);
+    reseal(&mut bytes);
+    let result = load_index_bytes(&bytes);
+    assert!(result.is_err(), "{result:?}");
+}

@@ -1,0 +1,112 @@
+//! Workspace-level correctness tests for the session result cache: a cache
+//! hit must be indistinguishable from a cold run for every engine family, and
+//! invalidation (what `gup-serve reload` calls) must force real reruns.
+
+use gup::session::{Engine, Session};
+use gup_graph::fixtures;
+use gup_graph::generate::{power_law_graph, random_walk_query, PowerLawConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn mid_sized_workload() -> (gup_graph::Graph, Vec<gup_graph::Graph>) {
+    let data = power_law_graph(&PowerLawConfig {
+        vertices: 1_500,
+        edges_per_vertex: 3,
+        labels: 6,
+        seed: 21,
+        ..PowerLawConfig::default()
+    });
+    let mut rng = SmallRng::seed_from_u64(22);
+    let queries: Vec<_> = [3, 4, 4, 5]
+        .iter()
+        .filter_map(|&size| random_walk_query(&data, size, &mut rng))
+        .collect();
+    assert!(!queries.is_empty());
+    (data, queries)
+}
+
+/// For every engine and every query: the cold count, the cached repeat, and an
+/// uncached session all agree. The cache must never change an answer.
+#[test]
+fn cache_hits_equal_cold_runs_across_engines() {
+    let (data, queries) = mid_sized_workload();
+    let prepared = Arc::new(gup_graph::PreparedData::new(data));
+    let uncached = Session::from_prepared(Arc::clone(&prepared));
+    let cached = Session::from_prepared(prepared).with_result_cache(64);
+    for (qi, query) in queries.iter().enumerate() {
+        for engine in Engine::ALL {
+            let (Ok(reference), cold, warm) = (
+                uncached.query(query).method(engine).count(),
+                cached.query(query).method(engine).count(),
+                cached.query(query).method(engine).count(),
+            ) else {
+                continue; // engines that reject this query reject it everywhere
+            };
+            assert_eq!(cold.unwrap(), reference, "query #{qi}, {engine:?}: cold");
+            assert_eq!(warm.unwrap(), reference, "query #{qi}, {engine:?}: warm");
+        }
+    }
+    let snap = cached.counters().snapshot();
+    assert!(snap.cache_hits > 0, "repeats never hit: {snap:?}");
+}
+
+/// First-k through the cache returns the same embeddings as a cold first-k,
+/// and cached embeddings stay valid (right arity, labels, adjacency).
+#[test]
+fn cached_first_k_repeats_the_cold_embeddings() {
+    let (query, data) = fixtures::paper_example();
+    let session = Session::new(data).with_result_cache(16);
+    let cold = session.query(&query).first_k(3).run().unwrap();
+    let warm = session.query(&query).first_k(3).run().unwrap();
+    assert_eq!(cold.embeddings, warm.embeddings);
+    assert_eq!(cold.stats.embeddings, warm.stats.embeddings);
+    assert_eq!(session.counters().snapshot().cache_hits, 1);
+}
+
+/// `invalidate_cache` (the reload hook) empties the memo and forces reruns.
+#[test]
+fn invalidation_forces_real_reruns() {
+    let (query, data) = fixtures::paper_example();
+    let session = Session::new(data).with_result_cache(16);
+    assert_eq!(session.query(&query).count().unwrap(), 4);
+    assert_eq!(session.query(&query).count().unwrap(), 4);
+    assert_eq!(session.cached_results(), 1);
+    session.invalidate_cache();
+    assert_eq!(session.cached_results(), 0);
+    assert_eq!(session.query(&query).count().unwrap(), 4);
+    let snap = session.counters().snapshot();
+    assert_eq!(snap.cache_hits, 1);
+    assert_eq!(snap.cache_misses, 2, "post-invalidate run must be a miss");
+}
+
+/// Clones share one cache: a clone's miss is the original's hit, and
+/// invalidating through any handle clears it for all of them.
+#[test]
+fn clones_share_the_cache_and_its_invalidation() {
+    let (query, data) = fixtures::paper_example();
+    let a = Session::new(data).with_result_cache(16);
+    let b = a.clone();
+    assert_eq!(b.query(&query).count().unwrap(), 4);
+    assert_eq!(a.query(&query).count().unwrap(), 4);
+    assert_eq!(a.counters().snapshot().cache_hits, 1);
+    b.invalidate_cache();
+    assert_eq!(a.cached_results(), 0);
+}
+
+/// Counter bookkeeping: hits still count as served queries (so serving stats
+/// stay meaningful), and hit + miss totals line up with the run count.
+#[test]
+fn hits_are_counted_as_served_queries() {
+    let (query, data) = fixtures::paper_example();
+    let session = Session::new(data).with_result_cache(16);
+    for _ in 0..5 {
+        assert_eq!(session.query(&query).count().unwrap(), 4);
+    }
+    let snap = session.counters().snapshot();
+    assert_eq!(snap.queries_started, 5);
+    assert_eq!(snap.queries_ok, 5);
+    assert_eq!(snap.embeddings_reported, 20);
+    assert_eq!(snap.cache_hits, 4);
+    assert_eq!(snap.cache_misses, 1);
+}

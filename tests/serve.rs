@@ -305,6 +305,10 @@ fn healthz_stats_and_protocol_errors_round_trip() {
     assert!(client.read_line().starts_with("err query needs a mode"));
     client.send("query count engine volcano\n");
     assert!(client.read_line().starts_with("err unknown engine"));
+    // A repeated option is an error, not a silent last-win: pre-fix,
+    // `limit 5 limit 0` quietly uncapped the query.
+    client.send("query count limit 5 limit 0\n");
+    assert!(client.read_line().starts_with("err repeated query option"));
     client.send("query count\nt 1 0\nv 0 0\nv 1 0\ne 0 1 garbage garbage\nend\n");
     assert!(client.read_line().starts_with("err bad graph"));
 
@@ -318,6 +322,55 @@ fn healthz_stats_and_protocol_errors_round_trip() {
     assert_eq!(field(&stats, "failed"), 0, "{stats}");
     assert_eq!(field(&stats, "timed-out"), 0, "{stats}");
     assert_eq!(field(&stats, "reloads"), 0, "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn result_cache_serves_repeats_and_reload_invalidates_it() {
+    // One label-0–label-1 edge query; the two data graphs give different counts,
+    // so a stale cache entry surviving `reload` would be caught immediately.
+    let query = graph_from_edges(&[0, 1], &[(0, 1)]);
+    let before = graph_from_edges(&[0, 1, 0, 1], &[(0, 1), (2, 3), (0, 3)]);
+    let after = graph_from_edges(&[0, 1], &[(0, 1)]);
+
+    let server = ServerHandle::spawn("cache", &before, &[]);
+    let mut client = Client::connect(server.addr);
+    let line = client.query("query count limit 0", &query);
+    assert_eq!(field(&line, "embeddings"), 3, "{line}");
+    let line = client.query("query count limit 0", &query);
+    assert_eq!(field(&line, "embeddings"), 3, "{line}");
+    client.send("stats\n");
+    let stats = client.read_line();
+    assert_eq!(field(&stats, "cache-hits"), 1, "{stats}");
+    assert_eq!(field(&stats, "cache-misses"), 1, "{stats}");
+    assert_eq!(field(&stats, "queries"), 2, "hits still count: {stats}");
+
+    // Reload must invalidate: the same query now reflects the new graph.
+    client.send(&format!("reload\n{}", graph_body(&after)));
+    assert!(client.read_line().starts_with("ok reloaded "));
+    let line = client.query("query count limit 0", &query);
+    assert_eq!(field(&line, "embeddings"), 1, "stale cache? {line}");
+    client.send("stats\n");
+    let stats = client.read_line();
+    assert_eq!(field(&stats, "cache-hits"), 1, "{stats}");
+    assert_eq!(field(&stats, "cache-misses"), 2, "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn cache_zero_disables_caching() {
+    let query = graph_from_edges(&[0, 1], &[(0, 1)]);
+    let data = graph_from_edges(&[0, 1, 0, 1], &[(0, 1), (2, 3)]);
+    let server = ServerHandle::spawn("cache0", &data, &["--cache", "0"]);
+    let mut client = Client::connect(server.addr);
+    for _ in 0..3 {
+        let line = client.query("query count limit 0", &query);
+        assert_eq!(field(&line, "embeddings"), 2, "{line}");
+    }
+    client.send("stats\n");
+    let stats = client.read_line();
+    assert_eq!(field(&stats, "cache-hits"), 0, "{stats}");
+    assert_eq!(field(&stats, "cache-misses"), 0, "{stats}");
     server.shutdown();
 }
 

@@ -109,11 +109,13 @@ fn scope_of(path: &str) -> Scope {
         || path.contains("/examples/")
         || path.contains("/benches/")
         || path.contains("/tests/"));
-    // R3 scope: the serving daemon, the core engine, and the index loader (a
-    // poisoned mutex, a "can't happen", or a corrupt byte on disk must degrade,
-    // not kill the process — the loader parses untrusted files).
+    // R3 scope: the serving daemon, the core engine, the continuous-matching
+    // layer, and the index loader (a poisoned mutex, a "can't happen", or a
+    // corrupt byte on disk must degrade, not kill the process — the loader
+    // parses untrusted files, and gup_stream runs inside the live server).
     let panic = path.starts_with("crates/serve/src/")
         || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/stream/src/")
         || path == "crates/graph/src/index_io.rs";
     Scope { clock, panic }
 }
@@ -578,7 +580,7 @@ mod tests {
     // ---- R3 ----------------------------------------------------------------
 
     #[test]
-    fn panic_freedom_fires_in_core_serve_and_index_io_only() {
+    fn panic_freedom_fires_in_core_serve_stream_and_index_io_only() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert_eq!(
             rules_fired(&findings_of("crates/core/src/gcs.rs", src)),
@@ -586,6 +588,11 @@ mod tests {
         );
         assert_eq!(
             rules_fired(&findings_of("crates/serve/src/server.rs", src)),
+            vec![PANIC_FREEDOM]
+        );
+        // The continuous matcher runs inside the live server: in scope.
+        assert_eq!(
+            rules_fired(&findings_of("crates/stream/src/lib.rs", src)),
             vec![PANIC_FREEDOM]
         );
         // The index loader parses untrusted bytes: in scope.

@@ -1,0 +1,106 @@
+//! Incremental index maintenance versus full re-preparation — the A/B behind
+//! the dynamic-graph subsystem's existence. For a delta batch against a
+//! 20k-vertex power-law graph, `incremental` runs [`PreparedData::apply`]
+//! (block-copy untouched CSR and signature runs, recompute only touched
+//! vertices) while `rebuild` re-runs [`PreparedData::new`] on the
+//! already-materialized mutated graph (its CSR clone is a memcpy; the measured
+//! cost is the label inverted index and the NLF signature arena, which is what
+//! `apply` avoids). Rebuild cost scales with the whole graph, apply with the
+//! touched neighborhood — the gap is the amortization a delta stream buys.
+//! Numbers are recorded in EXPERIMENTS.md ("Incremental apply vs full
+//! re-prepare").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gup_graph::delta::GraphDelta;
+use gup_graph::generate::{power_law_graph, PowerLawConfig};
+use gup_graph::{Graph, PreparedData};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Draws a batch of `n` deltas that is valid against `g` as a whole: edge
+/// inserts and deletes tracked through an overlay so in-batch draws never
+/// clash, plus the occasional fresh vertex.
+fn make_batch(g: &Graph, n: usize, seed: u64) -> Vec<GraphDelta> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut present: HashSet<(u32, u32)> = g.edges().collect();
+    let mut removable: Vec<(u32, u32)> = g.edges().collect();
+    let mut vertex_count = g.vertex_count() as u32;
+    let mut batch = Vec::with_capacity(n);
+    while batch.len() < n {
+        match rng.gen_range(0..10u32) {
+            0 => {
+                batch.push(GraphDelta::AddVertex {
+                    label: rng.gen_range(0..4),
+                });
+                vertex_count += 1;
+            }
+            1..=6 => {
+                for _ in 0..64 {
+                    let a = rng.gen_range(0..vertex_count);
+                    let b = rng.gen_range(0..vertex_count);
+                    let key = (a.min(b), a.max(b));
+                    if a != b && !present.contains(&key) {
+                        present.insert(key);
+                        batch.push(GraphDelta::AddEdge { a, b });
+                        break;
+                    }
+                }
+            }
+            _ => {
+                if removable.is_empty() {
+                    continue;
+                }
+                let i = rng.gen_range(0..removable.len());
+                let (a, b) = removable.swap_remove(i);
+                present.remove(&(a, b));
+                batch.push(GraphDelta::RemoveEdge { a, b });
+            }
+        }
+    }
+    batch
+}
+
+fn bench_dynamic_apply(c: &mut Criterion) {
+    let data = power_law_graph(&PowerLawConfig {
+        vertices: 20_000,
+        edges_per_vertex: 4,
+        labels: 8,
+        label_skew: 0.3,
+        extra_edge_fraction: 0.05,
+        seed: 7,
+    });
+    let base = PreparedData::new(data);
+
+    let mut group = c.benchmark_group("dynamic_apply");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(5));
+
+    for batch_size in [1usize, 16, 128] {
+        let batch = make_batch(base.graph(), batch_size, 0xD0D0 + batch_size as u64);
+        let mutated = base
+            .apply(&batch)
+            .expect("generated batch is valid")
+            .graph()
+            .clone();
+        group.bench_with_input(
+            BenchmarkId::new("incremental", batch_size),
+            &batch,
+            |b, batch| {
+                b.iter(|| base.apply(batch).expect("generated batch is valid"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rebuild", batch_size),
+            &mutated,
+            |b, mutated| {
+                b.iter(|| PreparedData::new(mutated.clone()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic_apply);
+criterion_main!(benches);

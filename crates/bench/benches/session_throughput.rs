@@ -21,7 +21,10 @@ use gup::session::Session;
 use gup::sink::CountOnly;
 use gup::{GupConfig, GupMatcher, SearchLimits};
 use gup_graph::Graph;
-use gup_workloads::{coarsen_labels, generate_query_set, Dataset, QueryClass, QuerySetSpec};
+use gup_workloads::{
+    coarsen_labels, embed_in_host, generate_query_set, large_connected_query, Dataset,
+    LargeQuerySpec, QueryClass, QuerySetSpec,
+};
 use std::time::Duration;
 
 fn query_set_config(embedding_limit: u64) -> GupConfig {
@@ -38,7 +41,10 @@ fn query_set_config(embedding_limit: u64) -> GupConfig {
     }
 }
 
-fn bench_instance(
+/// `W` is the query-vertex bitset word count the cold arm dispatches at
+/// (`Session::run_batch` picks its own width per query): 1 for ≤64-vertex
+/// queries, 2 for the 128-vertex case.
+fn bench_instance<const W: usize>(
     c: &mut Criterion,
     group_name: &str,
     data: &Graph,
@@ -55,7 +61,7 @@ fn bench_instance(
             let mut total = 0u64;
             for query in queries {
                 let mut sink = CountOnly::new();
-                GupMatcher::<1>::new(query, data, config.clone())
+                GupMatcher::<W>::new(query, data, config.clone())
                     .unwrap()
                     .run_with_sink(&mut sink);
                 total += sink.count();
@@ -83,7 +89,7 @@ fn bench_session_throughput(c: &mut Criterion) {
         !queries.is_empty(),
         "workload generator produced no queries"
     );
-    bench_instance(c, "query_set_8S", &data, &queries, 100_000);
+    bench_instance::<1>(c, "query_set_8S", &data, &queries, 100_000);
 
     // Hard mode: few labels → large per-label candidate sets → the NLF filter is
     // the hot path. A paper-style answer cap (the "first 1000 matches" serving
@@ -91,11 +97,31 @@ fn bench_session_throughput(c: &mut Criterion) {
     // amortizes.
     let coarse_data = coarsen_labels(&data, 4);
     let coarse_queries: Vec<Graph> = queries.iter().map(|q| coarsen_labels(q, 4)).collect();
-    bench_instance(
+    bench_instance::<1>(
         c,
         "query_set_8S_coarse4",
         &coarse_data,
         &coarse_queries,
+        1000,
+    );
+
+    // 128-vertex query: the two-word (Qv128) bitset path, a planted occurrence
+    // in a decoy-padded host. One query is the whole "set" — what the session
+    // amortizes here is the signature index over the host graph, which the cold
+    // path rebuilds on every iteration.
+    let spec = LargeQuerySpec {
+        vertices: 128,
+        labels: 8,
+        extra_edges: 48,
+        seed: 2026,
+    };
+    let big_query = large_connected_query(&spec);
+    let host = embed_in_host(&big_query, 4096, 2026);
+    bench_instance::<2>(
+        c,
+        "query_128v",
+        &host,
+        std::slice::from_ref(&big_query),
         1000,
     );
 }

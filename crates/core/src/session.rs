@@ -72,6 +72,7 @@ use gup_baselines::{
     JoinBaseline,
 };
 use gup_graph::deadline::{deadline_passed, remaining_until, Stopwatch};
+use gup_graph::delta::{DeltaEffects, DeltaError, GraphDelta};
 use gup_graph::query::QueryGraphError;
 use gup_graph::sink::{min_limit, CollectAll, CountOnly, EmbeddingSink, FirstK, SinkControl};
 use gup_graph::{Graph, Label, PreparedData, QueryGraph, VertexId};
@@ -190,6 +191,9 @@ pub struct SessionCounters {
     embeddings_reported: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_invalidations: AtomicU64,
+    deltas_applied: AtomicU64,
+    incremental_matches: AtomicU64,
 }
 
 impl SessionCounters {
@@ -211,7 +215,17 @@ impl SessionCounters {
             embeddings_reported: self.embeddings_reported.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            incremental_matches: self.incremental_matches.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records `n` new embeddings reported by an incremental (delta-localized)
+    /// match pass. Called by the continuous-matching layer, which streams new
+    /// matches outside the regular query dispatch path.
+    pub fn record_incremental_matches(&self, n: u64) {
+        self.incremental_matches.fetch_add(n, Ordering::Relaxed); // Relaxed: stats only
     }
 
     fn record_cache_hit(&self) {
@@ -259,6 +273,13 @@ pub struct CounterSnapshot {
     pub cache_hits: u64,
     /// Cacheable finishers that had to run (and, when complete, populated the cache).
     pub cache_misses: u64,
+    /// Times the session result cache was dropped wholesale
+    /// ([`Session::invalidate_cache`]: data-graph reloads and delta batches).
+    pub cache_invalidations: u64,
+    /// Delta batches applied through [`Session::apply_deltas`].
+    pub deltas_applied: u64,
+    /// New embeddings reported by incremental (delta-localized) match passes.
+    pub incremental_matches: u64,
 }
 
 /// Default entry capacity a serving front-end passes to
@@ -380,11 +401,42 @@ impl Session {
         self
     }
 
-    /// Drops every memoized result. `gup-serve` calls this on `reload` (a new
-    /// data graph invalidates every cached answer); delta-ingest layers will
-    /// call it on every mutation batch.
+    /// Drops every memoized result and bumps the `cache_invalidations` counter.
+    /// Every `PreparedData` mutation routes through here: `gup-serve` calls it on
+    /// `reload`, and [`Session::apply_deltas`] calls it on every delta batch.
     pub fn invalidate_cache(&self) {
         self.cache.lock().clear();
+        self.counters
+            .cache_invalidations
+            .fetch_add(1, Ordering::Relaxed); // Relaxed: stats only
+    }
+
+    /// Entry capacity of the session result cache (0 when caching is disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.lock().capacity
+    }
+
+    /// Applies a batch of [`GraphDelta`]s, returning a new session over the
+    /// incrementally-updated index plus the batch's net [`DeltaEffects`].
+    ///
+    /// The new session shares this session's defaults and counters (running
+    /// totals survive the mutation, like a `gup-serve` reload) and gets a fresh
+    /// result cache of the same capacity; this session's cache is invalidated
+    /// through [`Session::invalidate_cache`], since clones holding the old
+    /// `Arc` would otherwise serve answers for a graph the caller considers
+    /// stale. On error nothing is invalidated — the batch was rejected whole.
+    pub fn apply_deltas(
+        &self,
+        deltas: &[GraphDelta],
+    ) -> Result<(Session, DeltaEffects), DeltaError> {
+        let (prepared, effects) = self.prepared.apply_with_effects(deltas)?;
+        self.invalidate_cache();
+        self.counters.deltas_applied.fetch_add(1, Ordering::Relaxed); // Relaxed: stats only
+        let next = Session::from_prepared(Arc::new(prepared))
+            .with_defaults(self.defaults.clone())
+            .with_counters(Arc::clone(&self.counters))
+            .with_result_cache(self.cache_capacity());
+        Ok((next, effects))
     }
 
     /// Number of results currently memoized (0 when caching is disabled).
@@ -1346,6 +1398,53 @@ mod tests {
         let session = Session::new(data).with_result_cache(DEFAULT_CACHE_CAPACITY);
         assert!(session.query(&disconnected).count().is_err());
         assert_eq!(session.cached_results(), 0);
+    }
+
+    #[test]
+    fn invalidations_are_counted() {
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data).with_result_cache(DEFAULT_CACHE_CAPACITY);
+        session.query(&query).unlimited().count().unwrap();
+        session.invalidate_cache();
+        session.invalidate_cache();
+        assert_eq!(session.counters().snapshot().cache_invalidations, 2);
+    }
+
+    #[test]
+    fn apply_deltas_updates_index_and_counters() {
+        use gup_graph::delta::GraphDelta;
+        let (query, data) = fixtures::paper_example();
+        let session = Session::new(data).with_result_cache(DEFAULT_CACHE_CAPACITY);
+        assert_eq!(session.query(&query).unlimited().count().unwrap(), 4);
+        assert_eq!(session.cached_results(), 1);
+        // Delete one data edge: the old session's cache is dropped, the new
+        // session answers against the mutated graph with shared counters.
+        let victim = session.data().edges().next().unwrap();
+        let (next, effects) = session
+            .apply_deltas(&[GraphDelta::RemoveEdge {
+                a: victim.0,
+                b: victim.1,
+            }])
+            .unwrap();
+        assert_eq!(effects.removed_edges, vec![victim]);
+        assert_eq!(session.cached_results(), 0);
+        assert_eq!(next.cache_capacity(), DEFAULT_CACHE_CAPACITY);
+        assert!(Arc::ptr_eq(session.counters(), next.counters()));
+        assert_eq!(next.data().edge_count(), session.data().edge_count() - 1);
+        let snap = session.counters().snapshot();
+        assert_eq!(snap.deltas_applied, 1);
+        assert_eq!(snap.cache_invalidations, 1);
+        // An invalid batch mutates nothing and invalidates nothing.
+        next.query(&query).unlimited().count().unwrap();
+        let cached = next.cached_results();
+        assert!(next
+            .apply_deltas(&[GraphDelta::RemoveEdge {
+                a: victim.0,
+                b: victim.1,
+            }])
+            .is_err());
+        assert_eq!(next.cached_results(), cached);
+        assert_eq!(session.counters().snapshot().deltas_applied, 1);
     }
 
     #[test]

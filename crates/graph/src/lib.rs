@@ -53,6 +53,7 @@
 pub mod algo;
 pub mod builder;
 pub mod deadline;
+pub mod delta;
 pub mod fixtures;
 pub mod generate;
 pub mod graph;
@@ -66,6 +67,7 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use deadline::{DeadlineExceeded, DeadlineSampler};
+pub use delta::{DeltaEffects, DeltaError, GraphDelta};
 pub use graph::Graph;
 pub use index_io::{load_index, save_index, IndexIoError};
 pub use prepared::{PrepareError, PreparedData};

@@ -6,14 +6,32 @@
 //! query count [timeout-ms <n>] [engine <name>] [threads <n>] [limit <n>]
 //! query first <k> [timeout-ms <n>] [engine <name>] [threads <n>] [limit <n>]
 //! reload
+//! watch
+//! unwatch <id>
+//! delta
 //! healthz
 //! stats
 //! quit
 //! shutdown
 //! ```
 //!
-//! `query` and `reload` are followed by a graph in the community `t/v/e` text
-//! format, terminated by a line containing only `end`.
+//! `query`, `reload`, and `watch` are followed by a graph in the community
+//! `t/v/e` text format, terminated by a line containing only `end`.
+//!
+//! `delta` is followed by a *delta body*: one mutation per line, terminated by
+//! a line containing only `end`:
+//!
+//! ```text
+//! av <label>       # add a vertex with the given label
+//! ae <a> <b>       # add the undirected edge {a, b}
+//! de <a> <b>       # delete the undirected edge {a, b}
+//! ```
+//!
+//! `watch` registers the graph body as a standing query for this connection and
+//! answers `ok watch id=<id>`; from then on, every applied `delta` (from any
+//! connection) pushes one `match id=<id> v0 v1 …` line per *new* embedding the
+//! batch created for that query, before the mutating connection's own `ok
+//! delta …` response. `unwatch <id>` stops the notifications.
 //!
 //! * `timeout-ms <n>` — per-request wall-clock budget, milliseconds, must be
 //!   positive (a zero budget is a configuration error, not an instant timeout).
@@ -30,6 +48,7 @@
 //! original query-vertex ids per line) followed by `end`.
 
 use gup::session::Engine;
+use gup_graph::delta::GraphDelta;
 use std::time::Duration;
 
 /// How much output a query request asks for.
@@ -64,6 +83,12 @@ pub enum Command {
     Query(QuerySpec),
     /// Replace the data graph (graph body follows).
     Reload,
+    /// Register a standing query for this connection (graph body follows).
+    Watch,
+    /// Remove a standing query registered by this connection.
+    Unwatch(u64),
+    /// Mutate the live data graph (delta body follows).
+    Delta,
     /// Liveness probe.
     Healthz,
     /// Counter snapshot.
@@ -113,12 +138,15 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
     match words.next() {
         Some("query") => parse_query(words).map(Command::Query),
         Some("reload") => expect_bare(words, "reload", Command::Reload),
+        Some("watch") => expect_bare(words, "watch", Command::Watch),
+        Some("unwatch") => parse_unwatch(words),
+        Some("delta") => expect_bare(words, "delta", Command::Delta),
         Some("healthz") => expect_bare(words, "healthz", Command::Healthz),
         Some("stats") => expect_bare(words, "stats", Command::Stats),
         Some("quit") => expect_bare(words, "quit", Command::Quit),
         Some("shutdown") => expect_bare(words, "shutdown", Command::Shutdown),
         Some(other) => Err(err(format!(
-            "unknown command '{other}' (expected query, reload, healthz, stats, quit, shutdown)"
+            "unknown command '{other}' (expected query, reload, watch, unwatch, delta, healthz, stats, quit, shutdown)"
         ))),
         None => Err(err("empty command")),
     }
@@ -133,6 +161,72 @@ fn expect_bare<'a>(
         None => Ok(command),
         Some(extra) => Err(err(format!("{name} takes no arguments (got '{extra}')"))),
     }
+}
+
+fn parse_unwatch<'a>(mut words: impl Iterator<Item = &'a str>) -> Result<Command, ProtocolError> {
+    let id = words.next().ok_or_else(|| err("unwatch needs an id"))?;
+    let id: u64 = id
+        .parse()
+        .map_err(|_| err(format!("unwatch needs an integer id, got '{id}'")))?;
+    match words.next() {
+        None => Ok(Command::Unwatch(id)),
+        Some(extra) => Err(err(format!("unwatch takes one id (got extra '{extra}')"))),
+    }
+}
+
+/// Parses a `delta` body (the lines between the `delta` command and its `end`
+/// terminator): `av <label>`, `ae <a> <b>`, `de <a> <b>`, one per line. Blank
+/// lines are skipped; anything else is an error naming the line. Semantic
+/// validation (unknown endpoints, duplicate edges, …) happens later, in
+/// [`gup_graph::delta`] — this only rejects lines that don't scan.
+pub fn parse_delta_body(body: &str) -> Result<Vec<GraphDelta>, ProtocolError> {
+    let mut deltas = Vec::new();
+    for (i, raw) in body.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let op = words.next().unwrap_or("");
+        let mut next_u32 = |what: &str| -> Result<u32, ProtocolError> {
+            let token = words
+                .next()
+                .ok_or_else(|| err(format!("delta line {}: {op} needs {what}", i + 1)))?;
+            token.parse().map_err(|_| {
+                err(format!(
+                    "delta line {}: {op} needs an integer {what}, got '{token}'",
+                    i + 1
+                ))
+            })
+        };
+        let delta = match op {
+            "av" => GraphDelta::AddVertex {
+                label: next_u32("a label")?,
+            },
+            "ae" => GraphDelta::AddEdge {
+                a: next_u32("two endpoints")?,
+                b: next_u32("two endpoints")?,
+            },
+            "de" => GraphDelta::RemoveEdge {
+                a: next_u32("two endpoints")?,
+                b: next_u32("two endpoints")?,
+            },
+            other => {
+                return Err(err(format!(
+                    "delta line {}: unknown op '{other}' (expected av, ae, de)",
+                    i + 1
+                )))
+            }
+        };
+        if let Some(extra) = words.next() {
+            return Err(err(format!(
+                "delta line {}: trailing '{extra}' after {op}",
+                i + 1
+            )));
+        }
+        deltas.push(delta);
+    }
+    Ok(deltas)
 }
 
 fn parse_query<'a>(mut words: impl Iterator<Item = &'a str>) -> Result<QuerySpec, ProtocolError> {
@@ -218,7 +312,47 @@ mod tests {
         assert_eq!(parse_command("quit").unwrap(), Command::Quit);
         assert_eq!(parse_command("shutdown").unwrap(), Command::Shutdown);
         assert_eq!(parse_command("reload").unwrap(), Command::Reload);
+        assert_eq!(parse_command("watch").unwrap(), Command::Watch);
+        assert_eq!(parse_command("delta").unwrap(), Command::Delta);
         assert!(parse_command("healthz now").is_err());
+        assert!(parse_command("watch closely").is_err());
+        assert!(parse_command("delta now").is_err());
+    }
+
+    #[test]
+    fn unwatch_takes_one_id() {
+        assert_eq!(parse_command("unwatch 7").unwrap(), Command::Unwatch(7));
+        assert!(parse_command("unwatch").is_err());
+        assert!(parse_command("unwatch seven").is_err());
+        assert!(parse_command("unwatch 7 8").is_err());
+    }
+
+    #[test]
+    fn delta_bodies_parse() {
+        let deltas = parse_delta_body("av 3\n\nae 0 5\nde 1 2\n").unwrap();
+        assert_eq!(
+            deltas,
+            vec![
+                GraphDelta::AddVertex { label: 3 },
+                GraphDelta::AddEdge { a: 0, b: 5 },
+                GraphDelta::RemoveEdge { a: 1, b: 2 },
+            ]
+        );
+        assert!(parse_delta_body("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_delta_bodies_name_the_line() {
+        for (body, needle) in [
+            ("av\n", "line 1"),
+            ("ae 0\n", "line 1"),
+            ("av 1\nde 0 x\n", "line 2"),
+            ("xx 0 1\n", "unknown op 'xx'"),
+            ("ae 0 1 2\n", "trailing '2'"),
+        ] {
+            let e = parse_delta_body(body).unwrap_err();
+            assert!(e.0.contains(needle), "{body:?}: {e}");
+        }
     }
 
     #[test]

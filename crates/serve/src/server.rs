@@ -20,9 +20,12 @@
 use gup::session::{CounterSnapshot, Session, SessionCounters, DEFAULT_CACHE_CAPACITY};
 use gup::SearchStats;
 use gup_graph::deadline::{deadline_after, Stopwatch};
+use gup_graph::delta::GraphDelta;
 use gup_graph::io::{graph_to_string, parse_graph};
+use gup_graph::sink::CollectAll;
 use gup_graph::{Graph, VertexId};
-use parking_lot::RwLock;
+use gup_stream::{collect_new_matches, QueryPlan};
+use parking_lot::{Mutex as PlMutex, RwLock};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -31,7 +34,21 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::protocol::{parse_command, Command, OutputMode, QuerySpec};
+use crate::protocol::{parse_command, parse_delta_body, Command, OutputMode, QuerySpec};
+
+/// A connection's output half. Shared (and internally locked) because a
+/// `delta` applied on *any* connection pushes `match …` notification lines to
+/// every watching connection; the lock keeps pushed lines and regular replies
+/// from interleaving mid-line.
+type SharedWriter = Arc<PlMutex<BufWriter<TcpStream>>>;
+
+/// One standing query: the registering connection's id for it, its compiled
+/// plan, and the connection's writer to push new-match lines into.
+struct Watcher {
+    id: u64,
+    plan: QueryPlan,
+    writer: SharedWriter,
+}
 
 /// Server tunables. The defaults suit tests and small deployments; the binary
 /// exposes each as a flag.
@@ -90,6 +107,15 @@ struct Shared {
     reloads: AtomicU64,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
+    /// Standing queries across all connections (a connection's watches are
+    /// dropped when it closes).
+    watchers: PlMutex<Vec<Watcher>>,
+    next_watch_id: AtomicU64,
+    /// Serializes the session slot's read-modify-write mutations (`delta`
+    /// applies on top of the session it read; two racing appliers — or an
+    /// applier racing a `reload` — must not lose one another's writes).
+    /// Queries are unaffected: they clone the slot under the read lock.
+    mutation: PlMutex<()>,
 }
 
 /// A bound, not-yet-running match server. [`Server::run`] blocks until a client
@@ -122,6 +148,9 @@ impl Server {
             reloads: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             local_addr,
+            watchers: PlMutex::new(Vec::new()),
+            next_watch_id: AtomicU64::new(0),
+            mutation: PlMutex::new(()),
         });
         let (jobs, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
         let receiver = Arc::new(Mutex::new(receiver));
@@ -277,13 +306,58 @@ fn read_graph_body(reader: &mut impl BufRead) -> std::io::Result<Result<Graph, S
     Ok(parse_graph(&body).map_err(|e| format!("bad graph: {e}")))
 }
 
+/// Reads a delta body terminated by an `end` line.
+fn read_delta_body(reader: &mut impl BufRead) -> std::io::Result<Result<Vec<GraphDelta>, String>> {
+    let mut body = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(Err("connection closed before 'end'".to_string()));
+        }
+        if line.trim() == "end" {
+            break;
+        }
+        body.push_str(&line);
+    }
+    Ok(parse_delta_body(&body).map_err(|e| e.to_string()))
+}
+
+/// Writes one response line (or an error) and flushes, holding the writer lock
+/// only for the write.
+fn reply_line(writer: &SharedWriter, line: std::fmt::Arguments<'_>) -> std::io::Result<()> {
+    let mut w = writer.lock();
+    w.write_fmt(line)?;
+    writeln!(w)?;
+    w.flush()
+}
+
 fn serve_connection(
     stream: TcpStream,
     shared: &Shared,
     jobs: &SyncSender<Job>,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let writer: SharedWriter = Arc::new(PlMutex::new(BufWriter::new(stream)));
+    let mut my_watches: Vec<u64> = Vec::new();
+    let result = connection_loop(&mut reader, &writer, shared, jobs, &mut my_watches);
+    // However the connection ended, its standing queries go with it.
+    if !my_watches.is_empty() {
+        shared
+            .watchers
+            .lock()
+            .retain(|w| !my_watches.contains(&w.id));
+    }
+    result
+}
+
+fn connection_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: &SharedWriter,
+    shared: &Shared,
+    jobs: &SyncSender<Job>,
+    my_watches: &mut Vec<u64>,
+) -> std::io::Result<()> {
     let mut line = String::new();
     loop {
         line.clear();
@@ -296,43 +370,75 @@ fn serve_connection(
         let command = match parse_command(line.trim()) {
             Ok(command) => command,
             Err(e) => {
-                writeln!(writer, "err {e}")?;
-                writer.flush()?;
+                reply_line(writer, format_args!("err {e}"))?;
                 continue;
             }
         };
         match command {
             Command::Query(spec) => {
-                let query = match read_graph_body(&mut reader)? {
+                let query = match read_graph_body(reader)? {
                     Ok(query) => query,
                     Err(msg) => {
-                        writeln!(writer, "err {msg}")?;
-                        writer.flush()?;
+                        reply_line(writer, format_args!("err {msg}"))?;
                         continue;
                     }
                 };
-                handle_query(spec, query, shared, jobs, &mut writer)?;
+                handle_query(spec, query, shared, jobs, writer)?;
             }
             Command::Reload => {
-                let graph = match read_graph_body(&mut reader)? {
+                let graph = match read_graph_body(reader)? {
                     Ok(graph) => graph,
                     Err(msg) => {
-                        writeln!(writer, "err {msg}")?;
-                        writer.flush()?;
+                        reply_line(writer, format_args!("err {msg}"))?;
                         continue;
                     }
                 };
-                handle_reload(graph, shared, &mut writer)?;
+                handle_reload(graph, shared, writer)?;
+            }
+            Command::Watch => {
+                let query = match read_graph_body(reader)? {
+                    Ok(query) => query,
+                    Err(msg) => {
+                        reply_line(writer, format_args!("err {msg}"))?;
+                        continue;
+                    }
+                };
+                handle_watch(query, shared, writer, my_watches)?;
+            }
+            Command::Unwatch(id) => {
+                if let Some(at) = my_watches.iter().position(|&w| w == id) {
+                    my_watches.remove(at);
+                    shared.watchers.lock().retain(|w| w.id != id);
+                    reply_line(writer, format_args!("ok unwatch id={id}"))?;
+                } else {
+                    // Connection-scoped on purpose: one client must not be able
+                    // to silence another client's standing queries.
+                    reply_line(
+                        writer,
+                        format_args!("err no watch id={id} on this connection"),
+                    )?;
+                }
+            }
+            Command::Delta => {
+                let deltas = match read_delta_body(reader)? {
+                    Ok(deltas) => deltas,
+                    Err(msg) => {
+                        reply_line(writer, format_args!("err {msg}"))?;
+                        continue;
+                    }
+                };
+                handle_delta(&deltas, shared, writer)?;
             }
             Command::Healthz => {
-                writeln!(
+                reply_line(
                     writer,
-                    "ok uptime-ms={} workers={} queue-capacity={}",
-                    shared.started.elapsed().as_millis(),
-                    shared.config.workers,
-                    shared.config.queue_capacity
+                    format_args!(
+                        "ok uptime-ms={} workers={} queue-capacity={}",
+                        shared.started.elapsed().as_millis(),
+                        shared.config.workers,
+                        shared.config.queue_capacity
+                    ),
                 )?;
-                writer.flush()?;
             }
             Command::Stats => {
                 let CounterSnapshot {
@@ -343,28 +449,33 @@ fn serve_connection(
                     embeddings_reported,
                     cache_hits,
                     cache_misses,
+                    cache_invalidations,
+                    deltas_applied,
+                    incremental_matches,
                 } = shared.counters.snapshot();
-                writeln!(
+                let watchers = shared.watchers.lock().len();
+                reply_line(
                     writer,
-                    "ok queries={queries_started} completed={queries_ok} \
-                     failed={queries_failed} timed-out={queries_timed_out} \
-                     embeddings={embeddings_reported} cache-hits={cache_hits} \
-                     cache-misses={cache_misses} reloads={} uptime-ms={}",
-                    // Relaxed: a monotonically increasing stats counter read for
-                    // display only — no other memory is published through it.
-                    shared.reloads.load(Ordering::Relaxed),
-                    shared.started.elapsed().as_millis()
+                    format_args!(
+                        "ok queries={queries_started} completed={queries_ok} \
+                         failed={queries_failed} timed-out={queries_timed_out} \
+                         embeddings={embeddings_reported} cache-hits={cache_hits} \
+                         cache-misses={cache_misses} cache-invalidations={cache_invalidations} \
+                         deltas={deltas_applied} incremental-matches={incremental_matches} \
+                         watchers={watchers} reloads={} uptime-ms={}",
+                        // Relaxed: a monotonically increasing stats counter read for
+                        // display only — no other memory is published through it.
+                        shared.reloads.load(Ordering::Relaxed),
+                        shared.started.elapsed().as_millis()
+                    ),
                 )?;
-                writer.flush()?;
             }
             Command::Quit => {
-                writeln!(writer, "ok bye")?;
-                writer.flush()?;
+                reply_line(writer, format_args!("ok bye"))?;
                 return Ok(());
             }
             Command::Shutdown => {
-                writeln!(writer, "ok shutting down")?;
-                writer.flush()?;
+                reply_line(writer, format_args!("ok shutting down"))?;
                 shared.shutdown.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the flag.
                 let _ = TcpStream::connect(shared.local_addr);
@@ -374,12 +485,88 @@ fn serve_connection(
     }
 }
 
+fn handle_watch(
+    query: Graph,
+    shared: &Shared,
+    writer: &SharedWriter,
+    my_watches: &mut Vec<u64>,
+) -> std::io::Result<()> {
+    match QueryPlan::new(&query) {
+        Err(e) => reply_line(writer, format_args!("err bad standing query: {e}")),
+        Ok(plan) => {
+            // Relaxed: the fetch_add's atomicity alone guarantees unique ids;
+            // no other memory is published through this counter.
+            let id = shared.next_watch_id.fetch_add(1, Ordering::Relaxed);
+            shared.watchers.lock().push(Watcher {
+                id,
+                plan,
+                writer: Arc::clone(writer),
+            });
+            my_watches.push(id);
+            reply_line(writer, format_args!("ok watch id={id}"))
+        }
+    }
+}
+
+fn handle_delta(
+    deltas: &[GraphDelta],
+    shared: &Shared,
+    writer: &SharedWriter,
+) -> std::io::Result<()> {
+    // Serialize with other deltas and reloads (see `Shared::mutation`); held
+    // through notification so watchers see batches in application order.
+    let _mutation = shared.mutation.lock();
+    let session = shared.session.read().clone();
+    let (next, effects) = match session.apply_deltas(deltas) {
+        Ok(applied) => applied,
+        Err(e) => return reply_line(writer, format_args!("err bad delta: {e}")),
+    };
+    *shared.session.write() = next.clone();
+    // Delta-localized search per standing query, pushing one `match` line per
+    // new embedding into the watching connection. Push errors mean that client
+    // hung up; its watches are removed when its connection thread notices.
+    let mut total = 0u64;
+    {
+        let watchers = shared.watchers.lock();
+        for watcher in watchers.iter() {
+            let mut sink = CollectAll::new();
+            let n = collect_new_matches(next.prepared(), &effects, &watcher.plan, &mut sink);
+            total += n;
+            if n == 0 {
+                continue;
+            }
+            let mut w = watcher.writer.lock();
+            for embedding in sink.into_embeddings() {
+                let _ = write!(w, "match id={}", watcher.id);
+                for v in &embedding {
+                    let _ = write!(w, " {v}");
+                }
+                let _ = writeln!(w);
+            }
+            let _ = w.flush();
+        }
+    }
+    next.counters().record_incremental_matches(total);
+    let graph = next.data();
+    reply_line(
+        writer,
+        format_args!(
+            "ok delta applied={} vertices={} edges={} inserted={} removed={} new-matches={total}",
+            deltas.len(),
+            graph.vertex_count(),
+            graph.edge_count(),
+            effects.inserted_edges.len(),
+            effects.removed_edges.len(),
+        ),
+    )
+}
+
 fn handle_query(
     spec: QuerySpec,
     query: Graph,
     shared: &Shared,
     jobs: &SyncSender<Job>,
-    writer: &mut impl Write,
+    writer: &SharedWriter,
 ) -> std::io::Result<()> {
     // Admission: stamp the deadline and pin the current index *now* — both the
     // wait in the queue and a concurrent reload are this request's problem to
@@ -407,21 +594,25 @@ fn handle_query(
     };
     if let Err(refused) = jobs.try_send(job) {
         match refused {
-            TrySendError::Full(_) => writeln!(writer, "busy")?,
-            TrySendError::Disconnected(_) => writeln!(writer, "err server shutting down")?,
+            TrySendError::Full(_) => reply_line(writer, format_args!("busy"))?,
+            TrySendError::Disconnected(_) => {
+                reply_line(writer, format_args!("err server shutting down"))?
+            }
         }
-        writer.flush()?;
         return Ok(());
     }
+    // Block on the worker *without* holding the writer lock: a concurrent
+    // `delta` may want to push notification lines to this connection meanwhile.
     let Ok(reply) = reply_rx.recv() else {
-        writeln!(writer, "err server shutting down")?;
-        writer.flush()?;
-        return Ok(());
+        return reply_line(writer, format_args!("err server shutting down"));
     };
     match reply.result {
         Ok((stats, embeddings)) => {
+            // One lock over the whole response block keeps the `ok` line, the
+            // `m` lines, and the `end` terminator contiguous on the wire.
+            let mut w = writer.lock();
             writeln!(
-                writer,
+                w,
                 "ok embeddings={} recursions={} time-ms={} timed-out={}",
                 stats.embeddings,
                 stats.recursions,
@@ -430,30 +621,35 @@ fn handle_query(
             )?;
             if matches!(spec.output, OutputMode::First(_)) {
                 for embedding in &embeddings {
-                    write!(writer, "m")?;
+                    write!(w, "m")?;
                     for v in embedding {
-                        write!(writer, " {v}")?;
+                        write!(w, " {v}")?;
                     }
-                    writeln!(writer)?;
+                    writeln!(w)?;
                 }
-                writeln!(writer, "end")?;
+                writeln!(w, "end")?;
             }
+            w.flush()
         }
-        Err(message) => writeln!(writer, "err {message}")?,
+        Err(message) => reply_line(writer, format_args!("err {message}")),
     }
-    writer.flush()
 }
 
-fn handle_reload(graph: Graph, shared: &Shared, writer: &mut impl Write) -> std::io::Result<()> {
+fn handle_reload(graph: Graph, shared: &Shared, writer: &SharedWriter) -> std::io::Result<()> {
     let vertices = graph.vertex_count();
     let edges = graph.edge_count();
     // Prepare the new index *outside* the lock; queries keep admitting against
-    // the old graph while this builds.
+    // the old graph while this builds. Standing queries survive a reload: from
+    // here on their deltas match against the replacement graph.
     let session = Session::new(graph)
         .with_counters(Arc::clone(&shared.counters))
         .with_result_cache(shared.config.result_cache);
     let prep = session.prep_time();
-    let outgoing = std::mem::replace(&mut *shared.session.write(), session);
+    // Serialize the swap with `delta` appliers (see `Shared::mutation`).
+    let outgoing = {
+        let _mutation = shared.mutation.lock();
+        std::mem::replace(&mut *shared.session.write(), session)
+    };
     // The new session starts with an empty memo; explicitly invalidate the
     // outgoing one too, so in-flight clones that pinned the old graph cannot
     // serve hits for answers the reload just obsoleted.
@@ -461,12 +657,13 @@ fn handle_reload(graph: Graph, shared: &Shared, writer: &mut impl Write) -> std:
     // Relaxed: a stats counter; the reload itself is published by the RwLock
     // above, the count is only ever displayed.
     shared.reloads.fetch_add(1, Ordering::Relaxed);
-    writeln!(
+    reply_line(
         writer,
-        "ok reloaded vertices={vertices} edges={edges} prep-ms={}",
-        prep.as_millis()
-    )?;
-    writer.flush()
+        format_args!(
+            "ok reloaded vertices={vertices} edges={edges} prep-ms={}",
+            prep.as_millis()
+        ),
+    )
 }
 
 /// Client-side helper used by tests and the load harness: renders a graph in
@@ -554,6 +751,85 @@ mod tests {
         assert!(lines[1].starts_with("err timeout-ms must be positive"));
         assert!(lines[2].starts_with("ok uptime-ms="));
         assert_eq!(lines[3], "ok bye");
+        send(addr, "shutdown\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn watch_delta_round_trip_pushes_matches() {
+        let (addr, handle) = test_server(ServerConfig::default());
+        // Stand up a triangle query on a path graph, then close the triangle.
+        let data = gup_graph::builder::graph_from_edges(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let triangle = gup_graph::builder::graph_from_edges(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let script = format!(
+            "reload\n{}watch\n{}delta\nae 0 2\nend\nstats\nquit\n",
+            graph_body(&data),
+            graph_body(&triangle)
+        );
+        let lines = send(addr, &script);
+        assert!(lines[0].starts_with("ok reloaded"), "{}", lines[0]);
+        assert_eq!(lines[1], "ok watch id=0");
+        // The watcher is this same connection: both new triangle embeddings
+        // arrive as pushed `match` lines before the delta's own reply.
+        assert_eq!(lines[2], "match id=0 0 1 2");
+        assert_eq!(lines[3], "match id=0 2 1 0");
+        assert_eq!(
+            lines[4],
+            "ok delta applied=1 vertices=3 edges=3 inserted=1 removed=0 new-matches=2"
+        );
+        assert!(
+            lines[5].contains("deltas=1")
+                && lines[5].contains("incremental-matches=2")
+                && lines[5].contains("watchers=1")
+                && lines[5].contains("cache-invalidations="),
+            "{}",
+            lines[5]
+        );
+        send(addr, "shutdown\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn bad_deltas_and_unwatch_errors_keep_the_connection() {
+        let (addr, handle) = test_server(ServerConfig::default());
+        let lines = send(
+            addr,
+            "delta\nae 0 0\nend\ndelta\nxe 1 2\nend\nunwatch 99\nquit\n",
+        );
+        assert!(lines[0].starts_with("err bad delta"), "{}", lines[0]);
+        assert!(lines[1].starts_with("err delta line 1"), "{}", lines[1]);
+        assert!(lines[2].starts_with("err no watch id=99"), "{}", lines[2]);
+        assert_eq!(lines[3], "ok bye");
+        send(addr, "shutdown\n");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unwatch_silences_and_queries_see_the_mutated_graph() {
+        let (addr, handle) = test_server(ServerConfig::default());
+        let edge = gup_graph::builder::graph_from_edges(&[0, 0], &[(0, 1)]);
+        // paper_example data has 14 vertices; add two label-0 vertices (ids 14,
+        // 15) and join them: the standing edge query fires, then is unwatched
+        // and later deltas stay silent, while `query count` sees every mutation.
+        let script = format!(
+            "watch\n{body}delta\nav 0\nav 0\nend\ndelta\nae 14 15\nend\nunwatch 0\ndelta\nde 14 15\nend\ndelta\nae 14 15\nend\nquery count\n{body}quit\n",
+            body = graph_body(&edge)
+        );
+        let lines = send(addr, &script);
+        assert_eq!(lines[0], "ok watch id=0");
+        assert!(lines[1].starts_with("ok delta applied=2"), "{}", lines[1]);
+        assert_eq!(lines[2], "match id=0 14 15");
+        assert_eq!(lines[3], "match id=0 15 14");
+        assert!(
+            lines[4].starts_with("ok delta applied=1") && lines[4].contains("new-matches=2"),
+            "{}",
+            lines[4]
+        );
+        assert_eq!(lines[5], "ok unwatch id=0");
+        assert!(lines[6].contains("new-matches=0"), "{}", lines[6]);
+        assert!(lines[7].contains("new-matches=0"), "{}", lines[7]);
+        // The re-inserted edge is queryable: the count includes it.
+        assert!(lines[8].starts_with("ok embeddings="), "{}", lines[8]);
         send(addr, "shutdown\n");
         handle.join().unwrap();
     }

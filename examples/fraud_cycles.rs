@@ -1,59 +1,46 @@
-//! Fraud-ring detection: finding labeled cycles in a transaction-like graph.
+//! Live fraud-ring detection: standing cycle queries over a transaction stream.
 //!
 //! ```text
 //! cargo run --release --example fraud_cycles
 //! ```
 //!
-//! The paper cites crime detection (suspicious-transaction cycles) as an application
-//! where the sought subgraphs are rare and cyclic — exactly the regime where candidate
-//! filtering alone leaves many deadends and guard-based pruning shines. We synthesize
-//! an account graph with three roles (person, merchant, mule), plant a handful of
-//! cyclic "fraud rings", and search for ring queries of increasing length, comparing
-//! the number of futile recursions with and without guards.
+//! The paper cites crime detection (suspicious-transaction cycles) as an
+//! application where the sought subgraphs are rare and cyclic. Here the account
+//! graph is *live*: transactions arrive as [`GraphDelta`] batches against a
+//! long-lived session, and ring-shaped standing queries registered with a
+//! [`ContinuousMatcher`] raise an alert the moment a closing transaction
+//! completes a planted ring — without ever re-matching the full graph.
+//!
+//! The stream mixes background person↔merchant noise with six fraud rings
+//! whose money-mule hops are planted incrementally; each ring's closing edge is
+//! withheld for a couple of ticks so the alert visibly fires on the exact
+//! transaction that completes the cycle.
 
-use gup::{GupConfig, GupMatcher, PruningFeatures, SearchLimits};
+use gup::session::Session;
 use gup_graph::builder::graph_from_edges;
+use gup_graph::delta::GraphDelta;
 use gup_graph::generate::{power_law_graph, PowerLawConfig};
-use gup_graph::{Graph, GraphBuilder};
+use gup_graph::Graph;
+use gup_stream::ContinuousMatcher;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 use std::time::Duration;
 
-/// Labels: 0 = person, 1 = merchant, 2 = mule.
-fn build_transaction_graph() -> Graph {
-    // Background activity: a scale-free graph over persons and merchants.
-    let background = power_law_graph(&PowerLawConfig {
+/// Labels: 0 = person, 1 = merchant, 2 = mule (mules only ever arrive live).
+fn build_background() -> Graph {
+    power_law_graph(&PowerLawConfig {
         vertices: 3_000,
         edges_per_vertex: 3,
         labels: 2,
         label_skew: 0.4,
         extra_edge_fraction: 0.05,
         seed: 99,
-    });
-    let mut b = GraphBuilder::with_capacity(
-        background.vertex_count() + 64,
-        background.edge_count() + 256,
-    );
-    for v in background.vertices() {
-        b.add_vertex(background.label(v));
-    }
-    for (x, y) in background.edges() {
-        b.add_edge(x, y);
-    }
-    // Plant fraud rings: person -> mule -> merchant -> mule -> person cycles.
-    for ring in 0..6u32 {
-        let person = ring * 97 % background.vertex_count() as u32;
-        let mule_a = b.add_vertex(2);
-        let merchant = (ring * 131 + 7) % background.vertex_count() as u32;
-        let mule_b = b.add_vertex(2);
-        b.add_edge(person, mule_a);
-        b.add_edge(mule_a, merchant);
-        b.add_edge(merchant, mule_b);
-        b.add_edge(mule_b, person);
-    }
-    b.build()
+    })
 }
 
+/// Alternating person/mule/merchant ring of the requested length (≥ 4, i % 4).
 fn ring_query(length: usize) -> Graph {
-    // Alternating person/mule/merchant ring of the requested length (≥ 4, even).
     let labels: Vec<u32> = (0..length)
         .map(|i| match i % 4 {
             0 => 0, // person
@@ -68,53 +55,139 @@ fn ring_query(length: usize) -> Graph {
     graph_from_edges(&labels, &edges)
 }
 
-fn run(query: &Graph, data: &Graph, features: PruningFeatures) -> gup::MatchResult {
-    let cfg = GupConfig {
-        features,
-        limits: SearchLimits {
-            max_embeddings: Some(100_000),
-            time_limit: Some(Duration::from_secs(10)),
-            ..SearchLimits::UNLIMITED
-        },
-        ..GupConfig::default()
+/// Deltas planting one fraud ring of `length`: fresh mule accounts at the odd
+/// ring positions, existing persons/merchants at the even ones. Returns the
+/// setup batch and the withheld closing transaction. Every ring edge touches a
+/// brand-new mule, so the deltas can never collide with background noise.
+fn plant_ring(
+    length: usize,
+    next_vertex: u32,
+    persons: &[u32],
+    merchants: &[u32],
+    rng: &mut SmallRng,
+) -> (Vec<GraphDelta>, GraphDelta) {
+    let mut deltas = Vec::new();
+    let ids: Vec<u32> = (0..length)
+        .map(|i| match i % 4 {
+            0 => persons[rng.gen_range(0..persons.len())],
+            2 => merchants[rng.gen_range(0..merchants.len())],
+            _ => {
+                deltas.push(GraphDelta::AddVertex { label: 2 });
+                next_vertex + (deltas.len() as u32 - 1)
+            }
+        })
+        .collect();
+    for i in 0..length - 1 {
+        deltas.push(GraphDelta::AddEdge {
+            a: ids[i],
+            b: ids[i + 1],
+        });
+    }
+    let closer = GraphDelta::AddEdge {
+        a: ids[length - 1],
+        b: ids[0],
     };
-    GupMatcher::<1>::new(query, data, cfg)
-        .expect("valid ring query")
-        .run()
+    (deltas, closer)
 }
 
 fn main() {
-    let data = build_transaction_graph();
+    let background = build_background();
+    let persons: Vec<u32> = background
+        .vertices()
+        .filter(|&v| background.label(v) == 0)
+        .collect();
+    let merchants: Vec<u32> = background
+        .vertices()
+        .filter(|&v| background.label(v) == 1)
+        .collect();
     println!(
-        "transaction graph: {}",
-        gup_graph::stats::GraphStats::compute(&data, false)
+        "background graph: {}",
+        gup_graph::stats::GraphStats::compute(&background, false)
     );
 
-    for length in [4usize, 8] {
-        let query = ring_query(length);
-        println!("\n=== fraud ring of length {length} ===");
-        let guarded = run(&query, &data, PruningFeatures::ALL);
-        let unguarded = run(&query, &data, PruningFeatures::NONE);
-        assert_eq!(guarded.embedding_count(), unguarded.embedding_count());
-        println!(
-            "  rings found                : {}",
-            guarded.embedding_count()
-        );
-        println!(
-            "  futile recursions (GuP)    : {:>9}",
-            guarded.stats.futile_recursions
-        );
-        println!(
-            "  futile recursions (no guards): {:>7}",
-            unguarded.stats.futile_recursions
-        );
-        println!(
-            "  recursions GuP / baseline  : {} / {}",
-            guarded.stats.recursions, unguarded.stats.recursions
-        );
-        println!(
-            "  local candidates pruned by guards: {:.1}%",
-            guarded.stats.guard_prune_rate() * 100.0
-        );
+    let mut matcher = ContinuousMatcher::new(Session::new(background));
+    let ring4 = matcher.register(&ring_query(4)).expect("valid ring query");
+    let ring8 = matcher.register(&ring_query(8)).expect("valid ring query");
+    println!("standing queries: ring4 (id {ring4}), ring8 (id {ring8})\n");
+
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let mut pending_closers: Vec<(usize, GraphDelta)> = Vec::new();
+    let mut alerts = [0u64; 2];
+    let mut total_apply = Duration::ZERO;
+    let mut total_match = Duration::ZERO;
+
+    for tick in 0..42u32 {
+        // Background noise: a burst of person↔merchant transactions.
+        let graph = matcher.session().data();
+        let mut batch = Vec::new();
+        let mut in_batch: HashSet<(u32, u32)> = HashSet::new();
+        while batch.len() < 25 {
+            let a = persons[rng.gen_range(0..persons.len())];
+            let b = merchants[rng.gen_range(0..merchants.len())];
+            let key = (a.min(b), a.max(b));
+            if !graph.has_edge(a, b) && in_batch.insert(key) {
+                batch.push(GraphDelta::AddEdge { a, b });
+            }
+        }
+        // Every 7th tick a fraud ring is set up — minus its closing edge …
+        if tick % 7 == 3 {
+            let length = if tick % 2 == 1 { 4 } else { 8 };
+            let (setup, closer) = plant_ring(
+                length,
+                matcher.session().data().vertex_count() as u32,
+                &persons,
+                &merchants,
+                &mut rng,
+            );
+            println!("tick {tick:>2}: ring of length {length} staged (closing edge withheld)");
+            batch.extend(setup);
+            pending_closers.push((length, closer));
+        }
+        // … which lands two ticks later, completing the cycle.
+        if tick % 7 == 5 {
+            for (length, closer) in pending_closers.drain(..) {
+                println!(
+                    "tick {tick:>2}: closing transaction for the length-{length} ring arrives"
+                );
+                batch.push(closer);
+            }
+        }
+
+        let report = matcher.apply(&batch).expect("valid transaction batch");
+        total_apply += report.apply_time;
+        total_match += report.match_time;
+        for matches in &report.matches {
+            for emb in &matches.embeddings {
+                let which = usize::from(matches.query == ring8);
+                alerts[which] += 1;
+                let ring: Vec<String> = emb.iter().map(|v| v.to_string()).collect();
+                println!(
+                    "tick {tick:>2}:   ALERT ring{} cycle: {}",
+                    if matches.query == ring4 { 4 } else { 8 },
+                    ring.join(" -> ")
+                );
+            }
+        }
     }
+
+    let session = matcher.session();
+    let counters = session.counters().snapshot();
+    println!("\nstream totals:");
+    println!("  deltas applied        : {}", counters.deltas_applied);
+    println!("  incremental matches   : {}", counters.incremental_matches);
+    println!("  cache invalidations   : {}", counters.cache_invalidations);
+    println!("  index update time     : {total_apply:?}");
+    println!("  delta-match time      : {total_match:?}");
+
+    // Self-check: the stream was insert-only and started with zero rings, so
+    // the alerts must account for every ring a cold full re-match finds now.
+    for (query, count) in [(ring_query(4), alerts[0]), (ring_query(8), alerts[1])] {
+        let full = session
+            .query(&query)
+            .unlimited()
+            .count()
+            .expect("valid ring query");
+        assert_eq!(full, count, "streamed alerts diverge from full re-match");
+    }
+    println!("  verified: alerts match a cold full re-match exactly");
 }

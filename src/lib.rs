@@ -13,6 +13,8 @@
 //! * [`gup_order`] — matching-order optimizers.
 //! * [`gup_baselines`] — the comparator matchers used in the evaluation.
 //! * [`gup_workloads`] — synthetic datasets and query sets mirroring the paper's.
+//! * [`gup_stream`] — dynamic data graphs: standing queries, delta streams, and
+//!   incremental new-match reporting over `gup_graph::delta`.
 //!
 //! See `README.md` for the project overview, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduction of every table and figure.
@@ -22,4 +24,5 @@ pub use gup_baselines;
 pub use gup_candidate;
 pub use gup_graph;
 pub use gup_order;
+pub use gup_stream;
 pub use gup_workloads;

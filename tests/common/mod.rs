@@ -4,6 +4,7 @@ use gup_graph::{Graph, VertexId};
 
 /// Asserts that `emb` is a valid embedding of `query` in `data` per Definition 2.1:
 /// right arity, label-preserving, adjacency-preserving, and injective.
+#[allow(dead_code)] // not every test binary uses every helper
 pub fn assert_valid_embedding(name: &str, query: &Graph, data: &Graph, emb: &[VertexId]) {
     assert_eq!(emb.len(), query.vertex_count(), "{name}: wrong arity");
     for u in query.vertices() {
@@ -23,4 +24,51 @@ pub fn assert_valid_embedding(name: &str, query: &Graph, data: &Graph, emb: &[Ve
     seen.sort_unstable();
     seen.dedup();
     assert_eq!(seen.len(), emb.len(), "{name}: non-injective embedding");
+}
+
+/// Draws one valid [`GraphDelta`](gup_graph::delta::GraphDelta) against the
+/// current state of `graph`: mostly edge inserts (so standing queries have
+/// something to fire on), some deletes, occasionally a new vertex.
+#[allow(dead_code)] // not every test binary uses every helper
+pub fn random_delta(
+    graph: &Graph,
+    labels: usize,
+    rng: &mut rand::rngs::SmallRng,
+) -> gup_graph::delta::GraphDelta {
+    use gup_graph::delta::GraphDelta;
+    use rand::Rng;
+    loop {
+        match rng.gen_range(0..10u32) {
+            0 => {
+                return GraphDelta::AddVertex {
+                    label: rng.gen_range(0..labels.max(1)) as u32,
+                }
+            }
+            1..=6 => {
+                let n = graph.vertex_count();
+                if n < 2 {
+                    continue;
+                }
+                // Rejection-sample a non-edge; fall through to another op if
+                // the graph got too dense to find one quickly.
+                for _ in 0..64 {
+                    let a = rng.gen_range(0..n) as VertexId;
+                    let b = rng.gen_range(0..n) as VertexId;
+                    if a != b && !graph.has_edge(a, b) {
+                        return GraphDelta::AddEdge { a, b };
+                    }
+                }
+            }
+            _ => {
+                let m = graph.edge_count();
+                if m == 0 {
+                    continue;
+                }
+                let target = rng.gen_range(0..m);
+                if let Some((a, b)) = graph.edges().nth(target) {
+                    return GraphDelta::RemoveEdge { a, b };
+                }
+            }
+        }
+    }
 }

@@ -1,0 +1,226 @@
+//! Continuous-matching differential suite.
+//!
+//! The invariant that anchors the whole streaming subsystem: for any delta
+//! batch, the embeddings [`ContinuousMatcher`] streams are **exactly**
+//! `full-match(after) \ full-match(before)` — computed by cold full re-matches
+//! through the regular session front door. Probed per-step on seed-pinned
+//! random delta streams (N ≥ 100 deltas, inserts and deletes) over generated
+//! and fixture graphs, cross-checked against multiple engine families and the
+//! parallel driver (threads 1 and 4); plus the cumulative form on insert-only
+//! streams, where per-step news are disjoint and must sum to the final
+//! difference.
+
+use gup::session::{Engine, Session};
+use gup_graph::delta::GraphDelta;
+use gup_graph::fixtures;
+use gup_graph::generate::{erdos_renyi_graph, random_walk_query, ErdosRenyiConfig};
+use gup_graph::{Graph, VertexId};
+use gup_stream::ContinuousMatcher;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+mod common;
+use common::{assert_valid_embedding, random_delta};
+
+/// Engine families (and thread counts) the differential check runs against.
+/// Three families beyond the streamed path itself, with the GuP work-stealing
+/// driver probed at 1 and 4 threads.
+const ORACLES: [(Engine, usize); 4] = [
+    (Engine::Gup, 1),
+    (Engine::Gup, 4),
+    (Engine::Daf, 1),
+    (Engine::Gql, 1),
+];
+
+fn full_set(
+    session: &Session,
+    query: &Graph,
+    engine: Engine,
+    threads: usize,
+) -> BTreeSet<Vec<VertexId>> {
+    session
+        .query(query)
+        .method(engine)
+        .threads(threads)
+        .unlimited()
+        .run()
+        .expect("valid query")
+        .embeddings
+        .into_iter()
+        .collect()
+}
+
+/// Runs `deltas` one batch at a time through a [`ContinuousMatcher`], checking
+/// the per-step differential invariant against every oracle in [`ORACLES`],
+/// and returns the cumulative streamed set.
+fn drive_stream(
+    name: &str,
+    data: Graph,
+    query: &Graph,
+    batches: &[Vec<GraphDelta>],
+) -> BTreeSet<Vec<VertexId>> {
+    let mut stream = ContinuousMatcher::new(Session::new(data));
+    let id = stream.register(query).expect("valid standing query");
+    let mut before: Vec<BTreeSet<Vec<VertexId>>> = ORACLES
+        .iter()
+        .map(|&(engine, threads)| full_set(stream.session(), query, engine, threads))
+        .collect();
+    let mut cumulative: BTreeSet<Vec<VertexId>> = BTreeSet::new();
+    for (step, batch) in batches.iter().enumerate() {
+        let report = stream.apply(batch).expect("valid batch");
+        assert_eq!(report.matches[0].query, id);
+        let streamed: BTreeSet<Vec<VertexId>> =
+            report.matches[0].embeddings.iter().cloned().collect();
+        // Exactly once: the collected list has no duplicates.
+        assert_eq!(
+            streamed.len(),
+            report.matches[0].embeddings.len(),
+            "{name} step {step}: duplicate streamed embeddings"
+        );
+        for embedding in &streamed {
+            assert_valid_embedding(name, query, stream.session().data(), embedding);
+        }
+        for (oracle, before) in ORACLES.iter().zip(before.iter_mut()) {
+            let (engine, threads) = *oracle;
+            let after = full_set(stream.session(), query, engine, threads);
+            let expected: BTreeSet<Vec<VertexId>> = after.difference(before).cloned().collect();
+            assert_eq!(
+                streamed,
+                expected,
+                "{name} step {step}: streamed set diverges from {} t={threads}",
+                engine.name()
+            );
+            *before = after;
+        }
+        cumulative.extend(streamed);
+    }
+    cumulative
+}
+
+#[test]
+fn random_streams_match_full_rematch_differences() {
+    // ER graphs with a 4-vertex random-walk query; N = 3 × 40 = 120 deltas per
+    // seed, mixing inserts, deletes, and vertex adds.
+    for seed in [3u64, 77] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = erdos_renyi_graph(&ErdosRenyiConfig {
+            vertices: 40,
+            edge_probability: 0.10,
+            labels: 3,
+            seed,
+        });
+        let query = random_walk_query(&data, 4, &mut rng).expect("walk query");
+        let mut shadow = data.clone();
+        let mut batches: Vec<Vec<GraphDelta>> = Vec::new();
+        let mut drawn = 0usize;
+        while drawn < 120 {
+            let batch: Vec<GraphDelta> =
+                (0..3).map(|_| random_delta(&shadow, 3, &mut rng)).collect();
+            // Track the stream's state so later draws stay valid; skip the
+            // rare batch whose deltas clash with each other.
+            let Ok(next) = gup_graph::PreparedData::new(shadow.clone()).apply(&batch) else {
+                continue;
+            };
+            shadow = next.graph().clone();
+            drawn += batch.len();
+            batches.push(batch);
+        }
+        drive_stream(&format!("er seed {seed}"), data, &query, &batches);
+    }
+}
+
+#[test]
+fn fixture_stream_matches_full_rematch_differences() {
+    let (query, data) = fixtures::paper_example();
+    // Tear down and rebuild part of the fixture, then grow it: every step's
+    // streamed news must equal the full-rematch difference.
+    let n = data.vertex_count() as u32;
+    let batches: Vec<Vec<GraphDelta>> = vec![
+        vec![GraphDelta::RemoveEdge { a: 0, b: 4 }],
+        vec![GraphDelta::AddEdge { a: 0, b: 4 }],
+        vec![
+            GraphDelta::AddVertex { label: 1 },
+            GraphDelta::AddEdge { a: 0, b: n },
+        ],
+        vec![
+            GraphDelta::AddEdge { a: n, b: 7 },
+            GraphDelta::RemoveEdge { a: 3, b: 7 },
+        ],
+        vec![GraphDelta::AddEdge { a: 3, b: 7 }],
+    ];
+    drive_stream("paper fixture", data, &query, &batches);
+}
+
+#[test]
+fn insert_only_streams_accumulate_to_the_final_difference() {
+    // With no deletions, per-step new sets are disjoint and their union must
+    // be exactly full(final) minus full(initial) — the cumulative form of the
+    // invariant (deletions would destroy embeddings mid-stream, which the
+    // per-step checks cover instead).
+    for seed in [11u64, 29] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = erdos_renyi_graph(&ErdosRenyiConfig {
+            vertices: 36,
+            edge_probability: 0.06,
+            labels: 3,
+            seed,
+        });
+        let query = random_walk_query(&data, 4, &mut rng).expect("walk query");
+        let initial = full_set(&Session::new(data.clone()), &query, Engine::Gup, 1);
+        let mut shadow = data.clone();
+        let mut batches: Vec<Vec<GraphDelta>> = Vec::new();
+        let mut drawn = 0usize;
+        while drawn < 100 {
+            let delta = loop {
+                let d = random_delta(&shadow, 3, &mut rng);
+                if !matches!(d, GraphDelta::RemoveEdge { .. }) {
+                    break d;
+                }
+            };
+            shadow = gup_graph::PreparedData::new(shadow.clone())
+                .apply(std::slice::from_ref(&delta))
+                .expect("insert-only deltas are valid")
+                .graph()
+                .clone();
+            drawn += 1;
+            batches.push(vec![delta]);
+        }
+        let cumulative = drive_stream(&format!("insert-only seed {seed}"), data, &query, &batches);
+        let final_set = full_set(&Session::new(shadow), &query, Engine::Gup, 1);
+        let expected: BTreeSet<Vec<VertexId>> = final_set.difference(&initial).cloned().collect();
+        assert_eq!(cumulative, expected, "seed {seed}: cumulative divergence");
+    }
+}
+
+#[test]
+fn triangle_fixture_counts_every_engine_agrees_after_streaming() {
+    // Stream a handful of deltas, then ask every engine family for the final
+    // count — the streamed session's index must serve them all identically.
+    let (query, data) = fixtures::paper_example();
+    let mut stream = ContinuousMatcher::new(Session::new(data));
+    stream.register(&query).expect("valid standing query");
+    let n = stream.session().data().vertex_count() as u32;
+    stream
+        .apply(&[
+            GraphDelta::AddVertex { label: 0 },
+            GraphDelta::AddEdge { a: n, b: 2 },
+            GraphDelta::AddEdge { a: n, b: 9 },
+        ])
+        .expect("valid batch");
+    let session = stream.session().clone();
+    let expected = session.query(&query).unlimited().count().expect("count");
+    for engine in Engine::ALL {
+        assert_eq!(
+            session
+                .query(&query)
+                .method(engine)
+                .unlimited()
+                .count()
+                .expect("count"),
+            expected,
+            "engine {}",
+            engine.name()
+        );
+    }
+}

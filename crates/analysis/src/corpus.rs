@@ -1,0 +1,153 @@
+//! The seeded-violation corpus: one known-bad snippet per rule.
+//!
+//! A rule that silently stops firing is worse than no rule — the clean-sweep
+//! check in `tests/lint_clean.rs` would keep passing while the invariant goes
+//! unenforced. Each [`CorpusCase`] here is a minimal violation that its rule
+//! (and *only* its rule) must flag; the self-tests below and the mirrored
+//! assertions in `tests/lint_clean.rs` make a dead rule fail tier-1 by name.
+//!
+//! Paths are chosen to pin rule scoping too: the R3 case uses
+//! `crates/graph/src/delta.rs` so dropping the delta applier from the panic
+//! scope is itself a corpus failure.
+
+use crate::rules::{
+    ADMISSION_DISCIPLINE, CLOCK_DISCIPLINE, GUARD_ACROSS_BLOCKING, LOCK_ORDER, NO_ALLOC,
+    PANIC_FREEDOM, RELAXED_ORDERING, UNSAFE_HYGIENE,
+};
+
+/// One seeded violation: analyzing `src` as `path` must produce at least one
+/// finding, all of them for `rule`.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusCase {
+    /// The rule the snippet violates.
+    pub rule: &'static str,
+    /// The workspace-relative path the snippet is analyzed as (drives scoping).
+    pub path: &'static str,
+    /// The violating source.
+    pub src: &'static str,
+}
+
+/// The corpus, one case per rule in rule order.
+pub const CORPUS: [CorpusCase; 8] = [
+    CorpusCase {
+        rule: CLOCK_DISCIPLINE,
+        path: "crates/core/src/search.rs",
+        src: "fn f() -> Instant { Instant::now() }\n",
+    },
+    CorpusCase {
+        rule: NO_ALLOC,
+        path: "crates/graph/src/sink.rs",
+        src: "fn f() {\n\
+              // gup-lint: region(no_alloc)\n\
+              let v: Vec<u32> = Vec::new();\n\
+              // gup-lint: end_region\n\
+              drop(v);\n\
+              }\n",
+    },
+    CorpusCase {
+        // The path doubles as the scope pin for the PR 10 extension: delta.rs
+        // is held to the same panic-freedom bar as index_io.rs.
+        rule: PANIC_FREEDOM,
+        path: "crates/graph/src/delta.rs",
+        src: "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    },
+    CorpusCase {
+        rule: RELAXED_ORDERING,
+        path: "crates/graph/src/stats.rs",
+        src: "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
+    },
+    CorpusCase {
+        rule: UNSAFE_HYGIENE,
+        path: "crates/graph/src/simd.rs",
+        src: "fn f(p: *const u32) -> u32 { unsafe { *p } }\n",
+    },
+    CorpusCase {
+        // watchers (rank 2) held while taking mutation (rank 0): inverted.
+        rule: LOCK_ORDER,
+        path: "crates/serve/src/server.rs",
+        src: "fn f(shared: &Shared) {\n\
+              let watchers = shared.watchers.lock();\n\
+              let guard = shared.mutation.lock();\n\
+              drop(guard);\n\
+              drop(watchers);\n\
+              }\n",
+    },
+    CorpusCase {
+        // The PR 10 seed bug in miniature: the watchers registry lock held
+        // across a socket write.
+        rule: GUARD_ACROSS_BLOCKING,
+        path: "crates/serve/src/server.rs",
+        src: "fn f(shared: &Shared, out: &mut TcpStream) {\n\
+              let watchers = shared.watchers.lock();\n\
+              let _ = writeln!(out, \"x\");\n\
+              drop(watchers);\n\
+              }\n",
+    },
+    CorpusCase {
+        // Both shapes at once: an unbounded channel, and a per-iteration spawn.
+        rule: ADMISSION_DISCIPLINE,
+        path: "crates/serve/src/server.rs",
+        src: "fn f() {\n\
+              let (tx, rx) = std::sync::mpsc::channel::<u64>();\n\
+              for job in rx.iter() {\n\
+              let tx2 = tx.clone();\n\
+              std::thread::spawn(move || drop((tx2, job)));\n\
+              }\n\
+              }\n",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{analyze_source, RULES};
+
+    #[test]
+    fn every_corpus_case_fires_its_rule_and_only_its_rule() {
+        for case in CORPUS {
+            let findings = analyze_source(case.path, case.src);
+            assert!(
+                !findings.is_empty(),
+                "corpus case for `{}` produced no findings — the rule went dead",
+                case.rule
+            );
+            for f in &findings {
+                assert_eq!(
+                    f.rule, case.rule,
+                    "corpus case for `{}` also fired `{}`: {}",
+                    case.rule, f.rule, f.message
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_corpus_covers_every_rule() {
+        for rule in RULES {
+            assert!(
+                CORPUS.iter().any(|c| c.rule == rule),
+                "no corpus case for `{rule}`"
+            );
+        }
+        assert_eq!(CORPUS.len(), RULES.len());
+    }
+
+    #[test]
+    fn corpus_violations_are_suppressible_with_allows() {
+        // The allow grammar must beat every rule, including the scope-aware
+        // ones: prepend an own-line allow above each violating line.
+        let case = CORPUS
+            .iter()
+            .find(|c| c.rule == GUARD_ACROSS_BLOCKING)
+            .expect("corpus has an R7 case");
+        let patched = case.src.replace(
+            "let _ = writeln!",
+            "// gup-lint: allow(guard_across_blocking) test: bounded by the fixture\n\
+             let _ = writeln!",
+        );
+        assert!(
+            analyze_source(case.path, &patched).is_empty(),
+            "allow did not suppress the R7 corpus case"
+        );
+    }
+}

@@ -1,12 +1,15 @@
 //! A hand-rolled, lossy Rust lexer: good enough to separate *code* from
-//! *comments* and *literal contents*, which is all the rule engine needs.
+//! *comments* and *literal contents*, which is all the downstream passes need.
 //!
 //! The lexer produces a masked copy of the source in which every comment byte
 //! and every string/char-literal byte is replaced by a space (newlines are
-//! preserved, so byte offsets and line numbers survive). Rules match their
-//! patterns against the masked code, so an occurrence of `Instant::now()`
-//! inside a doc comment, a string literal, or a raw string can never produce a
-//! finding — and directives are parsed from the extracted comments only.
+//! preserved, so byte offsets and line numbers survive). The token-local rules
+//! match their patterns against the masked code, so an occurrence of
+//! `Instant::now()` inside a doc comment, a string literal, or a raw string
+//! can never produce a finding — and directives are parsed from the extracted
+//! comments only. The [`crate::scope`] pass builds on the same guarantee: its
+//! brace matching and statement splitting run over the masked code, so a `{`
+//! or `;` inside a string can never desynchronize a scope tree.
 //!
 //! Handled: line comments, nested block comments, string literals with escape
 //! sequences, byte strings, raw (byte) strings with arbitrary `#` fences, char

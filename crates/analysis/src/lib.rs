@@ -20,18 +20,30 @@
 //! | `panic_freedom` | no `.unwrap()` / `.expect()` / `panic!` / `unreachable!` in `crates/serve` and `crates/core` non-test code |
 //! | `relaxed_ordering` | every `Ordering::Relaxed` carries an adjacent justification comment |
 //! | `unsafe_hygiene` | every `unsafe` carries an adjacent `SAFETY:` comment |
+//! | `lock_order` | nested lock acquisitions follow the declared [`rules::LOCK_MANIFESTS`] hierarchy; no same-name re-acquisition while a guard is live |
+//! | `guard_across_blocking` | no lock guard held across blocking I/O (the connection-writer lock is the one blessed exception for writes) |
+//! | `admission_discipline` | no unbounded `mpsc::channel` or per-loop-iteration `thread::spawn` in the serving layer |
+//!
+//! R1–R5 are token-local. R6–R8 are scope-aware: the [`scope`] pass builds
+//! per-function scope trees with tracked lock-guard lifetimes (let-bound
+//! guards to block close or `drop`, statement temporaries to the statement
+//! end, edition-2021 scrutinee temporaries through their block), and the rules
+//! reason over guard-span overlap.
 //!
 //! Every rule has an inline escape hatch (an allow annotation naming the rule
 //! plus a mandatory reason — see [`rules`] for the grammar); `tests/lint_clean.rs`
 //! runs the analyzer over the whole workspace and asserts zero findings, so
-//! tier-1 `cargo test` fails on any regression.
+//! tier-1 `cargo test` fails on any regression. The [`corpus`] module seeds
+//! one known violation per rule so a silently-dead rule also fails tier-1.
 //!
 //! [`DeadlineSampler`]: ../gup_graph/deadline/struct.DeadlineSampler.html
 
+pub mod corpus;
 pub mod lexer;
 pub mod rules;
+pub mod scope;
 
-pub use rules::{analyze_source, Finding};
+pub use rules::{analyze_source, rule_doc, severity, Finding, RuleDoc};
 
 use std::path::{Path, PathBuf};
 
@@ -97,7 +109,8 @@ pub fn relative_path(root: &Path, path: &Path) -> String {
 }
 
 /// Renders findings as a JSON array (objects with `path`, `line`, `rule`,
-/// `message`) for tooling. Hand-rolled: the vendored serde is a no-op shim.
+/// `severity`, `message`, `rule_doc`) for tooling. Hand-rolled: the vendored
+/// serde is a no-op shim.
 pub fn findings_to_json(findings: &[Finding]) -> String {
     let mut out = String::from("[");
     for (i, f) in findings.iter().enumerate() {
@@ -110,8 +123,12 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
         out.push_str(&f.line.to_string());
         out.push_str(", \"rule\": ");
         json_string(&mut out, f.rule);
+        out.push_str(", \"severity\": ");
+        json_string(&mut out, severity(f.rule));
         out.push_str(", \"message\": ");
         json_string(&mut out, &f.message);
+        out.push_str(", \"rule_doc\": ");
+        json_string(&mut out, rule_doc(f.rule).map_or("", |d| d.summary));
         out.push('}');
     }
     if !findings.is_empty() {
@@ -157,6 +174,21 @@ mod tests {
         assert!(json.contains("\\\"no\\\""));
         assert!(json.contains("\\n"));
         assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"severity\": \"error\""));
+        assert!(json.contains("\"rule_doc\": \"panicking constructs"));
+    }
+
+    #[test]
+    fn json_severity_tracks_the_rule() {
+        let findings = vec![Finding {
+            path: "crates/serve/src/server.rs".to_string(),
+            line: 1,
+            rule: rules::LOCK_ORDER,
+            message: "inverted".to_string(),
+        }];
+        let json = findings_to_json(&findings);
+        assert!(json.contains("\"severity\": \"critical\""));
+        assert!(json.contains("\"rule_doc\": \"nested lock acquisition"));
     }
 
     #[test]

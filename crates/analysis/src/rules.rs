@@ -1,9 +1,11 @@
-//! The rule engine: five invariant rules plus the directive grammar.
+//! The rule engine: eight invariant rules plus the directive grammar.
 //!
 //! Rules run over the lexer's masked code (comments and literal contents
-//! blanked), so pattern matches are always real code tokens. Directives are
-//! parsed from extracted comments whose trimmed text *starts with* the
-//! `gup-lint:` prefix — prose that merely mentions the grammar never counts.
+//! blanked), so pattern matches are always real code tokens. R1–R5 are
+//! token-local; R6–R8 are scope-aware — they consume the per-function guard
+//! spans and loop spans built by [`crate::scope`]. Directives are parsed from
+//! extracted comments whose trimmed text *starts with* the `gup-lint:` prefix
+//! — prose that merely mentions the grammar never counts.
 //!
 //! Directive grammar (each as its own comment, or trailing on the target line):
 //!
@@ -16,14 +18,19 @@
 //! * region close — `gup-lint: end_region`.
 
 use crate::lexer::{lex, Comment, Lexed};
+use crate::scope::{function_scopes, line_at, line_starts, AcquireKind, FunctionScope};
+use std::collections::BTreeSet;
 
 /// Rule identifiers, as written inside `allow(...)`.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 8] = [
     CLOCK_DISCIPLINE,
     NO_ALLOC,
     PANIC_FREEDOM,
     RELAXED_ORDERING,
     UNSAFE_HYGIENE,
+    LOCK_ORDER,
+    GUARD_ACROSS_BLOCKING,
+    ADMISSION_DISCIPLINE,
 ];
 
 /// R1: raw clock reads outside the deadline module.
@@ -36,10 +43,136 @@ pub const PANIC_FREEDOM: &str = "panic_freedom";
 pub const RELAXED_ORDERING: &str = "relaxed_ordering";
 /// R5: `unsafe` without an adjacent `SAFETY:` comment.
 pub const UNSAFE_HYGIENE: &str = "unsafe_hygiene";
+/// R6: nested lock acquisition violating a declared manifest order, or a
+/// same-named re-acquisition while the first guard is live.
+pub const LOCK_ORDER: &str = "lock_order";
+/// R7: a lock guard held across a blocking I/O call.
+pub const GUARD_ACROSS_BLOCKING: &str = "guard_across_blocking";
+/// R8: unbounded channels or per-iteration thread spawns in the serving layer.
+pub const ADMISSION_DISCIPLINE: &str = "admission_discipline";
 
 /// Pseudo-rule for malformed directives (bad rule name, missing reason,
 /// unbalanced region markers). Not allowable — fix the directive instead.
 pub const DIRECTIVE: &str = "directive";
+
+/// A rule's severity: `"critical"` for the deadlock-shaped rules (a missed
+/// finding can wedge the live daemon), `"error"` for the rest. Severity is
+/// informational — every finding fails the lint run regardless.
+pub fn severity(rule: &str) -> &'static str {
+    match rule {
+        LOCK_ORDER | GUARD_ACROSS_BLOCKING => "critical",
+        _ => "error",
+    }
+}
+
+/// Documentation for one rule: what `--explain` prints, and the `rule_doc`
+/// summary carried in JSON output.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleDoc {
+    /// The rule id ([`RULES`] or [`DIRECTIVE`]).
+    pub rule: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Why the invariant exists.
+    pub rationale: &'static str,
+    /// Where the rule applies.
+    pub scope: &'static str,
+    /// A worked `allow` annotation.
+    pub allow_example: &'static str,
+}
+
+/// One entry per rule, in [`RULES`] order, plus the directive pseudo-rule.
+pub const RULE_DOCS: [RuleDoc; 9] = [
+    RuleDoc {
+        rule: CLOCK_DISCIPLINE,
+        summary: "raw clock reads outside gup_graph::deadline",
+        rationale: "Three separate PRs fixed deadline-enforcement holes caused by ad-hoc \
+                    Instant::now() checks; budgets must flow through the shared \
+                    DeadlineSampler/Stopwatch so every engine agrees on the clock.",
+        scope: "everywhere except crates/graph/src/deadline.rs, benches, examples, and tests",
+        allow_example: "// gup-lint: allow(clock_discipline) CLI wall-clock report, not enforcement",
+    },
+    RuleDoc {
+        rule: NO_ALLOC,
+        summary: "allocating constructs inside region(no_alloc) markers",
+        rationale: "The enumeration hot paths are allocation-free by design (the dynamic \
+                    allocator tests pin the totals); marked regions keep direct allocations \
+                    from creeping back in.",
+        scope: "between `gup-lint: region(no_alloc)` and `gup-lint: end_region` markers",
+        allow_example: "// gup-lint: allow(no_alloc) one-time warmup, not per-embedding",
+    },
+    RuleDoc {
+        rule: PANIC_FREEDOM,
+        summary: "panicking constructs in daemon/core non-test code",
+        rationale: "A poisoned mutex, a \"can't happen\", or a corrupt byte on disk must \
+                    degrade into a typed error — not kill a process serving other clients.",
+        scope: "crates/serve, crates/core, crates/stream, crates/graph/src/index_io.rs, \
+                crates/graph/src/delta.rs (non-test code)",
+        allow_example: "// gup-lint: allow(panic_freedom) invariant: caller checked is_some",
+    },
+    RuleDoc {
+        rule: RELAXED_ORDERING,
+        summary: "Ordering::Relaxed without an adjacent justification",
+        rationale: "Relaxed atomics are correct only under an argument about what they do \
+                    NOT synchronize; the argument belongs next to the code.",
+        scope: "all non-test code",
+        allow_example: "// gup-lint: allow(relaxed_ordering) counter is advisory, see DESIGN.md",
+    },
+    RuleDoc {
+        rule: UNSAFE_HYGIENE,
+        summary: "unsafe without an adjacent SAFETY: comment",
+        rationale: "Every unsafe block encodes a proof obligation; the proof sketch belongs \
+                    on the block.",
+        scope: "all non-test code",
+        allow_example: "// gup-lint: allow(unsafe_hygiene) SAFETY argument is in the module doc",
+    },
+    RuleDoc {
+        rule: LOCK_ORDER,
+        summary: "nested lock acquisition violating the declared hierarchy",
+        rationale: "gup-serve holds up to four locks at once; a single inverted pair \
+                    deadlocks the daemon under load. The hierarchy is declared once \
+                    (LOCK_MANIFESTS, mirrored in DESIGN.md \"Lock hierarchy\") and enforced \
+                    here. Re-acquiring a same-named lock while its guard is live is \
+                    self-deadlock: the vendored parking_lot locks are not reentrant.",
+        scope: "files under a LOCK_MANIFESTS prefix (crates/serve, crates/core), non-test code",
+        allow_example: "// gup-lint: allow(lock_order) distinct instances: deques[i] and deques[j], i != j",
+    },
+    RuleDoc {
+        rule: GUARD_ACROSS_BLOCKING,
+        summary: "lock guard held across a blocking I/O call",
+        rationale: "A guard held across a socket write or channel recv turns one stalled \
+                    peer into a pile-up on the lock: PR 10's seed bug held the watchers \
+                    registry lock while pushing match lines to a possibly-dead client. The \
+                    per-connection writer lock is the one blessed exception for \
+                    write-flavored calls — serializing writes is its entire purpose.",
+        scope: "all non-test code outside benches/examples/tests; findings attach to the \
+                blocking call's line",
+        allow_example: "// gup-lint: allow(guard_across_blocking) 50 ms recv timeout bounds the hold",
+    },
+    RuleDoc {
+        rule: ADMISSION_DISCIPLINE,
+        summary: "unbounded channels or per-iteration spawns in the serving layer",
+        rationale: "Everything admitted into gup-serve must pass through the bounded \
+                    sync_channel pool so overload surfaces as `busy` backpressure, not as \
+                    unbounded queues or thread explosions.",
+        scope: "crates/serve and src/bin/gup-serve.rs, non-test code; spawns are flagged \
+                only inside loop bodies",
+        allow_example: "// gup-lint: allow(admission_discipline) one thread per connection is the documented design",
+    },
+    RuleDoc {
+        rule: DIRECTIVE,
+        summary: "malformed gup-lint directive",
+        rationale: "A directive that names an unknown rule, lacks a reason, or leaves a \
+                    region unbalanced silently fails to do its job; fix the directive.",
+        scope: "every gup-lint: comment",
+        allow_example: "(not allowable — fix the directive instead)",
+    },
+];
+
+/// The documentation entry for `rule`, when it exists.
+pub fn rule_doc(rule: &str) -> Option<&'static RuleDoc> {
+    RULE_DOCS.iter().find(|d| d.rule == rule)
+}
 
 /// The allocating constructs denied inside a `no_alloc` region. Textual and
 /// local by design: calls into allocating helpers are pinned by the dynamic
@@ -96,29 +229,118 @@ impl std::fmt::Display for Finding {
 struct Scope {
     clock: bool,
     panic: bool,
+    concurrency: bool,
+    admission: bool,
 }
 
 fn scope_of(path: &str) -> Scope {
-    // R1 allowlist: the deadline module itself (the one blessed home of raw
-    // clock reads), benches, examples, and test sources — measurement and
-    // fixture code legitimately reads the clock.
-    let clock = !(path == "crates/graph/src/deadline.rs"
-        || path.starts_with("crates/bench/")
+    // Benches, examples, and test sources: measurement and fixture code is
+    // exempt from the clock and concurrency rules — it legitimately reads the
+    // clock, sleeps, and holds locks across prints.
+    let measurement = path.starts_with("crates/bench/")
         || path.starts_with("examples/")
         || path.starts_with("tests/")
         || path.contains("/examples/")
         || path.contains("/benches/")
-        || path.contains("/tests/"));
+        || path.contains("/tests/");
+    // R1 allowlist additionally blesses the deadline module itself — the one
+    // home of raw clock reads.
+    let clock = !(measurement || path == "crates/graph/src/deadline.rs");
     // R3 scope: the serving daemon, the core engine, the continuous-matching
-    // layer, and the index loader (a poisoned mutex, a "can't happen", or a
-    // corrupt byte on disk must degrade, not kill the process — the loader
-    // parses untrusted files, and gup_stream runs inside the live server).
+    // layer, the index loader, and the delta applier (a poisoned mutex, a
+    // "can't happen", or a corrupt byte on disk must degrade, not kill the
+    // process — the loader parses untrusted files, gup_stream runs inside the
+    // live server, and `delta.rs` mutates the persistent index under it).
     let panic = path.starts_with("crates/serve/src/")
         || path.starts_with("crates/core/src/")
         || path.starts_with("crates/stream/src/")
-        || path == "crates/graph/src/index_io.rs";
-    Scope { clock, panic }
+        || path == "crates/graph/src/index_io.rs"
+        || path == "crates/graph/src/delta.rs";
+    // R8 scope: the serving layer only — that is where admission control lives.
+    let admission = path.starts_with("crates/serve/src/") || path == "src/bin/gup-serve.rs";
+    Scope {
+        clock,
+        panic,
+        concurrency: !measurement,
+        admission,
+    }
 }
+
+/// A declared lock hierarchy for one area of the workspace: locks must be
+/// acquired in `order` (an earlier name may hold while a later one is taken,
+/// never the reverse). `blessed_writer` names the one lock R7 permits across
+/// *write-flavored* blocking calls — the per-connection writer mutex, whose
+/// entire purpose is serializing socket writes.
+#[derive(Clone, Copy, Debug)]
+pub struct LockOrderManifest {
+    /// Workspace-relative path prefix the manifest governs.
+    pub scope: &'static str,
+    /// Lock names (receiver path tails) in required acquisition order.
+    pub order: &'static [&'static str],
+    /// The connection-writer lock R7 blesses for write-flavored calls.
+    pub blessed_writer: Option<&'static str>,
+}
+
+impl LockOrderManifest {
+    fn rank(&self, lock: &str) -> Option<usize> {
+        self.order.iter().position(|&l| l == lock)
+    }
+}
+
+/// The workspace's declared lock hierarchies. Locks not named here are exempt
+/// from ordering (but still subject to the same-name re-acquisition check).
+pub const LOCK_MANIFESTS: &[LockOrderManifest] = &[
+    // gup-serve: the delta/reload mutation lock is outermost, then the session
+    // rwlock, then the watcher registry, then per-connection writers. DESIGN.md
+    // "Lock hierarchy" documents the why.
+    LockOrderManifest {
+        scope: "crates/serve/src/",
+        order: &["mutation", "session", "watchers", "writer"],
+        blessed_writer: Some("writer"),
+    },
+    // The work-stealing driver: a worker may hold at most one deque-class lock
+    // (`deques` by index, or its `sink` alias inside SplitHandle) and takes its
+    // result `slot` and the session `cache` only standalone.
+    LockOrderManifest {
+        scope: "crates/core/src/",
+        order: &["deques", "sink", "slot", "cache"],
+        blessed_writer: None,
+    },
+];
+
+/// The manifest governing `path`, when one is declared.
+pub fn manifest_for(path: &str) -> Option<&'static LockOrderManifest> {
+    LOCK_MANIFESTS.iter().find(|m| path.starts_with(m.scope))
+}
+
+/// R7: blocking constructs a lock guard must not be held across. The flag
+/// marks write-flavored patterns, which the manifest's blessed connection-
+/// writer lock may cover.
+const BLOCKING_PATTERNS: [(&str, bool); 18] = [
+    ("write!", true),
+    ("writeln!", true),
+    (".write_all(", true),
+    (".write_fmt(", true),
+    (".flush(", true),
+    (".read_line(", false),
+    (".read_until(", false),
+    (".read_exact(", false),
+    (".read_to_end(", false),
+    (".read_to_string(", false),
+    (".recv()", false),
+    (".recv_timeout(", false),
+    (".accept(", false),
+    (".send(", false),
+    (".wait(", false),
+    (".join(", false),
+    ("TcpStream::connect", false),
+    ("thread::sleep", false),
+];
+
+/// R8: unbounded-channel constructors (anywhere in scope) and spawn calls
+/// (flagged only inside loop bodies).
+const UNBOUNDED_CHANNEL_PATTERNS: [&str; 2] = ["mpsc::channel", "channel("];
+const SPAWN_PATTERNS: [&str; 2] = ["thread::spawn", ".spawn("];
 
 /// A parsed `allow` directive.
 struct Allow {
@@ -233,8 +455,276 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
+    // R6–R8: the scope-aware concurrency rules, built on the per-function
+    // guard spans and loop spans from the scope pass.
+    let manifest = manifest_for(path);
+    if scope.concurrency || scope.admission || manifest.is_some() {
+        let starts = line_starts(&lexed.code);
+        let fscopes = function_scopes(&lexed);
+        if let Some(manifest) = manifest {
+            lock_order_findings(
+                path,
+                manifest,
+                &fscopes,
+                &suppressed,
+                &in_test,
+                &mut findings,
+            );
+        }
+        if scope.concurrency {
+            let blessed = manifest.and_then(|m| m.blessed_writer);
+            guard_blocking_findings(
+                path,
+                &lexed,
+                &fscopes,
+                &starts,
+                blessed,
+                &suppressed,
+                &in_test,
+                &mut findings,
+            );
+        }
+        if scope.admission {
+            admission_findings(
+                path,
+                &lexed,
+                &fscopes,
+                &starts,
+                &suppressed,
+                &in_test,
+                &mut findings,
+            );
+        }
+    }
+
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
+}
+
+/// R6: every pair of overlapping guard spans inside one function, checked
+/// against the manifest order — plus the unconditional same-name
+/// re-acquisition check (self-deadlock on non-reentrant locks).
+fn lock_order_findings(
+    path: &str,
+    manifest: &LockOrderManifest,
+    fscopes: &[FunctionScope],
+    suppressed: &impl Fn(&str, usize) -> bool,
+    in_test: &impl Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for f in fscopes {
+        for (i, outer) in f.guards.iter().enumerate() {
+            if in_test(outer.line) {
+                continue;
+            }
+            for inner in &f.guards[i + 1..] {
+                if !outer.covers(inner.acquired)
+                    || in_test(inner.line)
+                    || suppressed(LOCK_ORDER, inner.line)
+                {
+                    continue;
+                }
+                if outer.lock == inner.lock {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line: inner.line,
+                        rule: LOCK_ORDER,
+                        message: format!(
+                            "`{lock}{acc}` while the guard on `{lock}` from line {at} is \
+                             still live — self-deadlock on a non-reentrant lock (drop the \
+                             first guard, or annotate why these are distinct instances)",
+                            lock = inner.lock,
+                            acc = accessor(inner.kind),
+                            at = outer.line,
+                        ),
+                    });
+                } else if let (Some(outer_rank), Some(inner_rank)) =
+                    (manifest.rank(&outer.lock), manifest.rank(&inner.lock))
+                {
+                    if inner_rank < outer_rank {
+                        findings.push(Finding {
+                            path: path.to_string(),
+                            line: inner.line,
+                            rule: LOCK_ORDER,
+                            message: format!(
+                                "acquires `{}` while `{}` (line {}) is held, inverting the \
+                                 declared lock order for {} ({})",
+                                inner.lock,
+                                outer.lock,
+                                outer.line,
+                                manifest.scope,
+                                manifest.order.join(" < "),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn accessor(kind: AcquireKind) -> &'static str {
+    match kind {
+        AcquireKind::Lock => ".lock()",
+        AcquireKind::Read => ".read()",
+        AcquireKind::Write => ".write()",
+    }
+}
+
+/// R7: a blocking call inside a live guard span. Findings attach to the
+/// blocking call's line (that is where the allow goes). The manifest's blessed
+/// writer lock is exempt for write-flavored patterns only.
+#[allow(clippy::too_many_arguments)]
+fn guard_blocking_findings(
+    path: &str,
+    lexed: &Lexed,
+    fscopes: &[FunctionScope],
+    starts: &[usize],
+    blessed: Option<&str>,
+    suppressed: &impl Fn(&str, usize) -> bool,
+    in_test: &impl Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let positions: Vec<(usize, &str, bool)> = BLOCKING_PATTERNS
+        .iter()
+        .flat_map(|&(pat, write_flavored)| {
+            token_positions(&lexed.code, pat)
+                .into_iter()
+                .map(move |pos| (pos, pat, write_flavored))
+        })
+        .collect();
+    if positions.is_empty() {
+        return;
+    }
+    // One finding per (blocking line, guard): two write! calls on one line
+    // under one guard are one problem, not two.
+    let mut seen: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+    for f in fscopes {
+        for guard in &f.guards {
+            if in_test(guard.line) {
+                continue;
+            }
+            for &(pos, pat, write_flavored) in &positions {
+                if !guard.covers(pos) {
+                    continue;
+                }
+                if write_flavored && blessed == Some(guard.lock.as_str()) {
+                    continue;
+                }
+                let line = line_at(starts, pos);
+                if in_test(line)
+                    || suppressed(GUARD_ACROSS_BLOCKING, line)
+                    || !seen.insert((line, guard.line, guard.lock.clone()))
+                {
+                    continue;
+                }
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line,
+                    rule: GUARD_ACROSS_BLOCKING,
+                    message: format!(
+                        "blocking call `{}` while the guard on `{}` (line {}) is live: \
+                         release the guard first, or annotate why the hold is bounded",
+                        pat.trim_start_matches('.').trim_end_matches('('),
+                        guard.lock,
+                        guard.line,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// R8: unbounded `mpsc::channel` constructors anywhere in the serving layer,
+/// and thread spawns inside loop bodies (one thread per admitted request is
+/// exactly the unbounded-work shape the sync_channel pool exists to prevent).
+fn admission_findings(
+    path: &str,
+    lexed: &Lexed,
+    fscopes: &[FunctionScope],
+    starts: &[usize],
+    suppressed: &impl Fn(&str, usize) -> bool,
+    in_test: &impl Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let mut channel_lines = BTreeSet::new();
+    for pat in UNBOUNDED_CHANNEL_PATTERNS {
+        for pos in token_positions(&lexed.code, pat) {
+            let line = line_at(starts, pos);
+            if in_test(line)
+                || suppressed(ADMISSION_DISCIPLINE, line)
+                || !channel_lines.insert(line)
+            {
+                continue;
+            }
+            findings.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: ADMISSION_DISCIPLINE,
+                message: "unbounded `mpsc::channel` in the serving layer: use a bounded \
+                          `sync_channel` so overload surfaces as backpressure, not as an \
+                          unbounded queue"
+                    .to_string(),
+            });
+        }
+    }
+    let mut spawn_lines = BTreeSet::new();
+    for pat in SPAWN_PATTERNS {
+        for pos in token_positions(&lexed.code, pat) {
+            // Attribute the spawn to the innermost enclosing function; flag it
+            // only when it sits inside one of that function's loop bodies.
+            let Some(f) = fscopes
+                .iter()
+                .filter(|f| f.body.0 < pos && pos < f.body.1)
+                .max_by_key(|f| f.body.0)
+            else {
+                continue;
+            };
+            if !f.in_loop(pos) {
+                continue;
+            }
+            let line = line_at(starts, pos);
+            if in_test(line) || suppressed(ADMISSION_DISCIPLINE, line) || !spawn_lines.insert(line)
+            {
+                continue;
+            }
+            findings.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: ADMISSION_DISCIPLINE,
+                message: "thread spawned per loop iteration in the serving layer: admit \
+                          work through the bounded worker pool, or annotate the \
+                          bounded-by-design case"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Every byte position at which `pattern` occurs in `code` as a token (the
+/// same boundary rules as [`has_token`], over the whole masked file).
+fn token_positions(code: &str, pattern: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = code
+        .get(from..)
+        .and_then(|tail| tail.find(pattern).map(|p| from + p))
+    {
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + pattern.len();
+        let pattern_ends_ident = pattern.as_bytes().last().is_some_and(|&b| is_ident_byte(b));
+        let after_ok = !pattern_ends_ident || after >= bytes.len() || !is_ident_byte(bytes[after]);
+        let starts_ident = pattern
+            .as_bytes()
+            .first()
+            .is_some_and(|&b| is_ident_byte(b));
+        if (!starts_ident || before_ok) && after_ok {
+            out.push(pos);
+        }
+        from = pos + 1;
+    }
+    out
 }
 
 /// Parses every `gup-lint:` directive out of the comments: allows (with their
@@ -739,5 +1229,263 @@ mod tests {
         let shown = found[0].to_string();
         assert!(shown.contains("crates/core/src/x.rs:2"));
         assert!(shown.contains("clock_discipline"));
+    }
+
+    // ---- R6 ----------------------------------------------------------------
+
+    const SERVE: &str = "crates/serve/src/server.rs";
+
+    #[test]
+    fn lock_order_fires_on_inverted_nesting() {
+        let src = "fn f(s: &Shared) {\n\
+                   let w = s.watchers.lock();\n\
+                   let m = s.mutation.lock();\n\
+                   work(&w, &m);\n\
+                   }\n";
+        let found = findings_of(SERVE, src);
+        assert_eq!(rules_fired(&found), vec![LOCK_ORDER]);
+        assert_eq!(found[0].line, 3);
+        assert!(found[0].message.contains("mutation"));
+        assert!(found[0].message.contains("watchers"));
+    }
+
+    #[test]
+    fn lock_order_allows_the_declared_nesting() {
+        let src = "fn f(s: &Shared) {\n\
+                   let _m = s.mutation.lock();\n\
+                   let session = s.session.read().clone();\n\
+                   let w = s.watchers.lock();\n\
+                   let out = s.writer.lock();\n\
+                   work(&session, &w, &out);\n\
+                   }\n";
+        assert!(findings_of(SERVE, src).is_empty());
+    }
+
+    #[test]
+    fn lock_order_fires_on_same_name_reacquisition() {
+        let src = "fn f(s: &Shared) {\n\
+                   let a = s.watchers.lock();\n\
+                   let b = s.watchers.lock();\n\
+                   work(&a, &b);\n\
+                   }\n";
+        let found = findings_of(SERVE, src);
+        assert_eq!(rules_fired(&found), vec![LOCK_ORDER]);
+        assert!(found[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn lock_order_respects_drop_and_statement_temporaries() {
+        // Sequential (non-overlapping) acquisitions in any order are fine.
+        let src = "fn f(s: &Shared) {\n\
+                   let w = s.watchers.lock();\n\
+                   drop(w);\n\
+                   let _m = s.mutation.lock();\n\
+                   s.watchers.lock().retain(|x| x.id != 0);\n\
+                   }\n";
+        let found = findings_of(SERVE, src);
+        // The statement temporary on line 5 runs under _m: mutation < watchers
+        // is the declared order, so still clean.
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn lock_order_ignores_unranked_locks_but_not_same_names() {
+        let src = "fn f(s: &Shared) {\n\
+                   let q = s.queue.lock();\n\
+                   let w = s.watchers.lock();\n\
+                   work(&q, &w);\n\
+                   }\n";
+        // `queue` is not in the manifest: no ordering constraint.
+        assert!(findings_of(SERVE, src).is_empty());
+    }
+
+    #[test]
+    fn lock_order_honors_allows_and_test_code() {
+        let allowed = "fn f(s: &Shared) {\n\
+                       let w = s.watchers.lock();\n\
+                       // gup-lint: allow(lock_order) distinct shard instances\n\
+                       let m = s.mutation.lock();\n\
+                       work(&w, &m);\n\
+                       }\n";
+        assert!(findings_of(SERVE, allowed).is_empty());
+        let test_code = "#[cfg(test)]\nmod tests {\n\
+                         fn f(s: &Shared) {\n\
+                         let w = s.watchers.lock();\n\
+                         let m = s.mutation.lock();\n\
+                         work(&w, &m);\n\
+                         }\n\
+                         }\n";
+        assert!(findings_of(SERVE, test_code).is_empty());
+    }
+
+    #[test]
+    fn lock_order_outside_manifest_scope_is_silent() {
+        let src = "fn f(s: &Shared) {\n\
+                   let w = s.watchers.lock();\n\
+                   let m = s.mutation.lock();\n\
+                   work(&w, &m);\n\
+                   }\n";
+        assert!(findings_of("crates/graph/src/builder.rs", src).is_empty());
+    }
+
+    // ---- R7 ----------------------------------------------------------------
+
+    #[test]
+    fn guard_across_blocking_fires_for_each_blocking_shape() {
+        for (snippet, label) in [
+            ("let _ = writeln!(out, \"x\");", "writeln!"),
+            ("let _ = out.flush();", "flush"),
+            ("let _ = out.read_line(&mut buf);", "read_line"),
+            ("let _ = rx.recv();", "recv"),
+            ("let _ = rx.recv_timeout(t);", "recv_timeout"),
+            ("let _ = TcpStream::connect(addr);", "connect"),
+            ("thread::sleep(t);", "sleep"),
+        ] {
+            let src = format!(
+                "fn f(s: &Shared) {{\n\
+                 let w = s.watchers.lock();\n\
+                 {snippet}\n\
+                 use_it(&w);\n\
+                 }}\n"
+            );
+            let found = findings_of(SERVE, &src);
+            assert_eq!(rules_fired(&found), vec![GUARD_ACROSS_BLOCKING], "{label}");
+            assert_eq!(found[0].line, 3, "{label}");
+        }
+    }
+
+    #[test]
+    fn guard_across_blocking_blesses_the_writer_for_writes_only() {
+        let writes = "fn f(s: &Shared) {\n\
+                      let mut w = s.writer.lock();\n\
+                      let _ = writeln!(w, \"ok\");\n\
+                      let _ = w.flush();\n\
+                      }\n";
+        assert!(findings_of(SERVE, writes).is_empty());
+        // The blessing does not extend to read-flavored blocking.
+        let reads = "fn f(s: &Shared, rx: &Receiver<u32>) {\n\
+                     let mut w = s.writer.lock();\n\
+                     let _ = rx.recv();\n\
+                     let _ = writeln!(w, \"ok\");\n\
+                     }\n";
+        let found = findings_of(SERVE, reads);
+        assert_eq!(rules_fired(&found), vec![GUARD_ACROSS_BLOCKING]);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn guard_released_before_blocking_is_clean() {
+        let src = "fn f(s: &Shared, out: &mut W) {\n\
+                   {\n\
+                   let w = s.watchers.lock();\n\
+                   use_it(&w);\n\
+                   }\n\
+                   let _ = writeln!(out, \"x\");\n\
+                   }\n";
+        assert!(findings_of(SERVE, src).is_empty());
+        let dropped = "fn f(s: &Shared, out: &mut W) {\n\
+                       let w = s.watchers.lock();\n\
+                       drop(w);\n\
+                       let _ = writeln!(out, \"x\");\n\
+                       }\n";
+        assert!(findings_of(SERVE, dropped).is_empty());
+    }
+
+    #[test]
+    fn guard_across_blocking_sees_scrutinee_temporaries() {
+        // The edition-2021 footgun: the guard from the if-let scrutinee is
+        // still live inside the block.
+        let src = "fn f(d: &Mutex<VecDeque<u32>>, out: &mut W) {\n\
+                   if let Some(t) = d.lock().pop_back() {\n\
+                   let _ = writeln!(out, \"{t}\");\n\
+                   }\n\
+                   }\n";
+        let found = findings_of(SERVE, src);
+        assert_eq!(rules_fired(&found), vec![GUARD_ACROSS_BLOCKING]);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn guard_across_blocking_honors_allows_and_scope() {
+        let allowed = "fn f(r: &Mutex<Receiver<u32>>) {\n\
+                       let rx = r.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       // gup-lint: allow(guard_across_blocking) 50 ms timeout bounds the hold\n\
+                       let _ = rx.recv_timeout(t);\n\
+                       }\n";
+        assert!(findings_of(SERVE, allowed).is_empty());
+        // Benches and tests are out of scope.
+        let src = "fn f(s: &Shared, out: &mut W) {\n\
+                   let w = s.watchers.lock();\n\
+                   let _ = writeln!(out, \"x\");\n\
+                   use_it(&w);\n\
+                   }\n";
+        assert!(findings_of("crates/bench/src/harness.rs", src).is_empty());
+        assert!(findings_of("tests/serve.rs", src).is_empty());
+    }
+
+    // ---- R8 ----------------------------------------------------------------
+
+    #[test]
+    fn admission_fires_on_unbounded_channel() {
+        let src = "fn f() -> (Sender<u32>, Receiver<u32>) { mpsc::channel() }\n";
+        let found = findings_of(SERVE, src);
+        assert_eq!(rules_fired(&found), vec![ADMISSION_DISCIPLINE]);
+    }
+
+    #[test]
+    fn admission_accepts_bounded_sync_channel() {
+        let src = "fn f() -> (SyncSender<u32>, Receiver<u32>) { mpsc::sync_channel(64) }\n";
+        assert!(findings_of(SERVE, src).is_empty());
+    }
+
+    #[test]
+    fn admission_fires_on_spawn_inside_a_loop_only() {
+        let in_loop = "fn f(listener: &Listener) {\n\
+                       for stream in listener.incoming() {\n\
+                       std::thread::spawn(move || handle(stream));\n\
+                       }\n\
+                       }\n";
+        let found = findings_of(SERVE, in_loop);
+        assert_eq!(rules_fired(&found), vec![ADMISSION_DISCIPLINE]);
+        assert_eq!(found[0].line, 3);
+        // A fixed worker-pool spawn (map over a bounded range) is the blessed
+        // shape: no loop, no finding.
+        let pool = "fn f(n: usize) -> Vec<Handle> {\n\
+                    (0..n).map(|i| std::thread::Builder::new().spawn(move || work(i))).collect()\n\
+                    }\n";
+        assert!(findings_of(SERVE, pool).is_empty());
+    }
+
+    #[test]
+    fn admission_honors_allows_and_scope() {
+        let allowed = "fn f(listener: &Listener) {\n\
+                       for stream in listener.incoming() {\n\
+                       // gup-lint: allow(admission_discipline) one thread per connection by design\n\
+                       std::thread::spawn(move || handle(stream));\n\
+                       }\n\
+                       }\n";
+        assert!(findings_of(SERVE, allowed).is_empty());
+        // Outside the serving layer the rule is silent.
+        let src = "fn f() -> (Sender<u32>, Receiver<u32>) { mpsc::channel() }\n";
+        assert!(findings_of("crates/core/src/parallel.rs", src).is_empty());
+    }
+
+    // ---- severity + docs ---------------------------------------------------
+
+    #[test]
+    fn severities_and_docs_cover_every_rule() {
+        for rule in RULES {
+            let doc = rule_doc(rule).unwrap_or_else(|| panic!("no doc for {rule}"));
+            assert_eq!(doc.rule, rule);
+            assert!(!doc.summary.is_empty());
+            assert!(!doc.rationale.is_empty());
+            assert!(!doc.scope.is_empty());
+            assert!(doc.allow_example.contains("gup-lint: allow("));
+            assert!(matches!(severity(rule), "critical" | "error"));
+        }
+        assert_eq!(severity(LOCK_ORDER), "critical");
+        assert_eq!(severity(GUARD_ACROSS_BLOCKING), "critical");
+        assert_eq!(severity(PANIC_FREEDOM), "error");
+        assert!(rule_doc(DIRECTIVE).is_some());
     }
 }

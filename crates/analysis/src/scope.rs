@@ -1,0 +1,855 @@
+//! The scope pass: per-function scope trees with tracked lock-guard lifetimes.
+//!
+//! Runs over the lexer's masked code (comments and literal contents blanked),
+//! so every brace, `fn`, and `.lock()` it sees is real code. For each function
+//! it records:
+//!
+//! * every **guard span** — an acquisition of `.lock()`, `.read()`, or
+//!   `.write()` (exactly empty-argument calls, which distinguishes lock
+//!   acquisition from `io::Read::read(buf)` / `io::Write::write(buf)`) with the
+//!   byte range over which the returned guard is live, and
+//! * every **loop body** byte span (`for` / `while` / `loop`), which the
+//!   admission rule uses to spot per-iteration spawns.
+//!
+//! Guard lifetimes follow the three shapes that matter in practice:
+//!
+//! 1. **Let-bound** (`let g = x.lock();`, chains through `unwrap` / `expect` /
+//!    `unwrap_or_else` / `?` still bind the guard): live until the enclosing
+//!    block closes, or until an explicit `drop(g)`. A `let _ = …` binding drops
+//!    immediately and is treated as a statement temporary.
+//! 2. **Statement temporary** (`x.lock().retain(…);`, or a `let` whose chain
+//!    consumes the guard, like `session.read().clone()`): live to the end of
+//!    the statement.
+//! 3. **Scrutinee temporary** (`if let Some(t) = d.lock().pop_back() { … }`,
+//!    `match x.lock() { … }`, `while let …`): under edition-2021 temporary
+//!    lifetime rules the guard lives through the whole block, so the span
+//!    extends to the block's closing brace. (An attached `else` arm is not
+//!    covered — a conservative under-approximation.)
+//!
+//! Known limitation, by design: the analysis is per-function and name-based.
+//! A lock acquired behind a helper call is invisible, and two guards on
+//! differently-indexed instances of the same field (`deques[i]` / `deques[j]`)
+//! share a name. Both are documented in DESIGN.md's lock-hierarchy section;
+//! the allow grammar covers the rare false positive.
+
+use crate::lexer::Lexed;
+
+/// Which accessor produced the guard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcquireKind {
+    /// `.lock()` on a mutex.
+    Lock,
+    /// `.read()` on a rwlock.
+    Read,
+    /// `.write()` on a rwlock.
+    Write,
+}
+
+/// One live lock-guard range inside a function.
+#[derive(Clone, Debug)]
+pub struct GuardSpan {
+    /// The lock's name: the last plain path segment of the receiver
+    /// (`shared.watchers.lock()` → `watchers`, `self.deques[me].lock()` →
+    /// `deques`).
+    pub lock: String,
+    /// The accessor that produced the guard.
+    pub kind: AcquireKind,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// Byte offset (into the masked code) of the acquisition's `.`.
+    pub acquired: usize,
+    /// Byte offset at which the guard dies (exclusive).
+    pub released: usize,
+    /// The let binding holding the guard, when there is one.
+    pub binding: Option<String>,
+}
+
+impl GuardSpan {
+    /// `true` when `pos` lies strictly inside the guard's live range.
+    pub fn covers(&self, pos: usize) -> bool {
+        pos > self.acquired && pos < self.released
+    }
+}
+
+/// One function's scope summary.
+#[derive(Clone, Debug)]
+pub struct FunctionScope {
+    /// The function's name (the identifier after `fn`).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Byte range of the body, opening brace to just past the closing brace.
+    pub body: (usize, usize),
+    /// Every guard span, in acquisition order.
+    pub guards: Vec<GuardSpan>,
+    /// Byte ranges of `for` / `while` / `loop` bodies (including nested ones).
+    pub loops: Vec<(usize, usize)>,
+}
+
+impl FunctionScope {
+    /// `true` when `pos` lies inside one of the function's loop bodies.
+    pub fn in_loop(&self, pos: usize) -> bool {
+        self.loops.iter().any(|&(lo, hi)| pos > lo && pos < hi)
+    }
+}
+
+/// Byte offsets at which each 1-based line starts.
+pub fn line_starts(code: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in code.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line containing byte offset `pos`.
+pub fn line_at(starts: &[usize], pos: usize) -> usize {
+    starts.partition_point(|&s| s <= pos)
+}
+
+/// Builds the scope summary of every function in the lexed file.
+pub fn function_scopes(lexed: &Lexed) -> Vec<FunctionScope> {
+    let code = lexed.code.as_bytes();
+    let starts = line_starts(&lexed.code);
+    let heads = function_heads(code);
+    let mut scopes = Vec::with_capacity(heads.len());
+    for &(fn_pos, open, close) in &heads {
+        // A nested fn's body is analyzed as its own function; carve it out of
+        // the parent's walk so its guards are not double-attributed.
+        let inner: Vec<(usize, usize)> = heads
+            .iter()
+            .filter(|&&(p, o, c)| p != fn_pos && o > open && c <= close)
+            .map(|&(_, o, c)| (o, c))
+            .collect();
+        let name = ident_after_fn(code, fn_pos);
+        let mut scope = FunctionScope {
+            name,
+            line: line_at(&starts, fn_pos),
+            body: (open, close),
+            guards: Vec::new(),
+            loops: Vec::new(),
+        };
+        walk_body(code, &starts, open, close, &inner, &mut scope);
+        shorten_dropped_guards(code, &mut scope);
+        scopes.push(scope);
+    }
+    scopes
+}
+
+/// Every `fn` in the file as `(fn_keyword_pos, body_open, body_close)`.
+/// Brace-less signatures (trait methods) are skipped.
+fn function_heads(code: &[u8]) -> Vec<(usize, usize, usize)> {
+    let mut heads = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < code.len() {
+        if code[i] == b'f'
+            && code[i + 1] == b'n'
+            && (i == 0 || !is_ident(code[i - 1]))
+            && code.get(i + 2).is_some_and(|&b| !is_ident(b))
+            && !ident_after_fn(code, i).is_empty()
+        {
+            if let Some(open) = body_open(code, i + 2) {
+                let close = matching_close(code, open);
+                heads.push((i, open, close));
+            }
+        }
+        i += 1;
+    }
+    heads
+}
+
+/// From just past `fn`, finds the body's opening brace: the first `{` outside
+/// parens/brackets. Returns `None` when a `;` ends the signature first.
+fn body_open(code: &[u8], mut i: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    while i < code.len() {
+        match code[i] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'{' if depth <= 0 => return Some(i),
+            b';' if depth <= 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Byte just past the `}` matching the `{` at `open` (or end of file).
+fn matching_close(code: &[u8], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < code.len() {
+        match code[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len()
+}
+
+fn ident_after_fn(code: &[u8], fn_pos: usize) -> String {
+    let mut i = fn_pos + 2;
+    while i < code.len() && code[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    let start = i;
+    while i < code.len() && is_ident(code[i]) {
+        i += 1;
+    }
+    String::from_utf8_lossy(&code[start..i]).into_owned()
+}
+
+/// One entry of the block stack during the body walk.
+struct Block {
+    open: usize,
+    is_loop: bool,
+    /// Indices into `scope.guards` of let-bound guards awaiting this block's
+    /// close for their release point.
+    pending: Vec<usize>,
+}
+
+fn walk_body(
+    code: &[u8],
+    starts: &[usize],
+    open: usize,
+    close: usize,
+    skip: &[(usize, usize)],
+    scope: &mut FunctionScope,
+) {
+    let mut stack: Vec<Block> = vec![Block {
+        open,
+        is_loop: false,
+        pending: Vec::new(),
+    }];
+    let mut stmt_start = open + 1;
+    let mut paren = 0i32;
+    let mut i = open + 1;
+    while i < close && !stack.is_empty() {
+        if let Some(&(_, inner_close)) = skip.iter().find(|&&(o, _)| o == i) {
+            i = inner_close;
+            continue;
+        }
+        match code[i] {
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren -= 1,
+            b'{' => {
+                let header = header_text(code, stmt_start, i);
+                stack.push(Block {
+                    open: i,
+                    is_loop: header_is_loop(&header),
+                    pending: Vec::new(),
+                });
+                stmt_start = i + 1;
+                paren = 0;
+            }
+            b'}' => {
+                if let Some(block) = stack.pop() {
+                    for guard_idx in block.pending {
+                        scope.guards[guard_idx].released = i;
+                    }
+                    if block.is_loop {
+                        scope.loops.push((block.open, i + 1));
+                    }
+                }
+                stmt_start = i + 1;
+                paren = 0;
+            }
+            b';' if paren <= 0 => {
+                stmt_start = i + 1;
+                paren = 0;
+            }
+            b'.' => {
+                if let Some((kind, pat_len)) = acquisition_at(code, i) {
+                    let lock = receiver_name(code, i);
+                    if !lock.is_empty() {
+                        let after = i + pat_len;
+                        let header = header_text(code, stmt_start, i);
+                        let guard = GuardSpan {
+                            lock,
+                            kind,
+                            line: line_at(starts, i),
+                            acquired: i,
+                            released: close, // refined below
+                            binding: None,
+                        };
+                        record_guard(code, after, close, &header, guard, &mut stack, scope);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Anything still pending dies with the function body.
+    for block in stack {
+        for guard_idx in block.pending {
+            scope.guards[guard_idx].released = close.saturating_sub(1);
+        }
+    }
+}
+
+/// Classifies the new guard's lifetime and stores it.
+fn record_guard(
+    code: &[u8],
+    after: usize,
+    fn_close: usize,
+    header: &str,
+    mut guard: GuardSpan,
+    stack: &mut [Block],
+    scope: &mut FunctionScope,
+) {
+    let header = strip_leading_else(header);
+    let binding = header_let_binding(header);
+    let bound = binding.is_some() && chain_keeps_guard(code, after, fn_close);
+    match binding {
+        Some(name) if bound && name != "_" => {
+            guard.binding = Some(name);
+            let idx = scope.guards.len();
+            scope.guards.push(guard);
+            if let Some(block) = stack.last_mut() {
+                block.pending.push(idx);
+            }
+        }
+        _ => {
+            guard.released = statement_end(code, after, fn_close);
+            scope.guards.push(guard);
+        }
+    }
+}
+
+/// Matches `.lock()`, `.read()`, `.write()` at `i` (which points at the `.`).
+/// The empty argument list is part of the pattern: `read(buf)` / `write(buf)`
+/// are I/O, not acquisition.
+fn acquisition_at(code: &[u8], i: usize) -> Option<(AcquireKind, usize)> {
+    for (pat, kind) in [
+        (&b".lock()"[..], AcquireKind::Lock),
+        (&b".read()"[..], AcquireKind::Read),
+        (&b".write()"[..], AcquireKind::Write),
+    ] {
+        if code[i..].starts_with(pat) {
+            return Some((kind, pat.len()));
+        }
+    }
+    None
+}
+
+/// The name of the lock behind the receiver chain ending at the `.` at `dot`:
+/// walks back over whitespace (chains may break across lines), one balanced
+/// index/call group, and path separators, and returns the nearest plain
+/// identifier. `self.deques[me]` → `deques`; `shared.watchers` → `watchers`.
+fn receiver_name(code: &[u8], dot: usize) -> String {
+    let mut i = dot;
+    loop {
+        while i > 0 && code[i - 1].is_ascii_whitespace() {
+            i -= 1;
+        }
+        if i == 0 {
+            return String::new();
+        }
+        match code[i - 1] {
+            b']' => i = balanced_back(code, i, b'[', b']'),
+            b')' => i = balanced_back(code, i, b'(', b')'),
+            b'.' => i -= 1,
+            b if is_ident(b) => {
+                let end = i;
+                while i > 0 && is_ident(code[i - 1]) {
+                    i -= 1;
+                }
+                let name = String::from_utf8_lossy(&code[i..end]).into_owned();
+                if name.bytes().all(|b| b.is_ascii_digit()) {
+                    // A float-ish `1.lock()` cannot happen; digits mean we
+                    // walked into a literal — give up.
+                    return String::new();
+                }
+                return name;
+            }
+            _ => return String::new(),
+        }
+    }
+}
+
+/// Steps back over one balanced `open…close` group; `i` points just past the
+/// closing byte. Returns the index of the opening byte.
+fn balanced_back(code: &[u8], i: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if code[j] == close {
+            depth += 1;
+        } else if code[j] == open {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    0
+}
+
+fn header_text(code: &[u8], stmt_start: usize, upto: usize) -> String {
+    let lo = stmt_start.min(upto);
+    String::from_utf8_lossy(&code[lo..upto]).trim().to_string()
+}
+
+fn strip_leading_else(header: &str) -> &str {
+    let mut h = header.trim_start();
+    while let Some(rest) = h.strip_prefix("else") {
+        if rest.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+            break;
+        }
+        h = rest.trim_start();
+    }
+    h
+}
+
+/// When the statement header is a `let` (not `if let` / `while let`), the
+/// bound identifier (with `mut` stripped). `None` otherwise.
+fn header_let_binding(header: &str) -> Option<String> {
+    let rest = header.strip_prefix("let")?;
+    if rest.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+        return None; // an identifier starting with "let"
+    }
+    let mut rest = rest.trim_start();
+    if let Some(after_mut) = rest.strip_prefix("mut") {
+        if !after_mut.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+            rest = after_mut.trim_start();
+        }
+    }
+    let ident: String = rest
+        .chars()
+        .take_while(|&c| c.is_alphanumeric() || c == '_')
+        .collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+fn header_is_loop(header: &str) -> bool {
+    for kw in ["for", "while", "loop"] {
+        if let Some(rest) = header.strip_prefix(kw) {
+            if !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+                return true;
+            }
+        }
+    }
+    // Labeled loops: `'outer: loop {`.
+    if let Some((label, rest)) = header.split_once(':') {
+        if label.starts_with('\'') && !label.contains(char::is_whitespace) {
+            return header_is_loop(rest.trim_start());
+        }
+    }
+    false
+}
+
+/// Whether the method chain continuing at `i` still yields the guard: chains
+/// through `unwrap()` / `expect(…)` / `unwrap_or_else(…)` and `?` keep it; any
+/// other continuation (`.clone()`, `.len()`, `.pop_back()`, field access)
+/// consumes it into a statement temporary.
+fn chain_keeps_guard(code: &[u8], mut i: usize, limit: usize) -> bool {
+    loop {
+        while i < limit && code[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= limit {
+            return true;
+        }
+        match code[i] {
+            b'?' => i += 1,
+            b'.' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < limit && is_ident(code[j]) {
+                    j += 1;
+                }
+                let method = &code[start..j];
+                let keeps = matches!(method, b"unwrap" | b"expect" | b"unwrap_or_else");
+                if !keeps {
+                    return false;
+                }
+                while j < limit && code[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if code.get(j) == Some(&b'(') {
+                    i = skip_balanced(code, j, limit);
+                } else {
+                    return false;
+                }
+            }
+            _ => return true, // `;`, `,`, `)`, an operator: the chain ended
+        }
+    }
+}
+
+/// Skips a balanced `(`/`[`/`{` group starting at `i`; returns the index just
+/// past the closing byte.
+fn skip_balanced(code: &[u8], i: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < limit {
+        match code[j] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    limit
+}
+
+/// End of the statement whose temporary scope holds a non-let-bound guard:
+/// the next `;` (or block-closing `}`) at chain depth, with a `{` opening at
+/// depth extending the temporary through that block (the edition-2021
+/// scrutinee rule for `if let` / `while let` / `match` heads).
+fn statement_end(code: &[u8], mut i: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    while i < limit {
+        match code[i] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => {
+                if depth == 0 {
+                    return i; // the statement's expression ended inside a call
+                }
+                depth -= 1;
+            }
+            b'{' if depth <= 0 => return matching_close(code, i),
+            b'}' if depth <= 0 => return i,
+            b';' if depth <= 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// Shortens let-bound guards at an explicit `drop(binding)` / `mem::drop(binding)`.
+fn shorten_dropped_guards(code: &[u8], scope: &mut FunctionScope) {
+    for guard in &mut scope.guards {
+        let Some(binding) = &guard.binding else {
+            continue;
+        };
+        let lo = guard.acquired;
+        let hi = guard.released.min(code.len());
+        let region = &code[lo..hi];
+        let needle = format!("drop({binding})");
+        let spaced = format!("drop({binding} )");
+        for probe in [needle.as_bytes(), spaced.as_bytes()] {
+            if let Some(at) = find_sub(region, probe) {
+                let abs = lo + at;
+                // `drop` must be a call, not the tail of an identifier.
+                if abs == 0 || !is_ident(code[abs - 1]) {
+                    guard.released = guard.released.min(abs);
+                }
+            }
+        }
+    }
+}
+
+fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (0..=haystack.len() - needle.len()).find(|&i| &haystack[i..i + needle.len()] == needle)
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scopes(src: &str) -> Vec<FunctionScope> {
+        function_scopes(&lex(src))
+    }
+
+    fn guard<'a>(scope: &'a FunctionScope, lock: &str) -> &'a GuardSpan {
+        scope
+            .guards
+            .iter()
+            .find(|g| g.lock == lock)
+            .unwrap_or_else(|| panic!("no guard on `{lock}` in {:?}", scope.guards))
+    }
+
+    fn line_span(src: &str, scope: &FunctionScope, g: &GuardSpan) -> (usize, usize) {
+        let starts = line_starts(src);
+        let _ = scope;
+        (line_at(&starts, g.acquired), line_at(&starts, g.released))
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_close() {
+        let src = "fn f(x: &M) {\n\
+                   let g = x.lock();\n\
+                   use_it(&g);\n\
+                   after();\n\
+                   }\n";
+        let s = scopes(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].name, "f");
+        let g = guard(&s[0], "x");
+        assert_eq!(g.kind, AcquireKind::Lock);
+        assert_eq!(g.binding.as_deref(), Some("g"));
+        let (from, to) = line_span(src, &s[0], g);
+        assert_eq!(from, 2);
+        assert_eq!(to, 5, "guard must live to the function's closing brace");
+    }
+
+    #[test]
+    fn inner_block_guard_dies_at_inner_close() {
+        let src = "fn f(x: &M) {\n\
+                   {\n\
+                   let g = x.lock();\n\
+                   }\n\
+                   after();\n\
+                   }\n";
+        let s = scopes(src);
+        let g = guard(&s[0], "x");
+        let (_, to) = line_span(src, &s[0], g);
+        assert_eq!(to, 4, "inner-block guard must die at the inner brace");
+    }
+
+    #[test]
+    fn explicit_drop_ends_the_guard() {
+        let src = "fn f(x: &M) {\n\
+                   let g = x.lock();\n\
+                   use_it(&g);\n\
+                   drop(g);\n\
+                   after();\n\
+                   }\n";
+        let s = scopes(src);
+        let g = guard(&s[0], "x");
+        let (_, to) = line_span(src, &s[0], g);
+        assert_eq!(to, 4, "drop(g) must end the guard on its line");
+    }
+
+    #[test]
+    fn statement_temporary_dies_at_semicolon() {
+        let src = "fn f(s: &Shared) {\n\
+                   s.watchers.lock().retain(|w| w.id != 0);\n\
+                   after();\n\
+                   }\n";
+        let s = scopes(src);
+        let g = guard(&s[0], "watchers");
+        let (_, to) = line_span(src, &s[0], g);
+        assert_eq!(to, 2);
+    }
+
+    #[test]
+    fn let_with_consuming_chain_is_a_statement_temporary() {
+        let src = "fn f(s: &Shared) {\n\
+                   let session = s.session.read().clone();\n\
+                   after();\n\
+                   }\n";
+        let s = scopes(src);
+        let g = guard(&s[0], "session");
+        assert_eq!(g.kind, AcquireKind::Read);
+        assert!(g.binding.is_none());
+        let (_, to) = line_span(src, &s[0], g);
+        assert_eq!(to, 2, "`.clone()` consumed the guard at the statement end");
+    }
+
+    #[test]
+    fn chains_through_unwrap_family_still_bind() {
+        let src = "fn f(r: &Mutex<R>) {\n\
+                   let g = r.lock().unwrap_or_else(|e| e.into_inner());\n\
+                   use_it(&g);\n\
+                   }\n";
+        let s = scopes(src);
+        let g = guard(&s[0], "r");
+        assert_eq!(g.binding.as_deref(), Some("g"));
+        let (_, to) = line_span(src, &s[0], g);
+        assert_eq!(to, 4);
+    }
+
+    #[test]
+    fn if_let_scrutinee_lives_through_the_block() {
+        let src = "fn f(d: &Mutex<VecDeque<u32>>) {\n\
+                   if let Some(t) = d.lock().pop_back() {\n\
+                   consume(t);\n\
+                   }\n\
+                   after();\n\
+                   }\n";
+        let s = scopes(src);
+        let g = guard(&s[0], "d");
+        let (_, to) = line_span(src, &s[0], g);
+        assert_eq!(to, 4, "edition-2021 scrutinee temporary spans the if block");
+    }
+
+    #[test]
+    fn underscore_let_is_a_statement_temporary() {
+        let src = "fn f(x: &M) {\n\
+                   let _ = x.lock();\n\
+                   after();\n\
+                   }\n";
+        let s = scopes(src);
+        let g = guard(&s[0], "x");
+        let (_, to) = line_span(src, &s[0], g);
+        assert_eq!(to, 2);
+    }
+
+    #[test]
+    fn underscore_prefixed_let_binds_to_block() {
+        let src = "fn f(s: &Shared) {\n\
+                   let _mutation = s.mutation.lock();\n\
+                   work();\n\
+                   }\n";
+        let s = scopes(src);
+        let g = guard(&s[0], "mutation");
+        assert_eq!(g.binding.as_deref(), Some("_mutation"));
+        let (_, to) = line_span(src, &s[0], g);
+        assert_eq!(to, 4, "an `_`-prefixed binding still holds to block close");
+    }
+
+    #[test]
+    fn receiver_name_skips_index_groups_and_multiline_chains() {
+        let src = "fn f(&self, me: usize, s: &Shared) {\n\
+                   self.deques[me % self.deques.len()].lock().push_back(1);\n\
+                   s\n\
+                   .watchers\n\
+                   .lock()\n\
+                   .retain(|w| w.id != 0);\n\
+                   }\n";
+        let s = scopes(src);
+        assert!(s[0].guards.iter().any(|g| g.lock == "deques"));
+        assert!(s[0].guards.iter().any(|g| g.lock == "watchers"));
+    }
+
+    #[test]
+    fn io_read_write_with_arguments_are_not_acquisitions() {
+        let src = "fn f(r: &mut impl Read, w: &mut impl Write, buf: &mut [u8]) {\n\
+                   r.read(buf).ok();\n\
+                   w.write(buf).ok();\n\
+                   w.write_fmt(format_args!(\"x\")).ok();\n\
+                   }\n";
+        let s = scopes(src);
+        assert!(s[0].guards.is_empty(), "{:?}", s[0].guards);
+    }
+
+    #[test]
+    fn loop_bodies_are_recorded_and_queried() {
+        let src = "fn f(n: usize) {\n\
+                   setup();\n\
+                   for i in 0..n {\n\
+                   step(i);\n\
+                   }\n\
+                   while more() {\n\
+                   again();\n\
+                   }\n\
+                   loop {\n\
+                   break;\n\
+                   }\n\
+                   }\n";
+        let s = scopes(src);
+        assert_eq!(s[0].loops.len(), 3);
+        let starts = line_starts(src);
+        let inside = |line: usize| {
+            let pos = starts[line - 1] + 1;
+            s[0].in_loop(pos)
+        };
+        assert!(!inside(2));
+        assert!(inside(4));
+        assert!(inside(7));
+        assert!(inside(10));
+    }
+
+    #[test]
+    fn closure_blocks_are_not_loops() {
+        let src = "fn f(items: &[u32]) {\n\
+                   let v: Vec<u32> = items.iter().map(|i| {\n\
+                   i + 1\n\
+                   }).collect();\n\
+                   }\n";
+        let s = scopes(src);
+        assert!(s[0].loops.is_empty());
+    }
+
+    #[test]
+    fn nested_fn_guards_are_not_attributed_to_the_parent() {
+        let src = "fn outer(x: &M) {\n\
+                   fn inner(y: &M) {\n\
+                   let g = y.lock();\n\
+                   }\n\
+                   after();\n\
+                   }\n";
+        let s = scopes(src);
+        let outer = s.iter().find(|f| f.name == "outer").unwrap();
+        let inner = s.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.guards.is_empty());
+        assert_eq!(inner.guards.len(), 1);
+    }
+
+    #[test]
+    fn overlap_is_detected_between_outer_and_inner_guards() {
+        let src = "fn f(s: &Shared) {\n\
+                   let a = s.mutation.lock();\n\
+                   let b = s.watchers.lock();\n\
+                   work();\n\
+                   }\n";
+        let s = scopes(src);
+        let a = guard(&s[0], "mutation");
+        let b = guard(&s[0], "watchers");
+        assert!(a.covers(b.acquired));
+        assert!(!b.covers(a.acquired));
+    }
+
+    #[test]
+    fn sibling_statement_temporaries_do_not_overlap() {
+        let src = "fn f(s: &Shared) {\n\
+                   s.watchers.lock().retain(|w| w.id != 0);\n\
+                   s.watchers.lock().retain(|w| w.id != 1);\n\
+                   }\n";
+        let s = scopes(src);
+        assert_eq!(s[0].guards.len(), 2);
+        let (a, b) = (&s[0].guards[0], &s[0].guards[1]);
+        assert!(!a.covers(b.acquired));
+    }
+
+    #[test]
+    fn trait_signatures_without_bodies_are_skipped() {
+        let src = "trait T {\n\
+                   fn sig(&self) -> u32;\n\
+                   fn with_body(&self) -> u32 { 1 }\n\
+                   }\n";
+        let s = scopes(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].name, "with_body");
+    }
+
+    #[test]
+    fn match_scrutinee_guard_spans_the_match_block() {
+        let src = "fn f(r: &Mutex<Receiver<u32>>) {\n\
+                   let job = {\n\
+                   let receiver = r.lock().unwrap_or_else(|e| e.into_inner());\n\
+                   match receiver.recv_timeout(t) {\n\
+                   Ok(job) => Some(job),\n\
+                   Err(_) => None,\n\
+                   }\n\
+                   };\n\
+                   after();\n\
+                   }\n";
+        let s = scopes(src);
+        let g = guard(&s[0], "r");
+        let (_, to) = line_span(src, &s[0], g);
+        assert_eq!(to, 8, "the let-bound receiver dies at its block close");
+    }
+}

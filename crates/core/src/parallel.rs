@@ -25,6 +25,11 @@
 //! reserved with check-and-increment (no worker can overshoot the limit), and the
 //! time budget is hoisted into one absolute deadline before the workers start, so
 //! engine reuse across tasks cannot restart the clock.
+//!
+//! Lock discipline: this module's locks rank `deques ≺ sink ≺ slot ≺ cache` in
+//! the `crates/core` manifest (`gup_analysis::rules::LOCK_MANIFESTS`), and
+//! gup-lint's scope-aware rules enforce that nesting order — plus
+//! no-guard-across-blocking — in tier-1.
 
 use crate::config::GupConfig;
 use crate::gcs::Gcs;

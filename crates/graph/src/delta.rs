@@ -23,7 +23,10 @@
 //! Validation is strict and typed in the spirit of the ingest sweep: deltas are
 //! checked *in order* against the state produced by the deltas before them, and the
 //! first invalid one aborts the whole batch with a [`DeltaError`] naming the
-//! offending index — nothing is partially applied.
+//! offending index — nothing is partially applied. Like `index_io.rs`, this
+//! module mutates the persistent index from externally supplied input, so it is
+//! held to gup-lint's `panic_freedom` rule: no `.unwrap()`/`.expect()`/`panic!`
+//! outside test code (enforced in tier-1, pinned by the rule's corpus case).
 //!
 //! ```
 //! use gup_graph::delta::GraphDelta;

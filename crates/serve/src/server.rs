@@ -191,6 +191,7 @@ impl Server {
             let jobs = self.jobs.clone();
             let _ = std::thread::Builder::new()
                 .name("gup-serve-conn".to_string())
+                // gup-lint: allow(admission_discipline) one thread per connection is the documented design; per-request work is admitted via the bounded job queue, never spawned here
                 .spawn(move || {
                     let _ = serve_connection(stream, &shared, &jobs);
                 });
@@ -218,6 +219,7 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, shutdown: &AtomicBool) {
             // panic could break mid-way), so recover it and keep serving rather
             // than letting one bad query wedge the whole pool.
             let receiver = receiver.lock().unwrap_or_else(|e| e.into_inner());
+            // gup-lint: allow(guard_across_blocking) the pool shares one Receiver: the guard must be held to dequeue, the 50 ms timeout bounds the hold, and jobs never run under it
             match receiver.recv_timeout(Duration::from_millis(50)) {
                 Ok(job) => Some(job),
                 Err(RecvTimeoutError::Timeout) => None,
@@ -522,10 +524,14 @@ fn handle_delta(
         Err(e) => return reply_line(writer, format_args!("err bad delta: {e}")),
     };
     *shared.session.write() = next.clone();
-    // Delta-localized search per standing query, pushing one `match` line per
-    // new embedding into the watching connection. Push errors mean that client
-    // hung up; its watches are removed when its connection thread notices.
+    // Delta-localized search per standing query, one `match` line per new
+    // embedding. The match lines are rendered under the watchers lock (the
+    // registry must not change mid-scan) but pushed to the sockets only after
+    // it is released: a watcher that stops reading fills its TCP buffer and
+    // blocks the push, and holding the registry lock across that write would
+    // wedge every connection trying to watch/unwatch or read `stats`.
     let mut total = 0u64;
+    let mut pushes: Vec<(SharedWriter, String)> = Vec::new();
     {
         let watchers = shared.watchers.lock();
         for watcher in watchers.iter() {
@@ -535,16 +541,25 @@ fn handle_delta(
             if n == 0 {
                 continue;
             }
-            let mut w = watcher.writer.lock();
+            let mut lines = String::new();
             for embedding in sink.into_embeddings() {
-                let _ = write!(w, "match id={}", watcher.id);
+                lines.push_str("match id=");
+                lines.push_str(&watcher.id.to_string());
                 for v in &embedding {
-                    let _ = write!(w, " {v}");
+                    lines.push(' ');
+                    lines.push_str(&v.to_string());
                 }
-                let _ = writeln!(w);
+                lines.push('\n');
             }
-            let _ = w.flush();
+            pushes.push((Arc::clone(&watcher.writer), lines));
         }
+    }
+    // Push errors mean that client hung up; its watches are removed when its
+    // connection thread notices.
+    for (writer, lines) in pushes {
+        let mut w = writer.lock();
+        // gup-lint: allow(guard_across_blocking) mutation is held through the push by design (watchers see batches in application order); the watchers lock is already released, so a stalled watcher cannot wedge other connections
+        let _ = w.write_all(lines.as_bytes()).and_then(|()| w.flush());
     }
     next.counters().record_incremental_matches(total);
     let graph = next.data();

@@ -2,37 +2,53 @@
 //!
 //! Walks the workspace sources (`crates/`, `src/`, `examples/`, `tests/`;
 //! skipping `vendor/` and `target/`) and reports every violation of the
-//! gup-lint rule catalog (clock discipline, no-alloc regions, panic freedom,
-//! relaxed-atomics and unsafe audits) with file, line, rule id, and message.
+//! gup-lint rule catalog — the token-local rules (clock discipline, no-alloc
+//! regions, panic freedom, relaxed-atomics and unsafe audits) and the
+//! scope-aware concurrency rules (lock order, guard-across-blocking, admission
+//! discipline) — with file, line, rule id, and message.
 //!
 //! Exit status: 0 when clean, 1 on any finding, 2 on usage or I/O errors.
+//! Severity (`critical` for the deadlock-shaped rules, `error` otherwise) is
+//! informational: it appears in `--format json` and `--explain`, but any
+//! finding fails the run.
 
-use gup_analysis::{analyze_workspace, findings_to_json};
+use gup_analysis::{analyze_workspace, findings_to_json, rule_doc, severity};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 gup-lint: check workspace invariants (clock discipline, no-alloc regions,
-panic freedom, relaxed-atomics audit, unsafe hygiene)
+panic freedom, relaxed-atomics audit, unsafe hygiene, lock order,
+guard-across-blocking, admission discipline)
 
 USAGE:
     gup-lint [--root <path>] [--format text|json]
+    gup-lint --explain <rule>
 
 OPTIONS:
     --root <path>      Workspace root to analyze (default: current directory)
     --format <form>    Output format: text (default) or json
+    --explain <rule>   Print a rule's rationale, scope, and allow example
     -h, --help         Show this help
 
-RULES (suppress one occurrence with `gup-lint: allow(<rule>) <reason>`):
-    clock_discipline   no raw Instant::now()/SystemTime::now() outside
-                       gup_graph::deadline, benches, examples, and tests
-    no_alloc           no allocating constructs between
-                       `gup-lint: region(no_alloc)` and `gup-lint: end_region`
-    panic_freedom      no .unwrap()/.expect()/panic!/unreachable! in
-                       crates/serve and crates/core non-test code
-    relaxed_ordering   every Ordering::Relaxed has an adjacent justification
-                       comment (one mentioning \"relaxed\")
-    unsafe_hygiene     every `unsafe` has an adjacent SAFETY: comment
+RULES (suppress one occurrence with `gup-lint: allow(<rule>) <reason>`;
+run `gup-lint --explain <rule>` for the full story):
+    clock_discipline        no raw Instant::now()/SystemTime::now() outside
+                            gup_graph::deadline, benches, examples, and tests
+    no_alloc                no allocating constructs between
+                            `gup-lint: region(no_alloc)` and `gup-lint: end_region`
+    panic_freedom           no .unwrap()/.expect()/panic!/unreachable! in
+                            crates/serve, crates/core, and the persistent-index
+                            mutation paths (index_io.rs, delta.rs)
+    relaxed_ordering        every Ordering::Relaxed has an adjacent
+                            justification comment (one mentioning \"relaxed\")
+    unsafe_hygiene          every `unsafe` has an adjacent SAFETY: comment
+    lock_order              nested lock acquisitions follow the declared
+                            manifest order; no same-name re-acquisition
+    guard_across_blocking   no lock guard held across blocking I/O (the
+                            connection-writer lock is blessed for writes)
+    admission_discipline    no unbounded mpsc::channel or per-loop thread
+                            spawns in the serving layer
 ";
 
 enum Format {
@@ -57,6 +73,10 @@ fn main() -> ExitCode {
                     return usage_error(&format!("unknown format `{other}` (text or json)"))
                 }
                 None => return usage_error("--format needs a value (text or json)"),
+            },
+            "--explain" => match args.next() {
+                Some(rule) => return explain(&rule),
+                None => return usage_error("--explain needs a rule id"),
             },
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -96,6 +116,22 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `--explain <rule>`: print the rule's documentation card.
+fn explain(rule: &str) -> ExitCode {
+    let Some(doc) = rule_doc(rule) else {
+        return usage_error(&format!(
+            "unknown rule `{rule}` — run `gup-lint --help` for the catalog"
+        ));
+    };
+    println!("{} ({})", doc.rule, severity(doc.rule));
+    println!("  {}", doc.summary);
+    println!();
+    println!("WHY:   {}", doc.rationale);
+    println!("SCOPE: {}", doc.scope);
+    println!("ALLOW: {}", doc.allow_example);
+    ExitCode::SUCCESS
 }
 
 fn usage_error(message: &str) -> ExitCode {

@@ -1,10 +1,15 @@
 //! Tier-1 enforcement of the workspace's static invariants: runs the
 //! `gup_analysis` rule engine (the library behind `gup-lint`) over the whole
 //! workspace and fails on any finding. This is what turns the rule catalog —
-//! clock discipline, no-alloc regions, panic freedom in serve/core, justified
-//! relaxed atomics, `SAFETY:`-commented `unsafe` — from a convention into a
-//! gate: a violation anywhere in `crates/`, `src/`, `examples/`, or `tests/`
-//! fails `cargo test`.
+//! clock discipline, no-alloc regions, panic freedom in serve/core and the
+//! index mutation paths, justified relaxed atomics, `SAFETY:`-commented
+//! `unsafe`, lock-order, guard-across-blocking, and admission discipline —
+//! from a convention into a gate: a violation anywhere in `crates/`, `src/`,
+//! `examples/`, or `tests/` fails `cargo test`.
+//!
+//! The clean sweep alone cannot distinguish "no violations" from "the rule
+//! went dead", so [`every_rule_still_fires_on_its_corpus_case`] mirrors the
+//! analysis crate's seeded-violation corpus here in the integration gate.
 
 use std::path::Path;
 
@@ -49,4 +54,38 @@ fn the_walk_actually_covers_the_workspace() {
             "expected the walk to find {expected}"
         );
     }
+}
+
+#[test]
+fn every_rule_still_fires_on_its_corpus_case() {
+    // One seeded violation per rule, R1–R8: a rule that silently stops firing
+    // fails tier-1 here by name, not just in the analysis crate's own tests.
+    let mut fired = Vec::new();
+    for case in gup_analysis::corpus::CORPUS {
+        let findings = gup_analysis::analyze_source(case.path, case.src);
+        assert!(
+            findings.iter().any(|f| f.rule == case.rule),
+            "rule `{}` went dead: its corpus snippet produced {:?}",
+            case.rule,
+            findings
+        );
+        fired.push(case.rule);
+    }
+    assert_eq!(fired.len(), 8, "the corpus must cover all eight rules");
+}
+
+#[test]
+fn full_workspace_lint_stays_fast() {
+    // The lint gate runs on every `cargo test`; if the scope pass regresses to
+    // something super-linear the whole tier-1 loop pays for it. 2 s is ~20x
+    // headroom over the measured debug-mode sweep.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let start = std::time::Instant::now();
+    let findings = gup_analysis::analyze_workspace(root).expect("workspace sources are readable");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "full workspace lint took {elapsed:?} (budget: 2 s, findings: {})",
+        findings.len()
+    );
 }

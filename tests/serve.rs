@@ -375,6 +375,63 @@ fn cache_zero_disables_caching() {
 }
 
 #[test]
+fn stalled_watcher_does_not_wedge_other_connections() {
+    // A star data graph: one delta batch hanging new leaves off the hub
+    // creates hundreds of thousands of new 3-path matches — megabytes of
+    // `match` lines, far more than loopback TCP buffering absorbs — so the
+    // push to a watcher that never reads blocks. Pre-fix, `handle_delta` held
+    // the watchers registry lock across that push, so any other connection
+    // touching the registry (`stats`, `watch`, `unwatch`) hung with it. The
+    // fix renders the lines under the lock but pushes only after releasing
+    // it; the only lock held across the blocked push is `mutation`, which
+    // `stats` does not take.
+    let hub_degree = 800u32;
+    let labels = vec![0u32; 1001];
+    let edges: Vec<(u32, u32)> = (1..=hub_degree).map(|leaf| (0, leaf)).collect();
+    let data = graph_from_edges(&labels, &edges);
+    let server = ServerHandle::spawn("stall", &data, &[]);
+
+    // The watcher registers a standing 3-path query and then stops reading.
+    let mut watcher = Client::connect(server.addr);
+    let standing = fixtures::path(3, 0);
+    watcher.send(&format!("watch\n{}", graph_body(&standing)));
+    assert_eq!(watcher.read_line(), "ok watch id=0");
+
+    // 200 new leaves in one batch: every (old or new, new) leaf pair is a new
+    // hub-centered path, ~360k embeddings into a socket nobody drains.
+    let mut delta = Client::connect(server.addr);
+    let mut body = String::from("delta\n");
+    for leaf in hub_degree + 1..=hub_degree + 200 {
+        body.push_str(&format!("ae 0 {leaf}\n"));
+    }
+    body.push_str("end\n");
+    delta.send(&body);
+    // Let the delta apply and the push reach the stalled socket.
+    std::thread::sleep(Duration::from_millis(1500));
+
+    // `stats` takes the watchers lock; it must answer while the push is stuck.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let addr = server.addr;
+    std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        client.send("stats\n");
+        let _ = tx.send(client.read_line());
+    });
+    let stats = rx
+        .recv_timeout(Duration::from_secs(20))
+        .expect("stats hung: a stalled watcher is wedging the watchers lock");
+    assert_eq!(field(&stats, "watchers"), 1, "{stats}");
+    assert_eq!(field(&stats, "deltas"), 1, "{stats}");
+
+    // Hanging up the watcher unblocks the push; the delta client then gets
+    // its reply and the server shuts down cleanly.
+    drop(watcher);
+    let line = delta.read_line();
+    assert!(line.starts_with("ok delta applied=200 "), "{line}");
+    server.shutdown();
+}
+
+#[test]
 fn bad_server_usage_is_rejected() {
     // Zero --timeout-ms must be a usage error, mirroring gup-match.
     let output = Command::new(env!("CARGO_BIN_EXE_gup-serve"))
